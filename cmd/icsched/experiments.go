@@ -1,0 +1,457 @@
+package main
+
+import (
+	"fmt"
+	"math/big"
+
+	"icsched/internal/batch"
+	"icsched/internal/blocks"
+	"icsched/internal/coarsen"
+	"icsched/internal/dag"
+	"icsched/internal/heur"
+	"icsched/internal/icsim"
+	"icsched/internal/matmuldag"
+	"icsched/internal/mesh"
+	"icsched/internal/opt"
+	"icsched/internal/prefix"
+	"icsched/internal/prio"
+	"icsched/internal/sched"
+	"icsched/internal/workflows"
+)
+
+// cmdExperiments regenerates every table recorded in EXPERIMENTS.md.
+func cmdExperiments() error {
+	if err := expE1PriorityFacts(); err != nil {
+		return err
+	}
+	if err := expE2OracleVerification(); err != nil {
+		return err
+	}
+	if err := expE3Profiles(); err != nil {
+		return err
+	}
+	if err := expE4Simulation(); err != nil {
+		return err
+	}
+	if err := expE5Batch(); err != nil {
+		return err
+	}
+	if err := expE6Coarsening(); err != nil {
+		return err
+	}
+	if err := expE7MatmulErratum(); err != nil {
+		return err
+	}
+	if err := expE9Batch(); err != nil {
+		return err
+	}
+	if err := expE10Granularity(); err != nil {
+		return err
+	}
+	return expE11Demandingness()
+}
+
+// expE1PriorityFacts checks every ▷ claim the paper states (E1).
+func expE1PriorityFacts() error {
+	fmt.Println("== E1: priority-relation (▷) facts of the paper ==")
+	fmt.Printf("%-28s %-10s %-8s\n", "CLAIM", "EXPECTED", "MEASURED")
+	type claim struct {
+		name   string
+		g1, g2 *dag.Dag
+		want   bool
+	}
+	v, l := blocks.Vee(), blocks.Lambda()
+	v3 := blocks.VeeD(3)
+	c4 := blocks.Cycle(4)
+	claims := []claim{
+		{"V ▷ V", v, v, true},
+		{"V ▷ Λ", v, l, true},
+		{"Λ ▷ Λ", l, l, true},
+		{"Λ ▷ V", l, v, false},
+		{"W2 ▷ W4", blocks.W(2), blocks.W(4), true},
+		{"W4 ▷ W2", blocks.W(4), blocks.W(2), false},
+		{"N3 ▷ N5", blocks.N(3), blocks.N(5), true},
+		{"N5 ▷ N3", blocks.N(5), blocks.N(3), true},
+		{"N4 ▷ Λ", blocks.N(4), l, true},
+		{"B ▷ B", blocks.Butterfly(), blocks.Butterfly(), true},
+		{"C4 ▷ C4", c4, c4, true},
+		{"C4 ▷ Λ", c4, l, true},
+		{"V3 ▷ V3", v3, v3, true},
+		{"V3 ▷ Λ", v3, l, true},
+	}
+	for _, c := range claims {
+		got, err := prio.Holds(c.g1, blocks.SourcesLeftToRight(c.g1), c.g2, blocks.SourcesLeftToRight(c.g2))
+		if err != nil {
+			return err
+		}
+		status := map[bool]string{true: "holds", false: "fails"}
+		mark := "OK"
+		if got != c.want {
+			mark = "MISMATCH"
+		}
+		fmt.Printf("%-28s %-10s %-8s %s\n", c.name, status[c.want], status[got], mark)
+	}
+	fmt.Println()
+	return nil
+}
+
+// expE2OracleVerification checks each family's schedule against the exact
+// oracle at oracle-sized instances (E2).
+func expE2OracleVerification() error {
+	fmt.Println("== E2: exact-oracle verification of the families' schedules ==")
+	fmt.Printf("%-10s %5s %6s %8s %10s\n", "FAMILY", "SIZE", "NODES", "IDEALS", "VERDICT")
+	sizes := map[string]int{
+		"vee": 2, "lambda": 2, "w": 4, "n": 4, "cycle": 4,
+		"outtree": 2, "intree": 2, "diamond": 2,
+		"outmesh": 5, "inmesh": 5, "grid": 4,
+		"butterfly": 2, "prefix": 5, "dlt": 4, "dlt2": 8, "matmul": 0,
+	}
+	for _, f := range families {
+		size, ok := sizes[f.name]
+		if !ok {
+			continue
+		}
+		g, nonsinks, err := f.build(size)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.name, err)
+		}
+		lat, err := opt.Analyze(g)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.name, err)
+		}
+		optimal, step, err := lat.IsOptimal(sched.Complete(g, nonsinks))
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.name, err)
+		}
+		verdict := "IC-OPTIMAL"
+		if !optimal {
+			verdict = fmt.Sprintf("FAILS@%d", step)
+		}
+		fmt.Printf("%-10s %5d %6d %8d %10s\n", f.name, size, g.NumNodes(), lat.NumIdeals(), verdict)
+	}
+	fmt.Println()
+	return nil
+}
+
+// expE3Profiles compares mean eligibility across schedulers (E3).
+func expE3Profiles() error {
+	fmt.Println("== E3: mean ELIGIBLE-set size, IC-optimal vs heuristics ==")
+	fmt.Printf("%-10s %6s", "FAMILY", "NODES")
+	names := []string{"IC-OPT"}
+	for _, p := range heur.Standard(1) {
+		names = append(names, p.Name())
+	}
+	for _, n := range names {
+		fmt.Printf(" %8.8s", n)
+	}
+	fmt.Println()
+	bigSizes := map[string]int{
+		"outmesh": 14, "inmesh": 14, "grid": 10, "butterfly": 4,
+		"prefix": 16, "dlt": 16, "diamond": 5, "forkjoin": 6, "montage": 12,
+	}
+	for _, f := range families {
+		size, ok := bigSizes[f.name]
+		if !ok {
+			continue
+		}
+		g, nonsinks, err := f.build(size)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %6d", f.name, g.NumNodes())
+		prof, err := sched.Profile(g, sched.Complete(g, nonsinks))
+		if err != nil {
+			return err
+		}
+		fmt.Printf(" %8.2f", mean(prof))
+		for _, p := range heur.Standard(1) {
+			order, err := heur.RunOrder(g, p)
+			if err != nil {
+				return err
+			}
+			hp, err := sched.Profile(g, order)
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %8.2f", mean(hp))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}
+
+// expE4Simulation runs the client/server simulator (E4).
+func expE4Simulation() error {
+	fmt.Println("== E4: IC simulation (8 clients, heterogeneous speeds) ==")
+	workloads := map[string]*dag.Dag{
+		"outmesh14": mesh.OutMesh(14),
+		"montage16": workflows.Montage(16),
+		"forkjoin":  workflows.ForkJoin(6, 8),
+	}
+	optOrders := map[string][]dag.NodeID{
+		"outmesh14": sched.Complete(mesh.OutMesh(14), mesh.OutMeshNonsinks(14)),
+	}
+	cfg := icsim.Config{
+		Clients: 8,
+		Speeds:  []float64{2, 2, 1, 1, 1, 1, 0.5, 0.5},
+		Seed:    42,
+	}
+	for name, g := range workloads {
+		fmt.Printf("-- workload %s (%d nodes) --\n", name, g.NumNodes())
+		policies := heur.Standard(17)
+		if order, ok := optOrders[name]; ok {
+			policies = append([]heur.Policy{heur.Static("IC-OPTIMAL", order)}, policies...)
+		}
+		results, err := icsim.Compare(g, policies, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %10s %8s %12s %14s\n", "POLICY", "MAKESPAN", "STALLS", "UTILIZATION", "AVG-ELIGIBLE")
+		for _, r := range results {
+			fmt.Printf("%-18s %10.2f %8d %12.3f %14.2f\n",
+				r.Policy, r.Makespan, r.Stalls, r.Utilization, r.AvgEligibleAtRequest)
+		}
+	}
+	// Statistical pass over 10 seeds on the mesh workload.
+	fmt.Println("-- outmesh14, 10 trials per policy (makespan mean ± stddev) --")
+	g := mesh.OutMesh(14)
+	policies := append([]heur.Policy{
+		heur.Static("IC-OPTIMAL", sched.Complete(g, mesh.OutMeshNonsinks(14))),
+	}, heur.Standard(17)...)
+	for _, p := range policies {
+		mr, err := icsim.RunMany(g, p, cfg, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %8.2f ± %5.2f   stalls %6.1f ± %5.1f\n",
+			mr.Policy, mr.Makespan.Mean, mr.Makespan.StdDev, mr.Stalls.Mean, mr.Stalls.StdDev)
+	}
+	fmt.Println()
+	return nil
+}
+
+// expE5Batch measures batched-request satisfaction (§2.2 scenario 2, E5).
+func expE5Batch() error {
+	fmt.Println("== E5: batched-request satisfaction on the out-mesh (batch = 6) ==")
+	g := mesh.OutMesh(12)
+	optOrder := sched.Complete(g, mesh.OutMeshNonsinks(12))
+	policies := append([]heur.Policy{heur.Static("IC-OPTIMAL", optOrder)}, heur.Standard(5)...)
+	fmt.Printf("%-18s %18s\n", "POLICY", "MEAN-SATISFIED")
+	for _, p := range policies {
+		_, meanSat, err := icsim.BatchSatisfaction(g, p, 6)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %18.3f\n", p.Name(), meanSat)
+	}
+	fmt.Println()
+	return nil
+}
+
+// expE6Coarsening measures the §4 granularity trade-off (E6).
+func expE6Coarsening() error {
+	fmt.Println("== E6: mesh coarsening — work grows ~f², communication ~f ==")
+	levels := 24
+	g := mesh.OutMesh(levels)
+	fmt.Printf("%-6s %8s %10s %12s %14s\n", "f", "CLUSTERS", "MAX-WORK", "CUT-ARCS", "CUT/CLUSTER")
+	for _, f := range []int{1, 2, 3, 4, 6, 8} {
+		part, k, _ := coarsen.MeshBlocks(levels, f)
+		_, stats, err := coarsen.Quotient(g, part, k)
+		if err != nil {
+			return err
+		}
+		maxWork := 0
+		for _, w := range stats.Work {
+			if w > maxWork {
+				maxWork = w
+			}
+		}
+		fmt.Printf("%-6d %8d %10d %12d %14.2f\n",
+			f, k, maxWork, stats.CutArcs, float64(stats.CutArcs)/float64(k))
+	}
+	fmt.Println()
+	return nil
+}
+
+// expE7MatmulErratum re-derives the §7 product-order finding (E7).
+func expE7MatmulErratum() error {
+	fmt.Println("== E7: §7 matrix-multiply schedule — Theorem 2.1 order vs literal prose order ==")
+	c, err := matmuldag.New()
+	if err != nil {
+		return err
+	}
+	g, err := c.Dag()
+	if err != nil {
+		return err
+	}
+	lat, err := opt.Analyze(g)
+	if err != nil {
+		return err
+	}
+	check := func(label string, products []string) error {
+		var labels []string
+		labels = append(labels, matmuldag.EntryOrder()...)
+		labels = append(labels, products...)
+		var nonsinks []dag.NodeID
+		for _, lb := range labels {
+			v, err := matmuldag.NodeByLabel(g, lb)
+			if err != nil {
+				return err
+			}
+			nonsinks = append(nonsinks, v)
+		}
+		ok, step, err := lat.IsOptimal(sched.Complete(g, nonsinks))
+		if err != nil {
+			return err
+		}
+		verdict := "IC-OPTIMAL"
+		if !ok {
+			verdict = fmt.Sprintf("NOT optimal (first shortfall at step %d)", step)
+		}
+		fmt.Printf("%-34s %s\n", label, verdict)
+		return nil
+	}
+	if err := check("Λ-paired order (Theorem 2.1)", matmuldag.PairedProductOrder()); err != nil {
+		return err
+	}
+	if err := check("literal §7 order AE,CE,CF,AF,…", matmuldag.PaperProductOrder()); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+// expE9Batch contrasts the [20] batched regimen's greedy and exact
+// planners (E9).
+func expE9Batch() error {
+	fmt.Println("== E9: batched allocation ([20]) — greedy vs exact planner ==")
+	fmt.Printf("%-12s %6s %6s %14s %13s %13s\n",
+		"DAG", "WIDTH", "NODES", "GREEDY-ROUNDS", "EXACT-ROUNDS", "EXACT-MEAN-E")
+	cases := []struct {
+		name string
+		g    *dag.Dag
+	}{
+		{"outmesh5", mesh.OutMesh(5)},
+		{"cycle6", blocks.Cycle(6)},
+		{"prefix4", prefixDag(4)},
+		{"no-optimal", noOptimalDag()},
+	}
+	for _, tc := range cases {
+		for _, w := range []int{2, 4} {
+			cmp, err := batch.Run(tc.g, w)
+			if err != nil {
+				return err
+			}
+			exactRounds := "-"
+			meanE := "-"
+			if cmp.Exact != nil {
+				exactRounds = fmt.Sprintf("%d", cmp.Exact.Rounds())
+				meanE = fmt.Sprintf("%.2f", mean(cmp.ExactProf))
+			}
+			fmt.Printf("%-12s %6d %6d %14d %13s %13s\n",
+				tc.name, w, tc.g.NumNodes(), cmp.Greedy.Rounds(), exactRounds, meanE)
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+// prefixDag builds P_n for the batch experiment.
+func prefixDag(n int) *dag.Dag { return prefix.Network(n) }
+
+// noOptimalDag is the 6-node dag that admits no IC-optimal schedule —
+// the [20] motivation: batched optimality is still well defined for it.
+func noOptimalDag() *dag.Dag {
+	b := dag.NewBuilder(6)
+	b.AddArc(0, 3)
+	b.AddArc(0, 4)
+	b.AddArc(1, 3)
+	b.AddArc(1, 4)
+	b.AddArc(2, 5)
+	return b.MustBuild()
+}
+
+// expE10Granularity simulates the §4 trade-off end to end: coarser tasks
+// trade parallelism for less Internet communication (E10).
+func expE10Granularity() error {
+	fmt.Println("== E10: granularity vs makespan (out-mesh 24, 8 clients, comm latency 3) ==")
+	levels := 24
+	fine := mesh.OutMesh(levels)
+	fmt.Printf("%-6s %8s %10s %12s %10s\n", "f", "TASKS", "MAKESPAN", "UTILIZATION", "STALLS")
+	for _, f := range []int{1, 2, 4, 6} {
+		var (
+			g      *dag.Dag
+			weight func(dag.NodeID) float64
+		)
+		if f == 1 {
+			g = fine
+			weight = nil
+		} else {
+			part, k, _ := coarsen.MeshBlocks(levels, f)
+			q, stats, err := coarsen.Quotient(fine, part, k)
+			if err != nil {
+				return err
+			}
+			g = q
+			work := stats.Work
+			weight = func(v dag.NodeID) float64 { return float64(work[v]) }
+		}
+		res, err := icsim.Run(g, heur.FIFO(), icsim.Config{
+			Clients:     8,
+			Seed:        21,
+			CommLatency: 3,
+			Weight:      weight,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6d %8d %10.1f %12.3f %10d\n",
+			f, g.NumNodes(), res.Makespan, res.Utilization, res.Stalls)
+	}
+	fmt.Println()
+	return nil
+}
+
+// expE11Demandingness counts legal vs IC-optimal schedules per family —
+// how demanding the per-step optimality requirement is (E11).
+func expE11Demandingness() error {
+	fmt.Println("== E11: how demanding is IC optimality? (exact schedule counts) ==")
+	fmt.Printf("%-10s %5s %22s %22s %10s\n", "FAMILY", "SIZE", "LEGAL-SCHEDULES", "IC-OPTIMAL", "FRACTION")
+	sizes := map[string]int{
+		"vee": 3, "lambda": 3, "w": 4, "n": 4, "cycle": 4,
+		"outtree": 2, "intree": 2, "diamond": 2,
+		"outmesh": 5, "butterfly": 2, "prefix": 4, "matmul": 0,
+	}
+	for _, f := range families {
+		size, ok := sizes[f.name]
+		if !ok {
+			continue
+		}
+		g, _, err := f.build(size)
+		if err != nil {
+			return err
+		}
+		l, err := opt.Analyze(g)
+		if err != nil {
+			return err
+		}
+		total := l.CountSchedules()
+		optimal := l.CountOptimal()
+		frac := new(big.Float).Quo(new(big.Float).SetInt(optimal), new(big.Float).SetInt(total))
+		fmt.Printf("%-10s %5d %22s %22s %10.2g\n", f.name, size, total.String(), optimal.String(), frac)
+	}
+	fmt.Println()
+	return nil
+}
+
+func mean(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return float64(total) / float64(len(xs))
+}

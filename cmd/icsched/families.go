@@ -1,0 +1,275 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"icsched/internal/blocks"
+	"icsched/internal/butterfly"
+	"icsched/internal/dag"
+	"icsched/internal/dltdag"
+	"icsched/internal/matmuldag"
+	"icsched/internal/mesh"
+	"icsched/internal/prefix"
+	"icsched/internal/sched"
+	"icsched/internal/trees"
+	"icsched/internal/workflows"
+)
+
+// family describes one buildable dag family with its IC-optimal schedule.
+type family struct {
+	name  string
+	desc  string
+	sizes string // meaning of the size parameter
+	build func(size int) (*dag.Dag, []dag.NodeID, error)
+}
+
+// nonsinkOf adapts a composer-style result.
+func composed(g *dag.Dag, order []dag.NodeID) (*dag.Dag, []dag.NodeID, error) {
+	return g, sched.NonsinkPrefix(g, order), nil
+}
+
+var families = []family{
+	{
+		name:  "vee",
+		desc:  "the Vee building block V of Fig. 1 (degree = size)",
+		sizes: "out-degree (default 2)",
+		build: func(size int) (*dag.Dag, []dag.NodeID, error) {
+			g := blocks.VeeD(size)
+			return g, blocks.SourcesLeftToRight(g), nil
+		},
+	},
+	{
+		name:  "lambda",
+		desc:  "the Lambda building block Λ of Fig. 1 (degree = size)",
+		sizes: "in-degree (default 2)",
+		build: func(size int) (*dag.Dag, []dag.NodeID, error) {
+			g := blocks.LambdaD(size)
+			return g, blocks.SourcesLeftToRight(g), nil
+		},
+	},
+	{
+		name:  "w",
+		desc:  "the W-dag of §4",
+		sizes: "number of sources",
+		build: func(size int) (*dag.Dag, []dag.NodeID, error) {
+			g := blocks.W(size)
+			return g, blocks.SourcesLeftToRight(g), nil
+		},
+	},
+	{
+		name:  "n",
+		desc:  "the N-dag of §6.1 with its anchor source",
+		sizes: "number of sources",
+		build: func(size int) (*dag.Dag, []dag.NodeID, error) {
+			g := blocks.N(size)
+			return g, blocks.SourcesLeftToRight(g), nil
+		},
+	},
+	{
+		name:  "cycle",
+		desc:  "the bipartite cycle-dag C_s of §7",
+		sizes: "number of sources (>= 2)",
+		build: func(size int) (*dag.Dag, []dag.NodeID, error) {
+			g := blocks.Cycle(size)
+			return g, blocks.SourcesLeftToRight(g), nil
+		},
+	},
+	{
+		name:  "outtree",
+		desc:  "complete binary out-tree (expansive phase of §3)",
+		sizes: "height",
+		build: func(size int) (*dag.Dag, []dag.NodeID, error) {
+			g := trees.CompleteOutTree(2, size)
+			return g, trees.OutTreeNonsinks(g), nil
+		},
+	},
+	{
+		name:  "intree",
+		desc:  "complete binary in-tree (reductive phase of §3)",
+		sizes: "height",
+		build: func(size int) (*dag.Dag, []dag.NodeID, error) {
+			g := trees.CompleteInTree(2, size)
+			ns, err := trees.InTreeNonsinks(g)
+			return g, ns, err
+		},
+	},
+	{
+		name:  "diamond",
+		desc:  "the diamond dag of Fig. 2 (out-tree ⇑ mirror in-tree)",
+		sizes: "out-tree height",
+		build: func(size int) (*dag.Dag, []dag.NodeID, error) {
+			c, err := trees.Diamond(trees.CompleteOutTree(2, size))
+			if err != nil {
+				return nil, nil, err
+			}
+			g, err := c.Dag()
+			if err != nil {
+				return nil, nil, err
+			}
+			order, err := c.Schedule()
+			if err != nil {
+				return nil, nil, err
+			}
+			return composed(g, order)
+		},
+	},
+	{
+		name:  "outmesh",
+		desc:  "the out-mesh (wavefront) dag of Fig. 5",
+		sizes: "diagonal levels",
+		build: func(size int) (*dag.Dag, []dag.NodeID, error) {
+			return mesh.OutMesh(size), mesh.OutMeshNonsinks(size), nil
+		},
+	},
+	{
+		name:  "inmesh",
+		desc:  "the in-mesh (pyramid) dag of Fig. 5",
+		sizes: "diagonal levels",
+		build: func(size int) (*dag.Dag, []dag.NodeID, error) {
+			return mesh.InMesh(size), mesh.InMeshNonsinks(size), nil
+		},
+	},
+	{
+		name:  "grid",
+		desc:  "the full rectangular wavefront mesh (square)",
+		sizes: "side length",
+		build: func(size int) (*dag.Dag, []dag.NodeID, error) {
+			return mesh.Grid(size, size), mesh.GridDiagonalNonsinks(size, size), nil
+		},
+	},
+	{
+		name:  "butterfly",
+		desc:  "the d-dimensional butterfly network B_d of Fig. 9",
+		sizes: "dimension d",
+		build: func(size int) (*dag.Dag, []dag.NodeID, error) {
+			return butterfly.Network(size), butterfly.Nonsinks(size), nil
+		},
+	},
+	{
+		name:  "prefix",
+		desc:  "the parallel-prefix dag P_n of Fig. 11",
+		sizes: "inputs n",
+		build: func(size int) (*dag.Dag, []dag.NodeID, error) {
+			return prefix.Network(size), prefix.Nonsinks(size), nil
+		},
+	},
+	{
+		name:  "dlt",
+		desc:  "the DLT dag L_n of Fig. 13 (prefix ⇑ in-tree)",
+		sizes: "inputs n (power of two)",
+		build: func(size int) (*dag.Dag, []dag.NodeID, error) {
+			c, err := dltdag.L(size)
+			if err != nil {
+				return nil, nil, err
+			}
+			g, err := c.Dag()
+			if err != nil {
+				return nil, nil, err
+			}
+			order, err := c.Schedule()
+			if err != nil {
+				return nil, nil, err
+			}
+			return composed(g, order)
+		},
+	},
+	{
+		name:  "dlt2",
+		desc:  "the alternative DLT dag L'_n of Fig. 15 (V₃-tree ⇑ in-tree)",
+		sizes: "inputs n (power of two >= 4)",
+		build: func(size int) (*dag.Dag, []dag.NodeID, error) {
+			c, err := dltdag.LPrime(size)
+			if err != nil {
+				return nil, nil, err
+			}
+			g, err := c.Dag()
+			if err != nil {
+				return nil, nil, err
+			}
+			order, err := c.Schedule()
+			if err != nil {
+				return nil, nil, err
+			}
+			return composed(g, order)
+		},
+	},
+	{
+		name:  "matmul",
+		desc:  "the 2×2 matrix-multiplication dag M of Fig. 17",
+		sizes: "ignored",
+		build: func(int) (*dag.Dag, []dag.NodeID, error) {
+			c, err := matmuldag.New()
+			if err != nil {
+				return nil, nil, err
+			}
+			g, err := c.Dag()
+			if err != nil {
+				return nil, nil, err
+			}
+			order, err := c.Schedule()
+			if err != nil {
+				return nil, nil, err
+			}
+			return composed(g, order)
+		},
+	},
+	{
+		name:  "forkjoin",
+		desc:  "synthetic fork-join workflow (width 4)",
+		sizes: "stages",
+		build: func(size int) (*dag.Dag, []dag.NodeID, error) {
+			g := workflows.ForkJoin(size, 4)
+			return g, sched.AnyTopoNonsinks(g), nil
+		},
+	},
+	{
+		name:  "montage",
+		desc:  "synthetic Montage-style mosaic workflow",
+		sizes: "input images",
+		build: func(size int) (*dag.Dag, []dag.NodeID, error) {
+			g := workflows.Montage(size)
+			return g, sched.AnyTopoNonsinks(g), nil
+		},
+	},
+}
+
+func familyByName(name string) (family, error) {
+	for _, f := range families {
+		if f.name == name {
+			return f, nil
+		}
+	}
+	var names []string
+	for _, f := range families {
+		names = append(names, f.name)
+	}
+	sort.Strings(names)
+	return family{}, fmt.Errorf("unknown family %q (have: %v)", name, names)
+}
+
+// defaultSize gives each family a sensible demo size.
+func defaultSize(name string) int {
+	switch name {
+	case "vee", "lambda":
+		return 2
+	case "w", "n", "cycle":
+		return 4
+	case "outtree", "intree", "diamond":
+		return 3
+	case "outmesh", "inmesh":
+		return 6
+	case "grid":
+		return 5
+	case "butterfly":
+		return 3
+	case "prefix", "dlt", "dlt2":
+		return 8
+	case "forkjoin":
+		return 3
+	case "montage":
+		return 6
+	default:
+		return 4
+	}
+}

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"icsched/internal/blocks"
+	"icsched/internal/butterfly"
+	"icsched/internal/coarsen"
+	"icsched/internal/compose"
+	"icsched/internal/compute/zt"
+	"icsched/internal/dag"
+	"icsched/internal/dltdag"
+	"icsched/internal/matmuldag"
+	"icsched/internal/mesh"
+	"icsched/internal/prefix"
+	"icsched/internal/trees"
+	"icsched/internal/workflows"
+)
+
+// cmdFigures writes one DOT file per paper figure into the given
+// directory, regenerating the paper's structural exhibits.
+func cmdFigures(args []string) error {
+	dir := "figures"
+	if len(args) >= 1 {
+		dir = args[0]
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	figs, err := paperFigures()
+	if err != nil {
+		return err
+	}
+	for _, f := range figs {
+		path := filepath.Join(dir, f.file)
+		if err := os.WriteFile(path, []byte(f.g.DOT(f.title)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %-28s %s (%s)\n", path, f.g, f.title)
+	}
+	return nil
+}
+
+type figure struct {
+	file  string
+	title string
+	g     *dag.Dag
+}
+
+// paperFigures assembles every dag figure of the paper.
+func paperFigures() ([]figure, error) {
+	var figs []figure
+	add := func(file, title string, g *dag.Dag) {
+		figs = append(figs, figure{file: file, title: title, g: g})
+	}
+	fromComposer := func(c *compose.Composer) (*dag.Dag, error) { return c.Dag() }
+
+	add("fig01a_vee.dot", "Fig 1: the Vee dag V", blocks.Vee())
+	add("fig01b_lambda.dot", "Fig 1: the Lambda dag Λ", blocks.Lambda())
+
+	d, err := trees.Diamond(trees.CompleteOutTree(2, 2))
+	if err != nil {
+		return nil, err
+	}
+	g, err := fromComposer(d)
+	if err != nil {
+		return nil, err
+	}
+	add("fig02_diamond.dot", "Fig 2: expansion-reduction diamond", g)
+
+	fineOut := trees.CompleteOutTree(2, 2)
+	dc, err := trees.Diamond(fineOut)
+	if err != nil {
+		return nil, err
+	}
+	fine, err := fromComposer(dc)
+	if err != nil {
+		return nil, err
+	}
+	part, k, err := trees.DiamondTruncationPartition(fineOut, dc, []dag.NodeID{2})
+	if err != nil {
+		return nil, err
+	}
+	coarse, _, err := coarsen.Quotient(fine, part, k)
+	if err != nil {
+		return nil, err
+	}
+	add("fig03_coarsened_diamond.dot", "Fig 3: coarsened diamond", coarse)
+
+	alt, err := trees.Alternating([]trees.Part{
+		trees.InPart(trees.CompleteInTree(2, 1)),
+		trees.OutPart(trees.CompleteOutTree(2, 1)),
+		trees.InPart(trees.CompleteInTree(2, 2)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	g, err = fromComposer(alt)
+	if err != nil {
+		return nil, err
+	}
+	add("fig04_alternating.dot", "Fig 4: alternating expansion-reduction", g)
+
+	add("fig05a_outmesh.dot", "Fig 5: out-mesh", mesh.OutMesh(5))
+	add("fig05b_inmesh.dot", "Fig 5: in-mesh (pyramid)", mesh.InMesh(5))
+
+	wc, err := mesh.OutMeshAsWComposition(5)
+	if err != nil {
+		return nil, err
+	}
+	g, err = fromComposer(wc)
+	if err != nil {
+		return nil, err
+	}
+	add("fig06_outmesh_wdags.dot", "Fig 6: out-mesh as W-dag composition", g)
+
+	mpart, mk, _ := coarsen.MeshBlocks(8, 2)
+	mq, _, err := coarsen.Quotient(mesh.OutMesh(8), mpart, mk)
+	if err != nil {
+		return nil, err
+	}
+	add("fig07_coarsened_outmesh.dot", "Fig 7: coarsened out-mesh", mq)
+
+	add("fig08_butterfly_block.dot", "Fig 8: butterfly building block B", blocks.Butterfly())
+	add("fig09a_butterfly2.dot", "Fig 9: 2-dimensional butterfly B2", butterfly.Network(2))
+	add("fig09b_butterfly3.dot", "Fig 9: 3-dimensional butterfly B3", butterfly.Network(3))
+
+	bc, err := butterfly.AsBComposition(3)
+	if err != nil {
+		return nil, err
+	}
+	g, err = fromComposer(bc)
+	if err != nil {
+		return nil, err
+	}
+	add("fig10_butterfly_composed.dot", "Fig 10: B3 as composition of B blocks", g)
+
+	add("fig11_prefix8.dot", "Fig 11: the 8-input parallel-prefix dag P8", prefix.Network(8))
+
+	nc, err := prefix.AsNComposition(8)
+	if err != nil {
+		return nil, err
+	}
+	g, err = fromComposer(nc)
+	if err != nil {
+		return nil, err
+	}
+	add("fig12_prefix_ndags.dot", "Fig 12: P8 as composition of N-dags", g)
+
+	lc, err := dltdag.L(8)
+	if err != nil {
+		return nil, err
+	}
+	g, err = fromComposer(lc)
+	if err != nil {
+		return nil, err
+	}
+	add("fig13a_dlt8.dot", "Fig 13: the 8-input DLT dag L8", g)
+
+	fineL8, cpart, ck, err := dltdag.CoarsenedL8()
+	if err != nil {
+		return nil, err
+	}
+	cq, _, err := coarsen.Quotient(fineL8, cpart, ck)
+	if err != nil {
+		return nil, err
+	}
+	add("fig13b_dlt8_coarse.dot", "Fig 13: coarsened L8", cq)
+
+	add("fig14_vee3.dot", "Fig 14: the 3-prong Vee dag V3", blocks.VeeD(3))
+
+	lp, err := dltdag.LPrime(8)
+	if err != nil {
+		return nil, err
+	}
+	g, err = fromComposer(lp)
+	if err != nil {
+		return nil, err
+	}
+	add("fig15_dlt8_alt.dot", "Fig 15: the alternative DLT dag L'8", g)
+
+	// Fig 15 computational refinement: the power-tree with emit arcs.
+	pt, _, _, _, err := zt.PowerTreeDag(8)
+	if err != nil {
+		return nil, err
+	}
+	add("fig15b_powertree.dot", "Fig 15 (refined): power tree with multiply tasks", pt)
+
+	gp, err := dltdag.L(8)
+	if err != nil {
+		return nil, err
+	}
+	g, err = fromComposer(gp)
+	if err != nil {
+		return nil, err
+	}
+	add("fig16_graphpaths.dot", "Fig 16: paths-in-a-graph dag (L8 with matrix tasks)", g)
+
+	mm, err := matmuldag.New()
+	if err != nil {
+		return nil, err
+	}
+	g, err = fromComposer(mm)
+	if err != nil {
+		return nil, err
+	}
+	add("fig17_matmul.dot", "Fig 17: the matrix-multiplication dag M", g)
+
+	// Bonus exhibits used by the experiments.
+	add("extra_montage.dot", "Synthetic Montage workflow", workflows.Montage(6))
+	add("extra_grid.dot", "Rectangular wavefront mesh", mesh.Grid(4, 6))
+	return figs, nil
+}

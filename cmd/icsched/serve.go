@@ -1,0 +1,35 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"icsched/internal/heur"
+	"icsched/internal/icserver"
+	"icsched/internal/sched"
+)
+
+// cmdServe runs the Internet-computing task server for a family on the
+// given address, allocating in IC-optimal order.  Clients follow the
+// protocol in internal/icserver (POST /task, POST /done, GET /status).
+func cmdServe(args []string) error {
+	f, size, err := parseFamily(args)
+	if err != nil {
+		return err
+	}
+	addr := ":8080"
+	if len(args) >= 3 {
+		addr = args[2]
+	}
+	g, nonsinks, err := f.build(size)
+	if err != nil {
+		return err
+	}
+	order := sched.Complete(g, nonsinks)
+	srv := icserver.New(g, heur.Static("IC-OPTIMAL", order),
+		icserver.WithLease(time.Minute))
+	fmt.Printf("serving %s (size %d, %d tasks) on %s\n", f.name, size, g.NumNodes(), addr)
+	fmt.Println("protocol: POST /task | POST /done {\"task\": id} | GET /status")
+	return http.ListenAndServe(addr, srv.Handler())
+}

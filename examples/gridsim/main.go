@@ -1,0 +1,60 @@
+// Gridsim: the Internet-computing scenario of §1–§2.  A server owns a
+// wavefront computation and hands ELIGIBLE tasks to remote clients of
+// varying speeds; we compare the IC-optimal schedule with the heuristics
+// of the assessment studies ([15], [19]) on stalls, utilization, and the
+// size of the allocatable pool.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"icsched/internal/heur"
+	"icsched/internal/icsim"
+	"icsched/internal/mesh"
+	"icsched/internal/sched"
+	"icsched/internal/workflows"
+)
+
+func main() {
+	levels := 20
+	g := mesh.OutMesh(levels)
+	optOrder := sched.Complete(g, mesh.OutMeshNonsinks(levels))
+	policies := append(
+		[]heur.Policy{heur.Static("IC-OPTIMAL", optOrder)},
+		heur.Standard(99)...,
+	)
+
+	cfg := icsim.Config{
+		Clients: 12,
+		Speeds:  []float64{3, 3, 2, 2, 1, 1, 1, 1, 0.5, 0.5, 0.25, 0.25},
+		Seed:    7,
+	}
+	fmt.Printf("out-mesh with %d levels (%d tasks), %d clients:\n\n",
+		levels, g.NumNodes(), cfg.Clients)
+	results, err := icsim.Compare(g, policies, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printTable(results)
+
+	// A bursty scenario: batched requests against a Montage workflow.
+	fmt.Println("\nbatched requests (batch = 8) against a 24-image Montage workflow:")
+	m := workflows.Montage(24)
+	for _, p := range policies[1:4] {
+		_, meanSat, err := icsim.BatchSatisfaction(m, p, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s mean satisfied %.2f of 8\n", p.Name(), meanSat)
+	}
+}
+
+func printTable(results []icsim.Result) {
+	fmt.Printf("%-18s %10s %8s %11s %12s %14s\n",
+		"POLICY", "MAKESPAN", "STALLS", "STALL-TIME", "UTILIZATION", "AVG-ELIGIBLE")
+	for _, r := range results {
+		fmt.Printf("%-18s %10.2f %8d %11.2f %12.3f %14.2f\n",
+			r.Policy, r.Makespan, r.Stalls, r.StallTime, r.Utilization, r.AvgEligibleAtRequest)
+	}
+}

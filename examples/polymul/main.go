@@ -1,0 +1,62 @@
+// Polymul: polynomial multiplication via the FFT (§5.2).  The transform's
+// data dependencies are the butterfly network B_d, executed on the worker
+// pool under the pair-consecutive IC-optimal schedule; convolution and the
+// product coefficients follow.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"icsched/internal/compute/fftconv"
+)
+
+func main() {
+	// (1 + x)^4 via repeated squaring of (1 + x): binomial coefficients.
+	p := []float64{1, 1}
+	sq, err := fftconv.PolyMul(p, p, 4) // (1+x)²
+	if err != nil {
+		log.Fatal(err)
+	}
+	quart, err := fftconv.PolyMul(sq, sq, 4) // (1+x)⁴
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("(1+x)^4 =", poly(quart))
+
+	// A general product, checked against the naive O(n²) convolution.
+	a := []float64{3, 0, -2, 5}
+	b := []float64{1, 4, 2}
+	viaFFT, err := fftconv.PolyMul(a, b, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	naive := fftconv.NaiveConvolve(a, b)
+	fmt.Println("f(x)      =", poly(a))
+	fmt.Println("g(x)      =", poly(b))
+	fmt.Println("f·g (FFT) =", poly(viaFFT))
+	fmt.Println("f·g (ref) =", poly(naive))
+}
+
+// poly renders a coefficient slice as a polynomial string.
+func poly(cs []float64) string {
+	var terms []string
+	for i, c := range cs {
+		if c > -1e-9 && c < 1e-9 {
+			continue
+		}
+		switch i {
+		case 0:
+			terms = append(terms, fmt.Sprintf("%g", c))
+		case 1:
+			terms = append(terms, fmt.Sprintf("%gx", c))
+		default:
+			terms = append(terms, fmt.Sprintf("%gx^%d", c, i))
+		}
+	}
+	if len(terms) == 0 {
+		return "0"
+	}
+	return strings.Join(terms, " + ")
+}

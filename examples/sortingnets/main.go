@@ -1,0 +1,61 @@
+// Sortingnets: the comparator sorting networks of §5.2.  Both of
+// Batcher's constructions sort by executing comparator-butterfly dags;
+// the bitonic network is a textbook iterated composition of B, while
+// odd-even mergesort needs the pure-composition encoding to stay
+// IC-optimally schedulable (see EXPERIMENTS.md E8).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"icsched/internal/compute/sortnet"
+	"icsched/internal/sched"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]int, 16)
+	for i := range xs {
+		xs[i] = rng.Intn(100)
+	}
+	fmt.Println("input:  ", xs)
+
+	bitonic, err := sortnet.Sort(xs, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bitonic:", bitonic)
+
+	oddEven, err := sortnet.OddEvenSort(xs, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("odd-even:", oddEven)
+
+	// Compare the two networks' sizes and schedules for 16 wires.
+	k := 4
+	bitonicComparators := len(sortnet.Stages(k)) * (1 << uint(k)) / 2
+	oeComparators := 0
+	for _, s := range sortnet.OddEvenStages(k) {
+		oeComparators += len(s)
+	}
+	fmt.Printf("\ncomparators on %d wires: bitonic %d, odd-even %d\n",
+		1<<uint(k), bitonicComparators, oeComparators)
+
+	// The bitonic dag's eligibility profile under the IC-optimal
+	// pair-consecutive schedule never dips below 2^k − 1.
+	g := sortnet.Network(k)
+	prof, err := sched.NonsinkProfile(g, sortnet.Nonsinks(k))
+	if err != nil {
+		log.Fatal(err)
+	}
+	minE := prof[0]
+	for _, e := range prof {
+		if e < minE {
+			minE = e
+		}
+	}
+	fmt.Printf("bitonic dag: %v, min eligibility under IC-optimal schedule: %d\n", g, minE)
+}

@@ -1,0 +1,3 @@
+module icsched
+
+go 1.22

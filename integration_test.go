@@ -1,0 +1,308 @@
+// Cross-module integration tests: each scenario drives several packages
+// end-to-end the way a downstream user would — family generators feeding
+// the composition machinery, the oracle, the heuristics, the simulator,
+// the executor, and the serialization layer together.
+package icsched_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"icsched/internal/batch"
+	"icsched/internal/butterfly"
+	"icsched/internal/coarsen"
+	"icsched/internal/compute/integrate"
+	"icsched/internal/dag"
+	"icsched/internal/dagio"
+	"icsched/internal/dltdag"
+	"icsched/internal/exec"
+	"icsched/internal/heur"
+	"icsched/internal/icsim"
+	"icsched/internal/mesh"
+	"icsched/internal/opt"
+	"icsched/internal/prefix"
+	"icsched/internal/sched"
+	"icsched/internal/trees"
+	"icsched/internal/workflows"
+)
+
+// TestEveryFamilyThroughSimulatorAndExecutor pushes each paper family
+// through the full pipeline: generate → IC-optimal schedule → simulate on
+// heterogeneous clients → execute on a worker pool → serialize/restore.
+func TestEveryFamilyThroughSimulatorAndExecutor(t *testing.T) {
+	cases := map[string]struct {
+		g        *dag.Dag
+		nonsinks []dag.NodeID
+	}{
+		"outmesh":   {mesh.OutMesh(10), mesh.OutMeshNonsinks(10)},
+		"inmesh":    {mesh.InMesh(10), mesh.InMeshNonsinks(10)},
+		"grid":      {mesh.Grid(7, 9), mesh.GridDiagonalNonsinks(7, 9)},
+		"butterfly": {butterfly.Network(4), butterfly.Nonsinks(4)},
+		"prefix":    {prefix.Network(16), prefix.Nonsinks(16)},
+	}
+	// Composed families.
+	if c, err := trees.Diamond(trees.CompleteOutTree(2, 4)); err != nil {
+		t.Fatal(err)
+	} else {
+		g, err := c.Dag()
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, err := c.Schedule()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases["diamond"] = struct {
+			g        *dag.Dag
+			nonsinks []dag.NodeID
+		}{g, sched.NonsinkPrefix(g, order)}
+	}
+	if c, err := dltdag.L(16); err != nil {
+		t.Fatal(err)
+	} else {
+		g, err := c.Dag()
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, err := c.Schedule()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases["dlt"] = struct {
+			g        *dag.Dag
+			nonsinks []dag.NodeID
+		}{g, sched.NonsinkPrefix(g, order)}
+	}
+
+	for name, tc := range cases {
+		order := sched.Complete(tc.g, tc.nonsinks)
+		if err := sched.Validate(tc.g, order); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Simulate.
+		res, err := icsim.Run(tc.g, heur.Static("IC-OPTIMAL", order), icsim.Config{
+			Clients: 6,
+			Speeds:  []float64{2, 2, 1, 1, 0.5, 0.5},
+			Seed:    3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Completed != tc.g.NumNodes() {
+			t.Fatalf("%s: simulation incomplete", name)
+		}
+		// Execute on a worker pool, counting task invocations.
+		count := make([]int32, tc.g.NumNodes())
+		rank := exec.RankFromOrder(tc.g, order)
+		if _, err := exec.Run(tc.g, rank, 4, func(v dag.NodeID) error {
+			count[v]++
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for v, c := range count {
+			if c != 1 {
+				t.Fatalf("%s: node %d ran %d times", name, v, c)
+			}
+		}
+		// Serialize round trip preserves the schedule's legality.
+		data, err := dagio.MarshalJSON(tc.g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := dagio.UnmarshalJSON(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := sched.Validate(back, order); err != nil {
+			t.Fatalf("%s: schedule invalid after round trip: %v", name, err)
+		}
+	}
+}
+
+// TestDualityAcrossFamilies drives Theorem 2.2 end-to-end: take each
+// family's IC-optimal schedule, build the dual order, and oracle-verify
+// it on the dual dag.
+func TestDualityAcrossFamilies(t *testing.T) {
+	cases := map[string]struct {
+		g        *dag.Dag
+		nonsinks []dag.NodeID
+	}{
+		"outmesh5":   {mesh.OutMesh(5), mesh.OutMeshNonsinks(5)},
+		"butterfly2": {butterfly.Network(2), butterfly.Nonsinks(2)},
+		"prefix4":    {prefix.Network(4), prefix.Nonsinks(4)},
+		"grid34":     {mesh.Grid(3, 4), mesh.GridDiagonalNonsinks(3, 4)},
+	}
+	for name, tc := range cases {
+		dualOrder, err := sched.DualOrder(tc.g, tc.nonsinks)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d := tc.g.Dual()
+		l, err := opt.Analyze(d)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ok, step, err := l.IsOptimal(sched.Complete(d, dualOrder))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !ok {
+			t.Fatalf("%s: Theorem 2.2 dual schedule not optimal at step %d", name, step)
+		}
+	}
+}
+
+// TestCoarsenedMeshExecutesCorrectly closes the loop of §4: coarsen a
+// wavefront mesh, schedule the quotient, refine back to a fine schedule,
+// and execute a real accumulation over it.
+func TestCoarsenedMeshExecutesCorrectly(t *testing.T) {
+	levels := 12
+	g := mesh.OutMesh(levels)
+	part, k, _ := coarsen.MeshBlocks(levels, 3)
+	q, _, err := coarsen.Quotient(g, part, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine := coarsen.Refine(g, part, q.TopoOrder())
+	if err := sched.Validate(g, fine); err != nil {
+		t.Fatal(err)
+	}
+	// Pascal's-triangle accumulation down the mesh: node (i,j) sums its
+	// parents; sources start at 1.  Row i then holds binomial C(i, j).
+	vals := make([]int64, g.NumNodes())
+	rank := exec.RankFromOrder(g, fine)
+	if _, err := exec.Run(g, rank, 4, func(v dag.NodeID) error {
+		if g.IsSource(v) {
+			vals[v] = 1
+			return nil
+		}
+		var sum int64
+		for _, p := range g.Parents(v) {
+			sum += vals[p]
+		}
+		vals[v] = sum
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	binom := func(n, k int) int64 {
+		out := int64(1)
+		for i := 0; i < k; i++ {
+			out = out * int64(n-i) / int64(i+1)
+		}
+		return out
+	}
+	for i := 0; i < levels; i++ {
+		for j := 0; j <= i; j++ {
+			if vals[mesh.TriID(i, j)] != binom(i, j) {
+				t.Fatalf("mesh value (%d,%d) = %d, want C(%d,%d)=%d",
+					i, j, vals[mesh.TriID(i, j)], i, j, binom(i, j))
+			}
+		}
+	}
+}
+
+// TestBatchVersusPerTaskOnWorkflows compares the [20] batched regimen to
+// per-task allocation across synthetic workflows: batching is legal and
+// never executes more rounds than ceil(n / width) lower-bounded by the
+// critical path.
+func TestBatchVersusPerTaskOnWorkflows(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	gs := []*dag.Dag{
+		workflows.ForkJoin(4, 5),
+		workflows.MapReduce(6, 3),
+		workflows.Montage(8),
+		dag.RandomLayered(rng, []int{4, 8, 8, 4, 1}, 3),
+	}
+	for i, g := range gs {
+		for _, w := range []int{1, 3, 8} {
+			plan, err := batch.Greedy(g, w)
+			if err != nil {
+				t.Fatalf("dag %d width %d: %v", i, w, err)
+			}
+			if err := plan.Validate(g); err != nil {
+				t.Fatalf("dag %d width %d: %v", i, w, err)
+			}
+			minRounds := g.CriticalPathLen()
+			if ceil := (g.NumNodes() + w - 1) / w; ceil > minRounds {
+				minRounds = ceil
+			}
+			if plan.Rounds() < minRounds {
+				t.Fatalf("dag %d width %d: %d rounds beats the lower bound %d",
+					i, w, plan.Rounds(), minRounds)
+			}
+		}
+	}
+}
+
+// TestIntegrationPipelineDeterminism runs the full §3.2 pipeline twice
+// with different worker counts and demands bit-equal results.
+func TestIntegrationPipelineDeterminism(t *testing.T) {
+	f := func(x float64) float64 { return math.Cos(7*x) / (1 + x*x) }
+	opts := func(w int) integrate.Options {
+		return integrate.Options{Rule: integrate.Simpson, Tol: 1e-9, Workers: w}
+	}
+	a, err := integrate.Integrate(f, -2, 2, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := integrate.Integrate(f, -2, 2, opts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value {
+		t.Fatalf("worker counts disagree: %v vs %v", a.Value, b.Value)
+	}
+	// And the dag artifacts agree structurally.
+	if a.Diamond.NumNodes() != b.Diamond.NumNodes() {
+		t.Fatal("diamond shapes differ between runs")
+	}
+}
+
+// TestEdgeListWorkflowThroughScheduler loads a DAGMan-style edge list and
+// schedules it with every policy, mimicking the PRIO-tool flow of [19].
+func TestEdgeListWorkflowThroughScheduler(t *testing.T) {
+	src := bytes.NewBufferString(`
+# toy condor workflow
+fetch preprocess
+preprocess simA
+preprocess simB
+simA analyze
+simB analyze
+analyze publish
+`)
+	g, err := dagio.ReadEdgeList(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := opt.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, ok := l.OptimalSchedule()
+	if !ok {
+		t.Fatal("toy workflow admits an IC-optimal schedule")
+	}
+	for _, p := range heur.Standard(3) {
+		ho, err := heur.RunOrder(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hp, err := sched.Profile(g, ho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := sched.Profile(g, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := range hp {
+			if hp[step] > op[step] {
+				t.Fatalf("%s beats the oracle schedule at step %d", p.Name(), step)
+			}
+		}
+	}
+}

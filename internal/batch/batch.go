@@ -1,0 +1,281 @@
+// Package batch implements the batched scheduling regimen of the paper's
+// companion work [20] (Malewicz & Rosenberg, "On batch-scheduling dags for
+// Internet-based computing", Euro-Par 2005), which the related-work
+// section positions as the orthogonal answer to dags that admit no
+// IC-optimal schedule: instead of allocating individual tasks as soon as
+// they become ELIGIBLE, the server repeatedly allocates a *batch* of up to
+// w tasks, waits for the whole batch, and repeats.
+//
+// Within the batched framework optimality is always well defined — after
+// each batch one asks for the maximum possible ELIGIBLE count — "but
+// achieving it may entail a prohibitively complex computation": the exact
+// planner here is exponential (it searches the ideal lattice) and is
+// intended, like package opt, as a small-instance ground truth against
+// which the greedy batch heuristics are measured.
+package batch
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"icsched/internal/dag"
+	"icsched/internal/sched"
+)
+
+// Plan is a batched schedule: a partition of the dag's nodes into
+// consecutive batches, each of size ≤ width, each batch ELIGIBLE in full
+// when it starts (given all earlier batches executed).
+type Plan struct {
+	Width   int
+	Batches [][]dag.NodeID
+}
+
+// Rounds returns the number of batches.
+func (p Plan) Rounds() int { return len(p.Batches) }
+
+// Validate checks that the plan is legal for g: every node exactly once,
+// batch sizes within width, and every batch fully ELIGIBLE at its start.
+func (p Plan) Validate(g *dag.Dag) error {
+	if p.Width < 1 {
+		return fmt.Errorf("batch: width %d", p.Width)
+	}
+	st := sched.NewState(g)
+	seen := make([]bool, g.NumNodes())
+	for bi, b := range p.Batches {
+		if len(b) == 0 || len(b) > p.Width {
+			return fmt.Errorf("batch: round %d has %d tasks (width %d)", bi, len(b), p.Width)
+		}
+		// All batch members must be ELIGIBLE before any of them executes.
+		for _, v := range b {
+			if int(v) < 0 || int(v) >= g.NumNodes() {
+				return fmt.Errorf("batch: round %d: node %d out of range", bi, v)
+			}
+			if seen[v] {
+				return fmt.Errorf("batch: node %d scheduled twice", v)
+			}
+			seen[v] = true
+			if !st.IsEligible(v) {
+				return fmt.Errorf("batch: round %d: node %s not ELIGIBLE at batch start", bi, g.Name(v))
+			}
+		}
+		for _, v := range b {
+			if _, err := st.Execute(v); err != nil {
+				return fmt.Errorf("batch: round %d: %w", bi, err)
+			}
+		}
+	}
+	if !st.Done() {
+		return fmt.Errorf("batch: plan covers %d of %d nodes", st.NumExecuted(), g.NumNodes())
+	}
+	return nil
+}
+
+// Profile returns the ELIGIBLE count after each batch of the plan,
+// starting with E(0) before any batch.
+func (p Plan) Profile(g *dag.Dag) ([]int, error) {
+	if err := p.Validate(g); err != nil {
+		return nil, err
+	}
+	st := sched.NewState(g)
+	prof := []int{st.NumEligible()}
+	for _, b := range p.Batches {
+		for _, v := range b {
+			if _, err := st.Execute(v); err != nil {
+				return nil, err
+			}
+		}
+		prof = append(prof, st.NumEligible())
+	}
+	return prof, nil
+}
+
+// Greedy builds a plan by repeatedly taking, from the current ELIGIBLE
+// pool, the batch of up to width nodes chosen by the scoring rule:
+// nodes are ranked by how many children each would newly complete
+// (ties by ID), a one-step lookahead in the spirit of the heuristics the
+// assessment studies compare.
+func Greedy(g *dag.Dag, width int) (Plan, error) {
+	if width < 1 {
+		return Plan{}, fmt.Errorf("batch: width %d", width)
+	}
+	st := sched.NewState(g)
+	remaining := make([]int, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		remaining[v] = g.InDegree(dag.NodeID(v))
+	}
+	plan := Plan{Width: width}
+	for !st.Done() {
+		elig := st.Eligible()
+		sort.Slice(elig, func(i, j int) bool {
+			si := completions(g, remaining, elig[i])
+			sj := completions(g, remaining, elig[j])
+			if si != sj {
+				return si > sj
+			}
+			return elig[i] < elig[j]
+		})
+		take := len(elig)
+		if take > width {
+			take = width
+		}
+		batch := append([]dag.NodeID(nil), elig[:take]...)
+		for _, v := range batch {
+			if _, err := st.Execute(v); err != nil {
+				return Plan{}, err
+			}
+			for _, c := range g.Children(v) {
+				remaining[c]--
+			}
+		}
+		plan.Batches = append(plan.Batches, batch)
+	}
+	return plan, nil
+}
+
+// completions counts children of v that would become ELIGIBLE if v alone
+// executed now.
+func completions(g *dag.Dag, remaining []int, v dag.NodeID) int {
+	score := 0
+	for _, c := range g.Children(v) {
+		if remaining[c] == 1 {
+			score++
+		}
+	}
+	return score
+}
+
+// MaxNodesExact bounds the dag size the exact planner accepts.
+const MaxNodesExact = 22
+
+// Exact computes a batch plan in the [20] regimen: every round allocates
+// a FULL batch — min(width, |ELIGIBLE|) tasks, one per waiting client —
+// and among the full batches of that size it picks one that maximizes the
+// ELIGIBLE count after the round (greedy round-by-round, which is the
+// batched analogue of per-step IC optimality).  Exponential in the batch
+// choice; limited to MaxNodesExact nodes.
+func Exact(g *dag.Dag, width int) (Plan, error) {
+	n := g.NumNodes()
+	if width < 1 {
+		return Plan{}, fmt.Errorf("batch: width %d", width)
+	}
+	if n > MaxNodesExact {
+		return Plan{}, fmt.Errorf("batch: %d nodes exceed the exact-planner limit %d", n, MaxNodesExact)
+	}
+	parentMask := make([]uint64, n)
+	childMask := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		for _, p := range g.Parents(dag.NodeID(v)) {
+			parentMask[v] |= 1 << uint(p)
+		}
+		for _, c := range g.Children(dag.NodeID(v)) {
+			childMask[v] |= 1 << uint(c)
+		}
+	}
+	eligOf := func(mask uint64) uint64 {
+		var e uint64
+		for v := 0; v < n; v++ {
+			bit := uint64(1) << uint(v)
+			if mask&bit == 0 && parentMask[v]&^mask == 0 {
+				e |= bit
+			}
+		}
+		return e
+	}
+	full := uint64(0)
+	if n > 0 {
+		full = (uint64(1) << uint(n)) - 1
+	}
+	var plan Plan
+	plan.Width = width
+	mask := uint64(0)
+	for mask != full {
+		elig := eligOf(mask)
+		eligNodes := maskNodes(elig, n)
+		need := len(eligNodes)
+		if need > width {
+			need = width
+		}
+		bestAfter := -1
+		var bestBatch uint64
+		// Enumerate subsets of the eligible set of exactly the full batch
+		// size; ties break to the lexicographically smallest node set for
+		// determinism.
+		enumerateSubsets(eligNodes, need, func(sub uint64) {
+			if bits.OnesCount64(sub) != need {
+				return
+			}
+			after := bits.OnesCount64(eligOf(mask | sub))
+			if after > bestAfter || (after == bestAfter && sub < bestBatch) {
+				bestAfter, bestBatch = after, sub
+			}
+		})
+		plan.Batches = append(plan.Batches, maskNodes(bestBatch, n))
+		mask |= bestBatch
+	}
+	return plan, nil
+}
+
+// maskNodes converts a bitmask into a sorted node list.
+func maskNodes(mask uint64, n int) []dag.NodeID {
+	var out []dag.NodeID
+	for v := 0; v < n; v++ {
+		if mask&(1<<uint(v)) != 0 {
+			out = append(out, dag.NodeID(v))
+		}
+	}
+	return out
+}
+
+// enumerateSubsets calls fn for every non-empty subset of nodes of size at
+// most k.
+func enumerateSubsets(nodes []dag.NodeID, k int, fn func(sub uint64)) {
+	var rec func(idx int, chosen int, mask uint64)
+	rec = func(idx, chosen int, mask uint64) {
+		if mask != 0 {
+			fn(mask)
+		}
+		if chosen == k || idx == len(nodes) {
+			return
+		}
+		for i := idx; i < len(nodes); i++ {
+			rec(i+1, chosen+1, mask|1<<uint(nodes[i]))
+		}
+	}
+	rec(0, 0, 0)
+}
+
+// Compare runs Greedy and (when feasible) Exact and reports their
+// round counts and post-round eligibility profiles.
+type Comparison struct {
+	Greedy     Plan
+	Exact      *Plan // nil when the dag exceeds the exact limit
+	GreedyProf []int
+	ExactProf  []int
+}
+
+// Run builds the comparison for g at the given batch width.
+func Run(g *dag.Dag, width int) (Comparison, error) {
+	gp, err := Greedy(g, width)
+	if err != nil {
+		return Comparison{}, err
+	}
+	gprof, err := gp.Profile(g)
+	if err != nil {
+		return Comparison{}, err
+	}
+	cmp := Comparison{Greedy: gp, GreedyProf: gprof}
+	if g.NumNodes() <= MaxNodesExact {
+		ep, err := Exact(g, width)
+		if err != nil {
+			return Comparison{}, err
+		}
+		eprof, err := ep.Profile(g)
+		if err != nil {
+			return Comparison{}, err
+		}
+		cmp.Exact = &ep
+		cmp.ExactProf = eprof
+	}
+	return cmp, nil
+}

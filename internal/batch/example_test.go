@@ -1,0 +1,23 @@
+package batch_test
+
+import (
+	"fmt"
+
+	"icsched/internal/batch"
+	"icsched/internal/mesh"
+)
+
+// Plan batched allocation ([20]) for a wavefront mesh with 3 clients.
+func ExampleGreedy() {
+	g := mesh.OutMesh(5)
+	plan, err := batch.Greedy(g, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rounds:", plan.Rounds())
+	prof, _ := plan.Profile(g)
+	fmt.Println("eligible after each round:", prof)
+	// Output:
+	// rounds: 6
+	// eligible after each round: [1 2 3 4 4 3 0]
+}

@@ -1,0 +1,245 @@
+// Package blocks provides the building-block dags of IC-Scheduling Theory
+// used throughout the paper, each with its IC-optimal schedule and
+// closed-form eligibility profile:
+//
+//   - the Vee dag V and Lambda dag Λ of Fig. 1, and their degree-d
+//     generalizations (footnote 7; the 3-prong Vee V₃ of Fig. 14);
+//   - the W-dags and M-dags of §4 (named for their letter shapes);
+//   - the N-dags of §6.1 with their distinguished anchor source;
+//   - the (bipartite) cycle-dags C_s of §7;
+//   - the butterfly building block B of Fig. 8.
+//
+// Node numbering convention: sources first, left to right, then sinks left
+// to right.  For every block the schedule that executes the sources left
+// to right (starting at the anchor, for N-dags) is IC-optimal; the
+// constructors' companion Profile functions give the resulting E-profiles
+// in closed form, which the test suite checks against both the execution
+// engine and the exact oracle.
+package blocks
+
+import (
+	"fmt"
+
+	"icsched/internal/compose"
+	"icsched/internal/dag"
+)
+
+// Vee returns the Vee dag V of Fig. 1: one source with two sink children.
+func Vee() *dag.Dag { return VeeD(2) }
+
+// VeeD returns the degree-d Vee dag: one source w with d sink children
+// (d ≥ 1).  VeeD(3) is the 3-prong Vee dag V₃ of Fig. 14.
+func VeeD(d int) *dag.Dag {
+	if d < 1 {
+		panic(fmt.Sprintf("blocks: VeeD degree %d < 1", d))
+	}
+	b := dag.NewBuilder(1 + d)
+	b.SetLabel(0, "w")
+	for i := 0; i < d; i++ {
+		b.SetLabel(dag.NodeID(1+i), fmt.Sprintf("x%d", i))
+		b.AddArc(0, dag.NodeID(1+i))
+	}
+	return b.MustBuild()
+}
+
+// Lambda returns the Lambda dag Λ of Fig. 1: two sources with a common
+// sink child.  Λ is the dual of V.
+func Lambda() *dag.Dag { return LambdaD(2) }
+
+// LambdaD returns the degree-d Lambda dag: d sources with one common sink
+// (d ≥ 1).
+func LambdaD(d int) *dag.Dag {
+	if d < 1 {
+		panic(fmt.Sprintf("blocks: LambdaD degree %d < 1", d))
+	}
+	b := dag.NewBuilder(d + 1)
+	for i := 0; i < d; i++ {
+		b.SetLabel(dag.NodeID(i), fmt.Sprintf("y%d", i))
+		b.AddArc(dag.NodeID(i), dag.NodeID(d))
+	}
+	b.SetLabel(dag.NodeID(d), "z")
+	return b.MustBuild()
+}
+
+// W returns the s-source W-dag (§4): sources 0..s-1, sinks s..2s, with
+// source v having arcs to sinks s+v and s+v+1 (s ≥ 1).  W(1) = V.
+func W(s int) *dag.Dag {
+	if s < 1 {
+		panic(fmt.Sprintf("blocks: W with %d sources", s))
+	}
+	b := dag.NewBuilder(2*s + 1)
+	for v := 0; v < s; v++ {
+		b.AddArc(dag.NodeID(v), dag.NodeID(s+v))
+		b.AddArc(dag.NodeID(v), dag.NodeID(s+v+1))
+	}
+	return b.MustBuild()
+}
+
+// M returns the s-sink M-dag (§4), the dual of W(s): sources 0..s, sinks
+// s+1..2s, with sink w having parents w-(s+1) and w-(s+1)+1.  M(1) = Λ.
+func M(s int) *dag.Dag {
+	if s < 1 {
+		panic(fmt.Sprintf("blocks: M with %d sinks", s))
+	}
+	b := dag.NewBuilder(2*s + 1)
+	for w := 0; w < s; w++ {
+		b.AddArc(dag.NodeID(w), dag.NodeID(s+1+w))
+		b.AddArc(dag.NodeID(w+1), dag.NodeID(s+1+w))
+	}
+	return b.MustBuild()
+}
+
+// N returns the s-source N-dag N_s of §6.1: sources 0..s-1, sinks
+// s..2s-1; source v has arcs to sink s+v and, when it exists, sink s+v+1.
+// Source 0 is the anchor: its child s+0 has no other parent.
+func N(s int) *dag.Dag {
+	if s < 1 {
+		panic(fmt.Sprintf("blocks: N with %d sources", s))
+	}
+	b := dag.NewBuilder(2 * s)
+	b.SetLabel(0, "anchor")
+	for v := 0; v < s; v++ {
+		b.AddArc(dag.NodeID(v), dag.NodeID(s+v))
+		if v+1 < s {
+			b.AddArc(dag.NodeID(v), dag.NodeID(s+v+1))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Cycle returns the s-source bipartite cycle-dag C_s of §7 (s ≥ 2):
+// N(s) plus an arc from the rightmost source to the leftmost sink, so
+// source v has arcs to sinks s+v and s+((v+1) mod s).
+func Cycle(s int) *dag.Dag {
+	if s < 2 {
+		panic(fmt.Sprintf("blocks: Cycle with %d sources", s))
+	}
+	b := dag.NewBuilder(2 * s)
+	for v := 0; v < s; v++ {
+		b.AddArc(dag.NodeID(v), dag.NodeID(s+v))
+		b.AddArc(dag.NodeID(v), dag.NodeID(s+(v+1)%s))
+	}
+	return b.MustBuild()
+}
+
+// Butterfly returns the butterfly building block B of Fig. 8: sources 0, 1
+// and sinks 2, 3 with all four arcs (complete bipartite K_{2,2}).
+func Butterfly() *dag.Dag {
+	b := dag.NewBuilder(4)
+	b.SetLabel(0, "x0")
+	b.SetLabel(1, "x1")
+	b.SetLabel(2, "y0")
+	b.SetLabel(3, "y1")
+	for _, src := range []dag.NodeID{0, 1} {
+		for _, dst := range []dag.NodeID{2, 3} {
+			b.AddArc(src, dst)
+		}
+	}
+	return b.MustBuild()
+}
+
+// SourcesLeftToRight returns the sources of g in increasing ID order —
+// the IC-optimal nonsink execution order for every block in this package
+// (all of them are bipartite with only sources as nonsinks).
+func SourcesLeftToRight(g *dag.Dag) []dag.NodeID { return g.Sources() }
+
+// ProfileVeeD returns the closed-form E-profile of VeeD(d): (1, d).
+func ProfileVeeD(d int) []int { return []int{1, d} }
+
+// ProfileLambdaD returns the closed-form E-profile of LambdaD(d):
+// (d, d-1, ..., 2, 1, 1) — each source execution removes one eligible
+// node until the last one also renders the sink eligible.
+func ProfileLambdaD(d int) []int {
+	prof := make([]int, d+1)
+	for x := 0; x < d; x++ {
+		prof[x] = d - x
+	}
+	prof[d] = 1
+	return prof
+}
+
+// ProfileW returns the closed-form E-profile of W(s) under the
+// left-to-right source order: (s, s, ..., s, s+1) — the final source
+// execution renders two sinks eligible.
+func ProfileW(s int) []int {
+	prof := make([]int, s+1)
+	for x := 0; x < s; x++ {
+		prof[x] = s
+	}
+	prof[s] = s + 1
+	return prof
+}
+
+// ProfileM returns the closed-form E-profile of M(s) under the
+// left-to-right source order: E(0)=s+1, then each execution after the
+// first renders one sink eligible, so E(x)=s+1-x for x=0..1 … concretely
+// (s+1, s, s, ..., s).  Executing source 0 makes nothing eligible
+// (sink s+1 needs source 1); every later source v completes sink s+v.
+func ProfileM(s int) []int {
+	prof := make([]int, s+2)
+	prof[0] = s + 1
+	for x := 1; x <= s+1; x++ {
+		prof[x] = s
+	}
+	return prof
+}
+
+// ProfileN returns the closed-form E-profile of N(s) under the
+// anchor-first left-to-right order: constantly s — every source execution
+// renders exactly one sink eligible.
+func ProfileN(s int) []int {
+	prof := make([]int, s+1)
+	for x := 0; x <= s; x++ {
+		prof[x] = s
+	}
+	return prof
+}
+
+// ProfileCycle returns the closed-form E-profile of Cycle(s) under the
+// left-to-right source order: (s, s-1, ..., s-1, s) — the first execution
+// completes no sink, each middle one completes one, the last completes
+// two.
+func ProfileCycle(s int) []int {
+	prof := make([]int, s+1)
+	prof[0] = s
+	for x := 1; x < s; x++ {
+		prof[x] = s - 1
+	}
+	prof[s] = s
+	return prof
+}
+
+// ProfileButterfly returns the closed-form E-profile of B: (2, 1, 2).
+func ProfileButterfly() []int { return []int{2, 1, 2} }
+
+// VeeBlock returns V as a composition block.
+func VeeBlock() compose.Block { return BlockOf("V", Vee()) }
+
+// VeeDBlock returns VeeD(d) as a composition block.
+func VeeDBlock(d int) compose.Block { return BlockOf(fmt.Sprintf("V%d", d), VeeD(d)) }
+
+// LambdaBlock returns Λ as a composition block.
+func LambdaBlock() compose.Block { return BlockOf("Λ", Lambda()) }
+
+// LambdaDBlock returns LambdaD(d) as a composition block.
+func LambdaDBlock(d int) compose.Block { return BlockOf(fmt.Sprintf("Λ%d", d), LambdaD(d)) }
+
+// WBlock returns W(s) as a composition block.
+func WBlock(s int) compose.Block { return BlockOf(fmt.Sprintf("W%d", s), W(s)) }
+
+// MBlock returns M(s) as a composition block.
+func MBlock(s int) compose.Block { return BlockOf(fmt.Sprintf("M%d", s), M(s)) }
+
+// NBlock returns N(s) as a composition block.
+func NBlock(s int) compose.Block { return BlockOf(fmt.Sprintf("N%d", s), N(s)) }
+
+// CycleBlock returns Cycle(s) as a composition block.
+func CycleBlock(s int) compose.Block { return BlockOf(fmt.Sprintf("C%d", s), Cycle(s)) }
+
+// ButterflyBlock returns B as a composition block.
+func ButterflyBlock() compose.Block { return BlockOf("B", Butterfly()) }
+
+// BlockOf wraps a bipartite block dag with its left-to-right source order.
+func BlockOf(name string, g *dag.Dag) compose.Block {
+	return compose.Block{Name: name, G: g, Nonsinks: SourcesLeftToRight(g)}
+}

@@ -1,0 +1,233 @@
+package blocks_test
+
+import (
+	"reflect"
+	"testing"
+
+	"icsched/internal/blocks"
+	"icsched/internal/dag"
+	"icsched/internal/opt"
+	"icsched/internal/sched"
+)
+
+// checkProfile asserts the engine-measured E-profile of g under its
+// left-to-right source order matches the closed form.
+func checkProfile(t *testing.T, name string, g *dag.Dag, want []int) {
+	t.Helper()
+	got, err := sched.NonsinkProfile(g, blocks.SourcesLeftToRight(g))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s profile = %v, want %v", name, got, want)
+	}
+}
+
+// checkOracleOptimal asserts the full schedule (sources left-to-right,
+// then sinks) is IC-optimal per the exact oracle.
+func checkOracleOptimal(t *testing.T, name string, g *dag.Dag) {
+	t.Helper()
+	l, err := opt.Analyze(g)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	order := sched.Complete(g, blocks.SourcesLeftToRight(g))
+	ok, step, err := l.IsOptimal(order)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !ok {
+		t.Fatalf("%s: left-to-right schedule not IC-optimal (shortfall at step %d)", name, step)
+	}
+}
+
+func TestVeeShapeAndProfile(t *testing.T) {
+	v := blocks.Vee()
+	if v.NumNodes() != 3 || len(v.Sources()) != 1 || len(v.Sinks()) != 2 {
+		t.Fatalf("V shape wrong: %v", v)
+	}
+	checkProfile(t, "V", v, []int{1, 2})
+	checkOracleOptimal(t, "V", v)
+}
+
+func TestLambdaShapeAndProfile(t *testing.T) {
+	l := blocks.Lambda()
+	if l.NumNodes() != 3 || len(l.Sources()) != 2 || len(l.Sinks()) != 1 {
+		t.Fatalf("Λ shape wrong: %v", l)
+	}
+	checkProfile(t, "Λ", l, []int{2, 1, 1})
+	checkOracleOptimal(t, "Λ", l)
+}
+
+func TestVeeLambdaDuality(t *testing.T) {
+	// Fig. 1: "Λ and V are dual to one another."
+	v := blocks.Vee()
+	d := v.Dual()
+	l := blocks.Lambda()
+	if len(d.Sources()) != len(l.Sources()) || len(d.Sinks()) != len(l.Sinks()) ||
+		d.NumArcs() != l.NumArcs() {
+		t.Fatal("dual of V is not shaped like Λ")
+	}
+}
+
+func TestVee3(t *testing.T) {
+	// Fig. 14: the 3-prong Vee dag V₃.
+	v3 := blocks.VeeD(3)
+	if v3.NumNodes() != 4 || v3.OutDegree(0) != 3 {
+		t.Fatalf("V₃ shape wrong: %v", v3)
+	}
+	checkProfile(t, "V₃", v3, []int{1, 3})
+	checkOracleOptimal(t, "V₃", v3)
+}
+
+func TestLambdaD(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		g := blocks.LambdaD(d)
+		checkProfile(t, "Λd", g, blocks.ProfileLambdaD(d))
+		checkOracleOptimal(t, "Λd", g)
+	}
+}
+
+func TestVeeDProfiles(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		g := blocks.VeeD(d)
+		checkProfile(t, "Vd", g, blocks.ProfileVeeD(d))
+		checkOracleOptimal(t, "Vd", g)
+	}
+}
+
+func TestWDag(t *testing.T) {
+	for s := 1; s <= 6; s++ {
+		g := blocks.W(s)
+		if len(g.Sources()) != s || len(g.Sinks()) != s+1 || g.NumArcs() != 2*s {
+			t.Fatalf("W(%d) shape wrong: %v", s, g)
+		}
+		checkProfile(t, "W", g, blocks.ProfileW(s))
+		checkOracleOptimal(t, "W", g)
+	}
+}
+
+func TestMDag(t *testing.T) {
+	for s := 1; s <= 6; s++ {
+		g := blocks.M(s)
+		if len(g.Sources()) != s+1 || len(g.Sinks()) != s || g.NumArcs() != 2*s {
+			t.Fatalf("M(%d) shape wrong: %v", s, g)
+		}
+		checkProfile(t, "M", g, blocks.ProfileM(s))
+		checkOracleOptimal(t, "M", g)
+	}
+}
+
+func TestMIsDualOfW(t *testing.T) {
+	for s := 1; s <= 5; s++ {
+		w := blocks.W(s)
+		d := w.Dual()
+		m := blocks.M(s)
+		if len(d.Sources()) != len(m.Sources()) || len(d.Sinks()) != len(m.Sinks()) ||
+			d.NumArcs() != m.NumArcs() {
+			t.Fatalf("dual of W(%d) not shaped like M(%d)", s, s)
+		}
+	}
+}
+
+func TestNDag(t *testing.T) {
+	for s := 1; s <= 7; s++ {
+		g := blocks.N(s)
+		if len(g.Sources()) != s || len(g.Sinks()) != s || g.NumArcs() != 2*s-1 {
+			t.Fatalf("N(%d) shape wrong: %v", s, g)
+		}
+		// Anchor property (§6.1): the leftmost source has a child with no
+		// other parents.
+		anchorChild := g.Children(0)[0]
+		if g.InDegree(anchorChild) != 1 {
+			t.Fatalf("N(%d): anchor child has %d parents", s, g.InDegree(anchorChild))
+		}
+		checkProfile(t, "N", g, blocks.ProfileN(s))
+		checkOracleOptimal(t, "N", g)
+	}
+}
+
+func TestCycleDag(t *testing.T) {
+	for s := 2; s <= 7; s++ {
+		g := blocks.Cycle(s)
+		if len(g.Sources()) != s || len(g.Sinks()) != s || g.NumArcs() != 2*s {
+			t.Fatalf("C(%d) shape wrong: %v", s, g)
+		}
+		// Every sink has exactly two parents (the wraparound closes the cycle).
+		for _, v := range g.Sinks() {
+			if g.InDegree(v) != 2 {
+				t.Fatalf("C(%d): sink %d has %d parents", s, v, g.InDegree(v))
+			}
+		}
+		checkProfile(t, "C", g, blocks.ProfileCycle(s))
+		checkOracleOptimal(t, "C", g)
+	}
+}
+
+func TestButterflyBlock(t *testing.T) {
+	b := blocks.Butterfly()
+	if b.NumNodes() != 4 || b.NumArcs() != 4 {
+		t.Fatalf("B shape wrong: %v", b)
+	}
+	checkProfile(t, "B", b, blocks.ProfileButterfly())
+	checkOracleOptimal(t, "B", b)
+}
+
+func TestButterflySelfDual(t *testing.T) {
+	b := blocks.Butterfly()
+	d := b.Dual()
+	if len(d.Sources()) != 2 || len(d.Sinks()) != 2 || d.NumArcs() != 4 {
+		t.Fatal("B is not self-dual in shape")
+	}
+}
+
+func TestW1IsVeeShaped(t *testing.T) {
+	w := blocks.W(1)
+	v := blocks.Vee()
+	if w.NumNodes() != v.NumNodes() || w.NumArcs() != v.NumArcs() ||
+		len(w.Sources()) != len(v.Sources()) {
+		t.Fatal("W(1) should be a Vee")
+	}
+}
+
+func TestBlocksValidate(t *testing.T) {
+	for _, b := range []struct {
+		name  string
+		block interface{ Validate() error }
+	}{
+		{"V", blocks.VeeBlock()},
+		{"Λ", blocks.LambdaBlock()},
+		{"V3", blocks.VeeDBlock(3)},
+		{"Λ3", blocks.LambdaDBlock(3)},
+		{"W4", blocks.WBlock(4)},
+		{"M4", blocks.MBlock(4)},
+		{"N4", blocks.NBlock(4)},
+		{"C4", blocks.CycleBlock(4)},
+		{"B", blocks.ButterflyBlock()},
+	} {
+		if err := b.block.Validate(); err != nil {
+			t.Fatalf("%s block invalid: %v", b.name, err)
+		}
+	}
+}
+
+func TestPanicsOnBadSizes(t *testing.T) {
+	for name, f := range map[string]func(){
+		"VeeD(0)":   func() { blocks.VeeD(0) },
+		"LambdaD0":  func() { blocks.LambdaD(0) },
+		"W(0)":      func() { blocks.W(0) },
+		"M(0)":      func() { blocks.M(0) },
+		"N(0)":      func() { blocks.N(0) },
+		"Cycle(1)":  func() { blocks.Cycle(1) },
+		"Cycle(-1)": func() { blocks.Cycle(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

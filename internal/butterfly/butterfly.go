@@ -1,0 +1,164 @@
+// Package butterfly implements the butterfly-structured dag family of §5:
+// the d-dimensional butterfly network B_d (Figs. 9–10), its expression as
+// an iterated composition of the butterfly building block B, and the
+// IC-optimal schedules that drive the FFT, convolution, and
+// comparator-sorting computations of §5.2.
+//
+// Layout: B_d has d+1 levels of 2^d rows.  Level ℓ node (ℓ, r) has arcs to
+// (ℓ+1, r) and (ℓ+1, r XOR 2^ℓ); level 0 holds the sources, level d the
+// sinks.  Each level-ℓ transition decomposes into 2^(d-1) copies of the
+// building block B pairing rows r and r XOR 2^ℓ.
+//
+// Scheduling fact (§5.1, generalizing [RY05]): a schedule for an iterated
+// composition of B is IC-optimal iff it executes the two sources of each
+// copy of B in consecutive steps; Nonsinks emits such an order, giving the
+// closed-form profile E(x) = 2^d − (x mod 2).
+package butterfly
+
+import (
+	"fmt"
+
+	"icsched/internal/compose"
+	"icsched/internal/dag"
+)
+
+// Network returns the d-dimensional butterfly network B_d (d ≥ 1):
+// (d+1)·2^d nodes.
+func Network(d int) *dag.Dag {
+	if d < 1 {
+		panic(fmt.Sprintf("butterfly: dimension %d < 1", d))
+	}
+	rows := 1 << uint(d)
+	b := dag.NewBuilder((d + 1) * rows)
+	for l := 0; l < d; l++ {
+		bit := 1 << uint(l)
+		for r := 0; r < rows; r++ {
+			u := ID(d, l, r)
+			b.AddArc(u, ID(d, l+1, r))
+			b.AddArc(u, ID(d, l+1, r^bit))
+		}
+	}
+	return b.MustBuild()
+}
+
+// ID returns the node ID of (level, row) in B_d: level-major numbering.
+func ID(d, level, row int) dag.NodeID {
+	return dag.NodeID(level<<uint(d) + row)
+}
+
+// Nonsinks returns an IC-optimal nonsink execution order for Network(d):
+// level by level, and within level ℓ the two sources of each constituent
+// butterfly block — rows r and r XOR 2^ℓ — in consecutive steps.
+func Nonsinks(d int) []dag.NodeID {
+	rows := 1 << uint(d)
+	var order []dag.NodeID
+	for l := 0; l < d; l++ {
+		bit := 1 << uint(l)
+		for r := 0; r < rows; r++ {
+			if r&bit != 0 {
+				continue
+			}
+			order = append(order, ID(d, l, r), ID(d, l, r^bit))
+		}
+	}
+	return order
+}
+
+// Profile returns the closed-form E-profile of Network(d) under the
+// Nonsinks order: E(x) = 2^d − (x mod 2) for x in [0, d·2^d].
+func Profile(d int) []int {
+	rows := 1 << uint(d)
+	n := d * rows
+	prof := make([]int, n+1)
+	for x := 0; x <= n; x++ {
+		prof[x] = rows - x%2
+	}
+	return prof
+}
+
+// AsBComposition expresses Network(d) as the iterated composition of
+// butterfly building blocks of Fig. 10.  B ▷ B makes the composition
+// ▷-linear, so its Schedule() is IC-optimal by Theorem 2.1 (and equals a
+// pair-consecutive order).
+func AsBComposition(d int) (*compose.Composer, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("butterfly: dimension %d < 1", d)
+	}
+	rows := 1 << uint(d)
+	var c compose.Composer
+	// globalOf[r] = composite ID of the current level's row-r node.
+	globalOf := make([]dag.NodeID, rows)
+	nextOf := make([]dag.NodeID, rows)
+	for l := 0; l < d; l++ {
+		bit := 1 << uint(l)
+		for r := 0; r < rows; r++ {
+			if r&bit != 0 {
+				continue
+			}
+			r2 := r ^ bit
+			block := compose.Block{
+				Name:     fmt.Sprintf("B@l%d,r%d", l, r),
+				G:        bBlock(),
+				Nonsinks: []dag.NodeID{0, 1},
+			}
+			var merges []compose.Merge
+			if l > 0 {
+				merges = []compose.Merge{
+					{Source: 0, Sink: globalOf[r]},
+					{Source: 1, Sink: globalOf[r2]},
+				}
+			}
+			if err := c.Add(block, merges); err != nil {
+				return nil, fmt.Errorf("butterfly: level %d row %d: %w", l, r, err)
+			}
+			placed := c.Placed()
+			toGlobal := placed[len(placed)-1].ToGlobal
+			nextOf[r] = toGlobal[2]
+			nextOf[r2] = toGlobal[3]
+		}
+		copy(globalOf, nextOf)
+	}
+	return &c, nil
+}
+
+// bBlock builds the butterfly building block locally (sources 0,1; sinks
+// 2,3; complete bipartite), avoiding a dependency on package blocks.
+func bBlock() *dag.Dag {
+	b := dag.NewBuilder(4)
+	for _, src := range []dag.NodeID{0, 1} {
+		for _, dst := range []dag.NodeID{2, 3} {
+			b.AddArc(src, dst)
+		}
+	}
+	return b.MustBuild()
+}
+
+// SubButterflies returns, for the factorization B_{a+b} ≅ (copies of B_a
+// feeding copies of B_b) behind the multi-granularity discussion of §5.1,
+// the node clusters of Network(a+b): the first a levels split by the high
+// b column bits into 2^b clusters (each a copy of B_a without its last
+// level), and the remaining levels split by the low a column bits into 2^a
+// clusters (each a copy of B_b).  The returned partition assigns every
+// node of Network(a+b) a cluster index; package coarsen turns it into a
+// quotient dag.
+func SubButterflies(a, b int) ([]int, int) {
+	if a < 1 || b < 1 {
+		panic(fmt.Sprintf("butterfly: SubButterflies(%d, %d)", a, b))
+	}
+	d := a + b
+	rows := 1 << uint(d)
+	part := make([]int, (d+1)*rows)
+	lowMask := (1 << uint(a)) - 1
+	numFirst := 1 << uint(b) // clusters in the first stage
+	for l := 0; l <= d; l++ {
+		for r := 0; r < rows; r++ {
+			idx := int(ID(d, l, r))
+			if l < a {
+				part[idx] = r >> uint(a) // high bits select the B_a copy
+			} else {
+				part[idx] = numFirst + (r & lowMask) // low bits select the B_b copy
+			}
+		}
+	}
+	return part, numFirst + (1 << uint(a))
+}

@@ -1,0 +1,243 @@
+package butterfly_test
+
+import (
+	"reflect"
+	"testing"
+
+	"icsched/internal/butterfly"
+	"icsched/internal/dag"
+	"icsched/internal/opt"
+	"icsched/internal/sched"
+)
+
+func TestNetworkShape(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		g := butterfly.Network(d)
+		rows := 1 << uint(d)
+		if g.NumNodes() != (d+1)*rows {
+			t.Fatalf("B_%d nodes = %d, want %d", d, g.NumNodes(), (d+1)*rows)
+		}
+		if g.NumArcs() != d*rows*2 {
+			t.Fatalf("B_%d arcs = %d, want %d", d, g.NumArcs(), d*rows*2)
+		}
+		if len(g.Sources()) != rows || len(g.Sinks()) != rows {
+			t.Fatalf("B_%d sources/sinks: %d/%d", d, len(g.Sources()), len(g.Sinks()))
+		}
+		if !g.Connected() {
+			t.Fatalf("B_%d disconnected", d)
+		}
+		// Every non-source has exactly 2 parents; every non-sink exactly 2
+		// children (butterfly regularity).
+		for v := 0; v < g.NumNodes(); v++ {
+			id := dag.NodeID(v)
+			if !g.IsSource(id) && g.InDegree(id) != 2 {
+				t.Fatalf("B_%d node %d indegree %d", d, v, g.InDegree(id))
+			}
+			if !g.IsSink(id) && g.OutDegree(id) != 2 {
+				t.Fatalf("B_%d node %d outdegree %d", d, v, g.OutDegree(id))
+			}
+		}
+	}
+}
+
+func TestB1IsBuildingBlock(t *testing.T) {
+	g := butterfly.Network(1)
+	if g.NumNodes() != 4 || g.NumArcs() != 4 {
+		t.Fatalf("B_1 shape: %v", g)
+	}
+	// Complete bipartite: both sinks have both sources as parents.
+	for _, snk := range g.Sinks() {
+		if g.InDegree(snk) != 2 {
+			t.Fatal("B_1 not complete bipartite")
+		}
+	}
+}
+
+func TestNetworkSelfDualShape(t *testing.T) {
+	// The butterfly dag's dual is again a butterfly-shaped dag.
+	g := butterfly.Network(3)
+	d := g.Dual()
+	if len(d.Sources()) != 8 || len(d.Sinks()) != 8 || d.NumArcs() != g.NumArcs() {
+		t.Fatal("dual of B_3 lost butterfly shape")
+	}
+}
+
+func TestProfileMatchesEngine(t *testing.T) {
+	for d := 1; d <= 4; d++ {
+		g := butterfly.Network(d)
+		got, err := sched.NonsinkProfile(g, butterfly.Nonsinks(d))
+		if err != nil {
+			t.Fatalf("B_%d: %v", d, err)
+		}
+		want := butterfly.Profile(d)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("B_%d profile = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestPairConsecutiveScheduleOptimal(t *testing.T) {
+	// Oracle check for B_1 (4 nodes) and B_2 (12 nodes).
+	for d := 1; d <= 2; d++ {
+		g := butterfly.Network(d)
+		l, err := opt.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, step, err := l.IsOptimal(sched.Complete(g, butterfly.Nonsinks(d)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("B_%d pair-consecutive schedule not optimal at step %d", d, step)
+		}
+	}
+}
+
+func TestPairSplittingNotOptimal(t *testing.T) {
+	// §5.1: optimality REQUIRES executing the two sources of each block
+	// consecutively.  Splitting pairs at level 0 of B_2 must lose.
+	g := butterfly.Network(2)
+	l, err := opt.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level 0 rows in order 0,2,1,3 splits the (0,1) and (2,3) blocks.
+	bad := []dag.NodeID{
+		butterfly.ID(2, 0, 0), butterfly.ID(2, 0, 2),
+		butterfly.ID(2, 0, 1), butterfly.ID(2, 0, 3),
+	}
+	// Level 1 pairs (rows pair with XOR 2): (0,2) and (1,3), consecutive.
+	bad = append(bad,
+		butterfly.ID(2, 1, 0), butterfly.ID(2, 1, 2),
+		butterfly.ID(2, 1, 1), butterfly.ID(2, 1, 3),
+	)
+	ok, _, err := l.IsOptimal(sched.Complete(g, bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("pair-splitting schedule should not be IC-optimal")
+	}
+}
+
+func TestAsBComposition(t *testing.T) {
+	// Fig. 10: B_d as an iterated composition of B blocks.
+	for d := 1; d <= 3; d++ {
+		c, err := butterfly.AsBComposition(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := c.Dag()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := butterfly.Network(d)
+		if g.NumNodes() != ref.NumNodes() || g.NumArcs() != ref.NumArcs() {
+			t.Fatalf("B_%d composition shape %v vs %v", d, g, ref)
+		}
+		// §5.1: B ▷ B makes every iterated composition ▷-linear.
+		ok, err := c.VerifyLinear()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("B_%d composition must be ▷-linear", d)
+		}
+		order, err := c.Schedule()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The Theorem 2.1 schedule has the closed-form profile.
+		prof, err := sched.Profile(g, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := butterfly.Profile(d)
+		for x := 0; x < len(want); x++ {
+			if prof[x] != want[x] {
+				t.Fatalf("B_%d composition profile[%d] = %d, want %d", d, x, prof[x], want[x])
+			}
+		}
+	}
+}
+
+func TestCompositionScheduleOptimalByOracle(t *testing.T) {
+	c, err := butterfly.AsBComposition(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := c.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := opt.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, step, err := l.IsOptimal(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("B_2 composition schedule not optimal at step %d", step)
+	}
+}
+
+func TestSubButterfliesPartition(t *testing.T) {
+	// B_{a+b} splits into 2^b copies of B_a (first stage) and 2^a copies
+	// of B_b (second stage).
+	a, b := 1, 2
+	part, k := butterfly.SubButterflies(a, b)
+	if k != (1<<uint(b))+(1<<uint(a)) {
+		t.Fatalf("cluster count = %d", k)
+	}
+	g := butterfly.Network(a + b)
+	if len(part) != g.NumNodes() {
+		t.Fatalf("partition covers %d of %d nodes", len(part), g.NumNodes())
+	}
+	counts := make([]int, k)
+	for _, c := range part {
+		if c < 0 || c >= k {
+			t.Fatalf("cluster index %d out of range", c)
+		}
+		counts[c]++
+	}
+	// First-stage clusters: a levels × 2^a rows each.
+	firstSize := a * (1 << uint(a))
+	for c := 0; c < 1<<uint(b); c++ {
+		if counts[c] != firstSize {
+			t.Fatalf("first-stage cluster %d size = %d, want %d", c, counts[c], firstSize)
+		}
+	}
+	// Second-stage clusters: (b+1) levels × 2^b rows each.
+	secondSize := (b + 1) * (1 << uint(b))
+	for c := 1 << uint(b); c < k; c++ {
+		if counts[c] != secondSize {
+			t.Fatalf("second-stage cluster %d size = %d, want %d", c, counts[c], secondSize)
+		}
+	}
+}
+
+func TestButterflyPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"dim0":  func() { butterfly.Network(0) },
+		"sub00": func() { butterfly.SubButterflies(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	if _, err := butterfly.AsBComposition(0); err == nil {
+		t.Fatal("AsBComposition(0) accepted")
+	}
+}

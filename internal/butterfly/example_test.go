@@ -1,0 +1,21 @@
+package butterfly_test
+
+import (
+	"fmt"
+
+	"icsched/internal/butterfly"
+	"icsched/internal/sched"
+)
+
+// The pair-consecutive schedule keeps the butterfly's ELIGIBLE pool at
+// 2^d − (x mod 2) — never more than one below the maximum (§5.1).
+func ExampleNonsinks() {
+	d := 3
+	g := butterfly.Network(d)
+	prof, _ := sched.NonsinkProfile(g, butterfly.Nonsinks(d))
+	fmt.Println("dag:", g)
+	fmt.Println("first profile steps:", prof[:6])
+	// Output:
+	// dag: dag{nodes:32 arcs:48 sources:8 sinks:8}
+	// first profile steps: [8 7 8 7 8 7]
+}

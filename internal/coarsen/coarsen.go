@@ -1,0 +1,126 @@
+// Package coarsen implements the multi-granularity machinery the paper
+// develops for every dag family (§3–§5): clustering fine-grained tasks
+// into coarser ones while maintaining a desirable intertask dependency
+// structure.
+//
+// A coarsening is a partition of a dag's nodes into clusters; the quotient
+// dag has one node per cluster and an arc between clusters A ≠ B whenever
+// some fine arc crosses from A to B.  A clustering is legal only when the
+// quotient is acyclic (otherwise the coarse tasks deadlock).  Quotient
+// also reports the granularity statistics the paper emphasizes for meshes
+// (§4): per-cluster work (computation grows with cluster "area") and
+// cut arcs (communication grows with cluster "perimeter").
+package coarsen
+
+import (
+	"fmt"
+
+	"icsched/internal/dag"
+	"icsched/internal/mesh"
+)
+
+// Stats reports the granularity profile of a clustering.
+type Stats struct {
+	// Work[c] is the number of fine-grained tasks in cluster c.
+	Work []int
+	// CutArcs is the number of fine arcs crossing between clusters —
+	// the inter-client communication volume of §4.
+	CutArcs int
+	// InternalArcs is the number of fine arcs absorbed inside clusters.
+	InternalArcs int
+}
+
+// Quotient computes the quotient dag of g under the partition part
+// (part[v] in [0, k) for every node v).  Every cluster index in [0, k)
+// must be used by at least one node.  It fails if the quotient contains a
+// cycle — the clustering would deadlock — or if the partition is
+// malformed.
+func Quotient(g *dag.Dag, part []int, k int) (*dag.Dag, Stats, error) {
+	if len(part) != g.NumNodes() {
+		return nil, Stats{}, fmt.Errorf("coarsen: partition covers %d of %d nodes", len(part), g.NumNodes())
+	}
+	if k < 0 {
+		return nil, Stats{}, fmt.Errorf("coarsen: negative cluster count %d", k)
+	}
+	stats := Stats{Work: make([]int, k)}
+	for v, c := range part {
+		if c < 0 || c >= k {
+			return nil, Stats{}, fmt.Errorf("coarsen: node %d has cluster %d outside [0,%d)", v, c, k)
+		}
+		stats.Work[c]++
+	}
+	for c, w := range stats.Work {
+		if w == 0 {
+			return nil, Stats{}, fmt.Errorf("coarsen: cluster %d is empty", c)
+		}
+	}
+	b := dag.NewBuilder(k)
+	for _, a := range g.Arcs() {
+		cf, ct := part[a.From], part[a.To]
+		if cf == ct {
+			stats.InternalArcs++
+			continue
+		}
+		stats.CutArcs++
+		b.AddArc(dag.NodeID(cf), dag.NodeID(ct))
+	}
+	q, err := b.Build()
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("coarsen: quotient is cyclic (illegal clustering): %w", err)
+	}
+	return q, stats, nil
+}
+
+// Refine maps a schedule of the quotient dag back to a schedule of the
+// fine dag: clusters are executed in quotient-schedule order, and within a
+// cluster nodes run in fine topological order.  The result is a legal
+// fine schedule whenever the quotient schedule is legal.
+func Refine(g *dag.Dag, part []int, quotientOrder []dag.NodeID) []dag.NodeID {
+	byCluster := make(map[int][]dag.NodeID)
+	for _, v := range g.TopoOrder() {
+		c := part[v]
+		byCluster[c] = append(byCluster[c], v)
+	}
+	var order []dag.NodeID
+	for _, c := range quotientOrder {
+		order = append(order, byCluster[int(c)]...)
+	}
+	return order
+}
+
+// MeshBlocks returns the Fig. 7 clustering of OutMesh(levels) with the
+// given coarsening side-length f: in the mesh's two natural axis
+// coordinates u = offset and v = level − offset, nodes cluster by
+// (u/f, v/f).  Interior clusters are the figure's "rectangles" (f×f
+// blocks, compositions of an out-mesh and an in-mesh) and diagonal
+// clusters are its "triangles" (smaller out-meshes); the quotient is again
+// an out-mesh-shaped wavefront, so it admits an IC-optimal schedule, and
+// cluster work grows quadratically with f while cut communication grows
+// linearly (§4).
+//
+// It returns the partition, the cluster count, and the quotient's
+// triangular level count ⌈levels/f⌉.
+func MeshBlocks(levels, f int) ([]int, int, int) {
+	if levels < 1 || f < 1 {
+		panic(fmt.Sprintf("coarsen: MeshBlocks(%d, %d)", levels, f))
+	}
+	super := (levels + f - 1) / f
+	// Cluster (U, V) with U+V <= super-1 gets index U + V*super compacted.
+	index := make(map[[2]int]int)
+	var count int
+	part := make([]int, levels*(levels+1)/2)
+	for i := 0; i < levels; i++ {
+		for j := 0; j <= i; j++ {
+			u, v := j, i-j
+			key := [2]int{u / f, v / f}
+			c, ok := index[key]
+			if !ok {
+				c = count
+				count++
+				index[key] = c
+			}
+			part[mesh.TriID(i, j)] = c
+		}
+	}
+	return part, count, super
+}

@@ -1,0 +1,269 @@
+package coarsen_test
+
+import (
+	"testing"
+
+	"icsched/internal/butterfly"
+	"icsched/internal/coarsen"
+	"icsched/internal/dag"
+	"icsched/internal/mesh"
+	"icsched/internal/opt"
+	"icsched/internal/sched"
+	"icsched/internal/trees"
+)
+
+func TestQuotientBasics(t *testing.T) {
+	// Chain 0->1->2->3 clustered as {0,1},{2,3}.
+	b := dag.NewBuilder(4)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	b.AddArc(2, 3)
+	g := b.MustBuild()
+	q, stats, err := coarsen.Quotient(g, []int{0, 0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumNodes() != 2 || q.NumArcs() != 1 {
+		t.Fatalf("quotient shape: %v", q)
+	}
+	if stats.CutArcs != 1 || stats.InternalArcs != 2 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.Work[0] != 2 || stats.Work[1] != 2 {
+		t.Fatalf("work: %v", stats.Work)
+	}
+}
+
+func TestQuotientRejectsCyclicClustering(t *testing.T) {
+	// 0->1, 2->3 with clusters {0,3}, {1,2}: quotient has a 2-cycle.
+	b := dag.NewBuilder(4)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	b.AddArc(2, 3)
+	g := b.MustBuild()
+	if _, _, err := coarsen.Quotient(g, []int{0, 1, 1, 0}, 2); err == nil {
+		t.Fatal("cyclic clustering accepted")
+	}
+}
+
+func TestQuotientValidation(t *testing.T) {
+	g := dag.NewBuilder(3).MustBuild()
+	if _, _, err := coarsen.Quotient(g, []int{0, 0}, 1); err == nil {
+		t.Fatal("short partition accepted")
+	}
+	if _, _, err := coarsen.Quotient(g, []int{0, 0, 5}, 2); err == nil {
+		t.Fatal("out-of-range cluster accepted")
+	}
+	if _, _, err := coarsen.Quotient(g, []int{0, 0, 0}, 2); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+	if _, _, err := coarsen.Quotient(g, []int{0, 0, -1}, 1); err == nil {
+		t.Fatal("negative cluster accepted")
+	}
+}
+
+func TestRefineProducesLegalFineSchedule(t *testing.T) {
+	g := mesh.OutMesh(6)
+	part, k, _ := coarsen.MeshBlocks(6, 2)
+	q, _, err := coarsen.Quotient(g, part, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := q.TopoOrder()
+	fine := coarsen.Refine(g, part, order)
+	if err := sched.Validate(g, fine); err != nil {
+		t.Fatalf("refined schedule illegal: %v", err)
+	}
+}
+
+func TestMeshBlocksQuotientIsWavefront(t *testing.T) {
+	// Fig. 7: coarsening with factor f yields a smaller wavefront mesh
+	// whose schedule is IC-optimal ("the coarsened mesh is just a smaller
+	// version of the original").
+	for _, tc := range []struct{ levels, f int }{
+		{4, 2}, {6, 2}, {6, 3}, {5, 2},
+	} {
+		g := mesh.OutMesh(tc.levels)
+		part, k, super := coarsen.MeshBlocks(tc.levels, tc.f)
+		q, stats, err := coarsen.Quotient(g, part, k)
+		if err != nil {
+			t.Fatalf("levels=%d f=%d: %v", tc.levels, tc.f, err)
+		}
+		if k != super*(super+1)/2 {
+			t.Fatalf("levels=%d f=%d: %d clusters, want triangular %d", tc.levels, tc.f, k, super*(super+1)/2)
+		}
+		// Quotient must be shaped like OutMesh(super): same node count and
+		// an IC-optimal schedule must exist.
+		ref := mesh.OutMesh(super)
+		if q.NumNodes() != ref.NumNodes() {
+			t.Fatalf("quotient nodes %d vs out-mesh %d", q.NumNodes(), ref.NumNodes())
+		}
+		l, err := opt.Analyze(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !l.Exists() {
+			t.Fatalf("coarsened mesh (levels=%d f=%d) admits no IC-optimal schedule", tc.levels, tc.f)
+		}
+		// Work/communication scaling (§4): with uniform granularity the
+		// max cluster work is ~f², while cut arcs per cluster scale ~f.
+		maxWork := 0
+		for _, w := range stats.Work {
+			if w > maxWork {
+				maxWork = w
+			}
+		}
+		if maxWork > tc.f*tc.f {
+			t.Fatalf("cluster work %d exceeds f² = %d", maxWork, tc.f*tc.f)
+		}
+	}
+}
+
+func TestMeshBlocksFactor1IsIdentity(t *testing.T) {
+	g := mesh.OutMesh(5)
+	part, k, super := coarsen.MeshBlocks(5, 1)
+	if k != g.NumNodes() || super != 5 {
+		t.Fatalf("f=1: k=%d super=%d", k, super)
+	}
+	q, stats, err := coarsen.Quotient(g, part, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumArcs() != g.NumArcs() || stats.InternalArcs != 0 {
+		t.Fatal("identity coarsening changed the dag")
+	}
+}
+
+func TestMeshWorkQuadraticCommLinear(t *testing.T) {
+	// §4: "the amount of computation represented by a coarsened task grows
+	// quadratically with the task's sidelength, while the communication
+	// grows only linearly."  Measure interior clusters across factors.
+	levels := 12
+	g := mesh.OutMesh(levels)
+	type point struct{ f, work, boundary int }
+	var pts []point
+	for _, f := range []int{2, 3, 4} {
+		part, k, _ := coarsen.MeshBlocks(levels, f)
+		_, stats, err := coarsen.Quotient(g, part, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Max interior cluster: full f×f rectangle.
+		maxWork := 0
+		for _, w := range stats.Work {
+			if w > maxWork {
+				maxWork = w
+			}
+		}
+		// Per-cluster boundary ~ CutArcs/k.
+		pts = append(pts, point{f, maxWork, stats.CutArcs / k})
+	}
+	for _, p := range pts {
+		if p.work != p.f*p.f {
+			t.Fatalf("f=%d interior work = %d, want %d", p.f, p.work, p.f*p.f)
+		}
+	}
+	// Work ratio between f=4 and f=2 is 4 (quadratic); boundary ratio is
+	// about 2 (linear).  Allow slack for truncated boundary clusters.
+	if pts[2].work != 4*pts[0].work {
+		t.Fatalf("work not quadratic: %+v", pts)
+	}
+	if pts[2].boundary > 3*pts[0].boundary {
+		t.Fatalf("communication grew superlinearly: %+v", pts)
+	}
+}
+
+func TestDiamondTruncationCoarsening(t *testing.T) {
+	// Fig. 3: truncate branches of the diamond's out-tree together with
+	// the mated in-tree portions; the coarsened diamond still admits an
+	// IC-optimal schedule.
+	out := trees.CompleteOutTree(2, 2) // nodes 0..6; subtrees at 1 and 2
+	c, err := trees.Diamond(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, k, err := trees.DiamondTruncationPartition(out, c, []dag.NodeID{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, stats, err := coarsen.Quotient(g, part, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subtree at 2 covers out nodes {2,5,6} and in mirrors {2',5',6'},
+	// where 5,6 are shared leaves: cluster of 4 distinct nodes.
+	if stats.Work[0] != 4 {
+		t.Fatalf("truncated cluster work = %d, want 4", stats.Work[0])
+	}
+	if q.NumNodes() != g.NumNodes()-3 {
+		t.Fatalf("quotient nodes = %d, want %d", q.NumNodes(), g.NumNodes()-3)
+	}
+	l, err := opt.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Exists() {
+		t.Fatal("coarsened diamond admits no IC-optimal schedule")
+	}
+}
+
+func TestDiamondTruncationOverlapRejected(t *testing.T) {
+	out := trees.CompleteOutTree(2, 2)
+	c, err := trees.Diamond(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := trees.DiamondTruncationPartition(out, c, []dag.NodeID{0, 2}); err == nil {
+		t.Fatal("overlapping subtrees accepted")
+	}
+	if _, _, err := trees.DiamondTruncationPartition(out, c, []dag.NodeID{99}); err == nil {
+		t.Fatal("out-of-range truncation accepted")
+	}
+}
+
+func TestButterflyFactorizationCoarsening(t *testing.T) {
+	// §5.1: B_{a+b} is a copy of B_a each of whose nodes is a copy of B_b;
+	// clustering by sub-butterflies keeps butterfly-structured (complete
+	// bipartite) coarse dependencies and IC-optimal schedulability.
+	a, b := 1, 2
+	g := butterfly.Network(a + b)
+	part, k := butterfly.SubButterflies(a, b)
+	q, _, err := coarsen.Quotient(g, part, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := 1 << uint(b)  // B_a copies
+	second := 1 << uint(a) // B_b copies
+	if q.NumNodes() != first+second {
+		t.Fatalf("quotient nodes = %d", q.NumNodes())
+	}
+	// Complete bipartite between the stages.
+	if q.NumArcs() != first*second {
+		t.Fatalf("quotient arcs = %d, want %d", q.NumArcs(), first*second)
+	}
+	for c := 0; c < first; c++ {
+		if q.OutDegree(dag.NodeID(c)) != second || q.InDegree(dag.NodeID(c)) != 0 {
+			t.Fatalf("first-stage cluster %d degrees wrong", c)
+		}
+	}
+	l, err := opt.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Exists() {
+		t.Fatal("coarsened butterfly admits no IC-optimal schedule")
+	}
+}
+
+func TestMeshBlocksPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MeshBlocks(0,1) did not panic")
+		}
+	}()
+	coarsen.MeshBlocks(0, 1)
+}

@@ -1,0 +1,226 @@
+// Package compose implements dag composition (the ⇑ operation of §2.3.1),
+// ▷-linear compositions, and the Theorem 2.1 scheduler.
+//
+// A composite dag is assembled block by block: each new block's chosen
+// sources are merged pairwise with chosen sinks of the composite built so
+// far.  The Composer records, for every placed block, the mapping from
+// block-local node IDs to composite node IDs, so that:
+//
+//   - the composite dag can be materialized in a single pass, and
+//   - the IC-optimal schedule of Theorem 2.1 can be emitted by replaying
+//     each block's own IC-optimal nonsink order in composition order,
+//     followed by the composite's sinks.
+//
+// Whether the composition is ▷-linear (the precondition of Theorem 2.1) is
+// checked by VerifyLinear using package prio.
+package compose
+
+import (
+	"fmt"
+
+	"icsched/internal/dag"
+	"icsched/internal/prio"
+	"icsched/internal/sched"
+)
+
+// Block is one composition unit: a dag together with an IC-optimal
+// execution order of its nonsinks.
+type Block struct {
+	Name     string
+	G        *dag.Dag
+	Nonsinks []dag.NodeID
+}
+
+// Validate checks that the block's nonsink order is a legal execution
+// order of exactly the nonsinks of its dag.
+func (b Block) Validate() error {
+	if _, err := sched.NonsinkProfile(b.G, b.Nonsinks); err != nil {
+		return fmt.Errorf("compose: block %q: %w", b.Name, err)
+	}
+	return nil
+}
+
+// Profile returns the block's eligibility profile E(0..n) under its
+// nonsink order.
+func (b Block) Profile() ([]int, error) {
+	return sched.NonsinkProfile(b.G, b.Nonsinks)
+}
+
+// Merge identifies block-local source Source with composite-global sink
+// Sink during placement.
+type Merge struct {
+	Source dag.NodeID // source of the incoming block
+	Sink   dag.NodeID // sink of the composite built so far
+}
+
+// Placed records one placed block: the block itself and the mapping from
+// its local node IDs to composite node IDs.
+type Placed struct {
+	Block    Block
+	ToGlobal []dag.NodeID // local ID -> composite ID
+}
+
+// Composer incrementally builds a composite dag of type B₁ ⇑ B₂ ⇑ … ⇑ Bₖ.
+// The zero value is an empty composite ready for the first block.
+type Composer struct {
+	numNodes int
+	arcs     []dag.Arc
+	outdeg   []int
+	placed   []Placed
+	labels   map[dag.NodeID]string
+	built    *dag.Dag // cache, invalidated by Add
+}
+
+// NumNodes returns the number of nodes in the composite so far.
+func (c *Composer) NumNodes() int { return c.numNodes }
+
+// Placed returns the placed blocks in composition order.
+func (c *Composer) Placed() []Placed { return c.placed }
+
+// Add places a block, merging each Merge.Source (a source of the block)
+// with Merge.Sink (a sink of the composite so far).  The first block of a
+// composite is placed with no merges.  Every unmerged local node gets a
+// fresh composite ID.
+func (c *Composer) Add(b Block, merges []Merge) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if c.numNodes == 0 && len(merges) > 0 {
+		return fmt.Errorf("compose: first block %q cannot merge", b.Name)
+	}
+	seenSrc := make(map[dag.NodeID]bool, len(merges))
+	seenSink := make(map[dag.NodeID]bool, len(merges))
+	for _, m := range merges {
+		if int(m.Source) < 0 || int(m.Source) >= b.G.NumNodes() {
+			return fmt.Errorf("compose: block %q: merge source %d out of range", b.Name, m.Source)
+		}
+		if !b.G.IsSource(m.Source) {
+			return fmt.Errorf("compose: block %q: node %d is not a source of the block", b.Name, m.Source)
+		}
+		if int(m.Sink) < 0 || int(m.Sink) >= c.numNodes {
+			return fmt.Errorf("compose: block %q: merge sink %d out of range", b.Name, m.Sink)
+		}
+		if c.outdeg[m.Sink] != 0 {
+			return fmt.Errorf("compose: block %q: node %d is not a sink of the composite", b.Name, m.Sink)
+		}
+		if seenSrc[m.Source] {
+			return fmt.Errorf("compose: block %q: source %d merged twice", b.Name, m.Source)
+		}
+		if seenSink[m.Sink] {
+			return fmt.Errorf("compose: block %q: sink %d merged twice", b.Name, m.Sink)
+		}
+		seenSrc[m.Source] = true
+		seenSink[m.Sink] = true
+	}
+	toGlobal := make([]dag.NodeID, b.G.NumNodes())
+	for i := range toGlobal {
+		toGlobal[i] = -1
+	}
+	for _, m := range merges {
+		toGlobal[m.Source] = m.Sink
+	}
+	for v := 0; v < b.G.NumNodes(); v++ {
+		if toGlobal[v] == -1 {
+			toGlobal[v] = dag.NodeID(c.numNodes)
+			c.numNodes++
+			c.outdeg = append(c.outdeg, 0)
+		}
+	}
+	for _, a := range b.G.Arcs() {
+		from, to := toGlobal[a.From], toGlobal[a.To]
+		c.arcs = append(c.arcs, dag.Arc{From: from, To: to})
+		c.outdeg[from]++
+	}
+	// Propagate node labels; the earliest block's label wins on merges.
+	for v := 0; v < b.G.NumNodes(); v++ {
+		if l := b.G.Label(dag.NodeID(v)); l != "" {
+			if c.labels == nil {
+				c.labels = make(map[dag.NodeID]string)
+			}
+			if _, taken := c.labels[toGlobal[v]]; !taken {
+				c.labels[toGlobal[v]] = l
+			}
+		}
+	}
+	c.placed = append(c.placed, Placed{Block: b, ToGlobal: toGlobal})
+	c.built = nil
+	return nil
+}
+
+// Dag materializes (and caches) the composite dag.
+func (c *Composer) Dag() (*dag.Dag, error) {
+	if c.built != nil {
+		return c.built, nil
+	}
+	b := dag.NewBuilder(c.numNodes)
+	for _, a := range c.arcs {
+		b.AddArc(a.From, a.To)
+	}
+	for v, l := range c.labels {
+		b.SetLabel(v, l)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("compose: %w", err)
+	}
+	c.built = g
+	return g, nil
+}
+
+// Schedule emits the Theorem 2.1 schedule for the composite: for each
+// placed block in order, the composite nodes corresponding to the block's
+// nonsinks in the block's own IC-optimal order; finally all composite
+// sinks.  When the composition is ▷-linear the result is IC-optimal.
+func (c *Composer) Schedule() ([]dag.NodeID, error) {
+	g, err := c.Dag()
+	if err != nil {
+		return nil, err
+	}
+	order := make([]dag.NodeID, 0, g.NumNodes())
+	for _, p := range c.placed {
+		for _, local := range p.Block.Nonsinks {
+			order = append(order, p.ToGlobal[local])
+		}
+	}
+	// Every composite nonsink is a nonsink of exactly one block, so the
+	// prefix above covers the nonsinks; append the sinks in any order.
+	order = append(order, g.Sinks()...)
+	if err := sched.Validate(g, order); err != nil {
+		return nil, fmt.Errorf("compose: Theorem 2.1 schedule is not legal (composition misuse): %w", err)
+	}
+	return order, nil
+}
+
+// VerifyLinear checks the ▷-linearity precondition of Theorem 2.1:
+// Block_i ▷ Block_{i+1} for every adjacent pair.
+func (c *Composer) VerifyLinear() (bool, error) {
+	gs := make([]*dag.Dag, len(c.placed))
+	sigmas := make([][]dag.NodeID, len(c.placed))
+	for i, p := range c.placed {
+		gs[i] = p.Block.G
+		sigmas[i] = p.Block.Nonsinks
+	}
+	return prio.Chain(gs, sigmas)
+}
+
+// Pair composes exactly two dags, merging the given sinks of g1 with the
+// given sources of g2 pairwise (sinks1[i] with sources2[i]), and returns
+// the composite of type [g1 ⇑ g2].  It is the binary ⇑ of §2.3.1 for
+// callers that do not need the scheduling bookkeeping.
+func Pair(g1 *dag.Dag, sinks1 []dag.NodeID, g2 *dag.Dag, sources2 []dag.NodeID) (*dag.Dag, error) {
+	if len(sinks1) != len(sources2) {
+		return nil, fmt.Errorf("compose: %d sinks vs %d sources", len(sinks1), len(sources2))
+	}
+	var c Composer
+	if err := c.Add(Block{Name: "G1", G: g1, Nonsinks: sched.AnyTopoNonsinks(g1)}, nil); err != nil {
+		return nil, err
+	}
+	merges := make([]Merge, len(sinks1))
+	for i := range sinks1 {
+		merges[i] = Merge{Source: sources2[i], Sink: sinks1[i]}
+	}
+	if err := c.Add(Block{Name: "G2", G: g2, Nonsinks: sched.AnyTopoNonsinks(g2)}, merges); err != nil {
+		return nil, err
+	}
+	return c.Dag()
+}

@@ -1,0 +1,95 @@
+package fftconv_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icsched/internal/compute/fftconv"
+)
+
+func randomMatrix(rng *rand.Rand, r, c int) [][]float64 {
+	out := make([][]float64, r)
+	for i := range out {
+		out[i] = make([]float64, c)
+		for j := range out[i] {
+			out[i][j] = rng.NormFloat64()
+		}
+	}
+	return out
+}
+
+func TestConvolve2DMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomMatrix(r, 1+r.Intn(8), 1+r.Intn(8))
+		b := randomMatrix(r, 1+r.Intn(5), 1+r.Intn(5))
+		got, err := fftconv.Convolve2D(a, b, 2)
+		if err != nil {
+			return false
+		}
+		want := fftconv.NaiveConvolve2D(a, b)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				return false
+			}
+			for j := range want[i] {
+				if math.Abs(got[i][j]-want[i][j]) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvolve2DIdentityKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(rng, 4, 5)
+	id := [][]float64{{1}}
+	got, err := fftconv.Convolve2D(a, id, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if math.Abs(got[i][j]-a[i][j]) > 1e-10 {
+				t.Fatal("identity kernel changed the image")
+			}
+		}
+	}
+}
+
+func TestConvolve2DBoxBlurOnImpulse(t *testing.T) {
+	// An impulse convolved with a 3×3 box kernel spreads the kernel.
+	img := [][]float64{{0, 0, 0}, {0, 1, 0}, {0, 0, 0}}
+	box := [][]float64{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}}
+	got, err := fftconv.Convolve2D(img, box, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output is 5×5; the centered 3×3 window equals the kernel.
+	for u := 0; u < 3; u++ {
+		for v := 0; v < 3; v++ {
+			if math.Abs(got[1+u][1+v]-1) > 1e-10 {
+				t.Fatalf("blurred impulse wrong at (%d,%d): %g", u, v, got[1+u][1+v])
+			}
+		}
+	}
+}
+
+func TestConvolve2DValidation(t *testing.T) {
+	if _, err := fftconv.Convolve2D([][]float64{{1, 2}, {3}}, [][]float64{{1}}, 1); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if out, err := fftconv.Convolve2D(nil, [][]float64{{1}}, 1); err != nil || out != nil {
+		t.Fatalf("empty image: %v %v", out, err)
+	}
+}

@@ -1,0 +1,22 @@
+package fftconv_test
+
+import (
+	"fmt"
+
+	"icsched/internal/compute/fftconv"
+)
+
+// Multiply (1 + 2x) by (3 + 4x) via the butterfly-dag FFT (§5.2).
+func ExamplePolyMul() {
+	product, err := fftconv.PolyMul([]float64{1, 2}, []float64{3, 4}, 2)
+	if err != nil {
+		panic(err)
+	}
+	for i, c := range product {
+		fmt.Printf("x^%d: %.0f\n", i, c)
+	}
+	// Output:
+	// x^0: 3
+	// x^1: 10
+	// x^2: 8
+}

@@ -1,0 +1,185 @@
+// Package fftconv implements the convolution family of §5.2: the Fast
+// Fourier Transform, whose data dependencies "have the form of the
+// butterfly network B_d", and through it polynomial multiplication and
+// general convolutions in Θ(n log n) work.
+//
+// Each butterfly building block applies the convolution transformation
+// (5.2)
+//
+//	y0 = x0 + ω·x1,  y1 = x0 − ω·x1
+//
+// with ω a power of the 2^d-th complex root of unity.  The computation
+// executes the dag of package butterfly on the worker-pool executor under
+// its pair-consecutive IC-optimal schedule.
+package fftconv
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"icsched/internal/butterfly"
+	"icsched/internal/dag"
+	"icsched/internal/exec"
+	"icsched/internal/sched"
+)
+
+// FFT returns the discrete Fourier transform of xs (whose length must be
+// a power of two) by executing the butterfly dag B_d, d = log₂ n.
+func FFT(xs []complex128, workers int) ([]complex128, error) {
+	return transform(xs, workers, false)
+}
+
+// IFFT returns the inverse DFT of xs via the conjugation identity
+// IFFT(x) = conj(FFT(conj(x)))/n, executed on the same butterfly dag.
+func IFFT(xs []complex128, workers int) ([]complex128, error) {
+	return transform(xs, workers, true)
+}
+
+func transform(xs []complex128, workers int, inverse bool) ([]complex128, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, nil
+	}
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("fftconv: length %d is not a power of two", n)
+	}
+	if n == 1 {
+		return []complex128{xs[0]}, nil
+	}
+	d := 0
+	for 1<<uint(d) < n {
+		d++
+	}
+	g := butterfly.Network(d)
+	vals := make([]complex128, g.NumNodes())
+	// Decimation-in-time: inputs land in bit-reversed positions.
+	for r := 0; r < n; r++ {
+		v := xs[bitrev(r, d)]
+		if inverse {
+			v = cmplx.Conj(v)
+		}
+		vals[butterfly.ID(d, 0, r)] = v
+	}
+	order := sched.Complete(g, butterfly.Nonsinks(d))
+	rank := exec.RankFromOrder(g, order)
+	_, err := exec.Run(g, rank, workers, func(v dag.NodeID) error {
+		level := int(v) >> uint(d)
+		if level == 0 {
+			return nil
+		}
+		l := level - 1 // the stage feeding this node
+		r := int(v) & (n - 1)
+		bit := 1 << uint(l)
+		base := r &^ bit
+		a := vals[butterfly.ID(d, l, base)]
+		b := vals[butterfly.ID(d, l, base|bit)]
+		j := r & (bit - 1)
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(j)/float64(2*bit)))
+		t := w * b
+		if r&bit == 0 {
+			vals[v] = a + t // y0 = x0 + ω·x1
+		} else {
+			vals[v] = a - t // y1 = x0 − ω·x1
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fftconv: %w", err)
+	}
+	out := make([]complex128, n)
+	for r := 0; r < n; r++ {
+		v := vals[butterfly.ID(d, d, r)]
+		if inverse {
+			v = cmplx.Conj(v) / complex(float64(n), 0)
+		}
+		out[r] = v
+	}
+	return out, nil
+}
+
+// bitrev reverses the low d bits of r.
+func bitrev(r, d int) int {
+	out := 0
+	for i := 0; i < d; i++ {
+		out = out<<1 | (r>>uint(i))&1
+	}
+	return out
+}
+
+// NaiveDFT is the O(n²) reference transform.
+func NaiveDFT(xs []complex128) []complex128 {
+	n := len(xs)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for i := 0; i < n; i++ {
+			sum += xs[i] * cmplx.Exp(complex(0, -2*math.Pi*float64(k*i)/float64(n)))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Convolve returns the linear convolution of a and b — the coefficient
+// sequence A_k = Σ a_i·b_{k-i} of §5.2 — computed by FFT in Θ(n log n):
+// pad to a power of two at least len(a)+len(b)-1, transform, multiply
+// pointwise, invert.
+func Convolve(a, b []float64, workers int) ([]float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return nil, nil
+	}
+	outLen := len(a) + len(b) - 1
+	n := 1
+	for n < outLen {
+		n <<= 1
+	}
+	fa := make([]complex128, n)
+	fb := make([]complex128, n)
+	for i, x := range a {
+		fa[i] = complex(x, 0)
+	}
+	for i, x := range b {
+		fb[i] = complex(x, 0)
+	}
+	Fa, err := FFT(fa, workers)
+	if err != nil {
+		return nil, err
+	}
+	Fb, err := FFT(fb, workers)
+	if err != nil {
+		return nil, err
+	}
+	for i := range Fa {
+		Fa[i] *= Fb[i]
+	}
+	inv, err := IFFT(Fa, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(inv[i])
+	}
+	return out, nil
+}
+
+// PolyMul multiplies the polynomials with coefficient vectors a and b
+// (degree = len-1), per §5.2's product [f ⊗ g].
+func PolyMul(a, b []float64, workers int) ([]float64, error) {
+	return Convolve(a, b, workers)
+}
+
+// NaiveConvolve is the O(n²) reference convolution.
+func NaiveConvolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]float64, len(a)+len(b)-1)
+	for i, x := range a {
+		for j, y := range b {
+			out[i+j] += x * y
+		}
+	}
+	return out
+}

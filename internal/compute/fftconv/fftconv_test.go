@@ -1,0 +1,218 @@
+package fftconv_test
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icsched/internal/compute/fftconv"
+)
+
+func approxEq(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(6)
+		n := 1 << uint(d)
+		xs := make([]complex128, n)
+		for i := range xs {
+			xs[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		got, err := fftconv.FFT(xs, 1+r.Intn(4))
+		if err != nil {
+			return false
+		}
+		want := fftconv.NaiveDFT(xs)
+		for i := range want {
+			if !approxEq(got[i], want[i], 1e-9*float64(n)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// DFT of the unit impulse is all ones.
+	xs := make([]complex128, 8)
+	xs[0] = 1
+	got, err := fftconv.FFT(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if !approxEq(v, 1, 1e-12) {
+			t.Fatalf("impulse FFT[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestFFTConstant(t *testing.T) {
+	// DFT of a constant c is (n·c, 0, …, 0).
+	n := 16
+	xs := make([]complex128, n)
+	for i := range xs {
+		xs[i] = 2.5
+	}
+	got, err := fftconv.FFT(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(got[0], complex(2.5*float64(n), 0), 1e-9) {
+		t.Fatalf("FFT[0] = %v", got[0])
+	}
+	for i := 1; i < n; i++ {
+		if !approxEq(got[i], 0, 1e-9) {
+			t.Fatalf("FFT[%d] = %v, want 0", i, got[i])
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 << uint(1+r.Intn(7))
+		xs := make([]complex128, n)
+		for i := range xs {
+			xs[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		fx, err := fftconv.FFT(xs, 4)
+		if err != nil {
+			return false
+		}
+		back, err := fftconv.IFFT(fx, 4)
+		if err != nil {
+			return false
+		}
+		for i := range xs {
+			if !approxEq(back[i], xs[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 64
+	xs := make([]complex128, n)
+	sumT := 0.0
+	for i := range xs {
+		xs[i] = complex(rng.NormFloat64(), 0)
+		sumT += real(xs[i]) * real(xs[i])
+	}
+	fx, err := fftconv.FFT(xs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumF := 0.0
+	for _, v := range fx {
+		sumF += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(sumF/float64(n)-sumT) > 1e-8 {
+		t.Fatalf("Parseval violated: %g vs %g", sumF/float64(n), sumT)
+	}
+}
+
+func TestWorkersInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]complex128, 32)
+	for i := range xs {
+		xs[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	a, err := fftconv.FFT(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fftconv.FFT(xs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("worker count changed FFT result bits")
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := fftconv.FFT(make([]complex128, 6), 1); err == nil {
+		t.Fatal("length 6 accepted")
+	}
+}
+
+func TestFFTEdgeCases(t *testing.T) {
+	if out, err := fftconv.FFT(nil, 1); err != nil || out != nil {
+		t.Fatalf("empty FFT: %v %v", out, err)
+	}
+	out, err := fftconv.FFT([]complex128{3}, 1)
+	if err != nil || out[0] != 3 {
+		t.Fatalf("singleton FFT: %v %v", out, err)
+	}
+}
+
+func TestConvolveMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := make([]float64, 1+r.Intn(30))
+		b := make([]float64, 1+r.Intn(30))
+		for i := range a {
+			a[i] = r.NormFloat64()
+		}
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		got, err := fftconv.Convolve(a, b, 2)
+		if err != nil {
+			return false
+		}
+		want := fftconv.NaiveConvolve(a, b)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolyMulKnown(t *testing.T) {
+	// (1 + 2x + 3x²)(4 + 5x) = 4 + 13x + 22x² + 15x³.
+	got, err := fftconv.PolyMul([]float64{1, 2, 3}, []float64{4, 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 13, 22, 15}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConvolveEmpty(t *testing.T) {
+	if out, err := fftconv.Convolve(nil, []float64{1}, 1); err != nil || out != nil {
+		t.Fatalf("empty convolve: %v %v", out, err)
+	}
+}

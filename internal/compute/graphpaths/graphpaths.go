@@ -1,0 +1,123 @@
+// Package graphpaths implements the paths-in-a-graph computation of
+// §6.2.2 (Fig. 16): given a graph's boolean adjacency matrix A, compute
+// the matrix M whose (i, j) entry is the vector
+//
+//	v(i,j) = ⟨β¹(i,j), …, β^L(i,j)⟩,  β^k = 1 iff a length-k walk i→j exists
+//
+// by (1) an L-input parallel-prefix computation of the logical powers
+// A¹ … A^L (package scan executing P_L), and (2) an in-tree that
+// accumulates the L power matrices into the per-pair vectors — exactly the
+// two phases of Fig. 16, both executed on the worker-pool executor.
+package graphpaths
+
+import (
+	"fmt"
+
+	"icsched/internal/compute/scan"
+	"icsched/internal/dag"
+	"icsched/internal/exec"
+	"icsched/internal/sched"
+	"icsched/internal/trees"
+)
+
+// Vectors holds the result matrix M: Vectors[i][j][k-1] reports whether a
+// walk of length k from i to j exists.
+type Vectors [][][]bool
+
+// Compute runs the Fig. 16 computation for walks of length 1..L.
+// L must be a power of two ≥ 2 (the paper uses L = 8 on a 9-node graph).
+func Compute(a scan.BoolMatrix, L, workers int) (Vectors, error) {
+	if L < 2 || L&(L-1) != 0 {
+		return nil, fmt.Errorf("graphpaths: L = %d is not a power of two >= 2", L)
+	}
+	// Phase 1: all logical powers via the parallel-prefix dag.
+	powers, err := scan.MatrixPowers(a, L, workers)
+	if err != nil {
+		return nil, fmt.Errorf("graphpaths: %w", err)
+	}
+	// Phase 2: accumulate through the complete binary in-tree.  Each node
+	// carries a partial vector-matrix: per (i,j), a bitset over lengths.
+	p := 0
+	for 1<<uint(p) < L {
+		p++
+	}
+	tree := trees.CompleteInTree(2, p)
+	nonsinks, err := trees.InTreeNonsinks(tree)
+	if err != nil {
+		return nil, fmt.Errorf("graphpaths: %w", err)
+	}
+	order := sched.Complete(tree, nonsinks)
+	rank := exec.RankFromOrder(tree, order)
+	n := a.N
+	vals := make([][]uint64, tree.NumNodes()) // per node: n*n bitsets
+	if L > 64 {
+		return nil, fmt.Errorf("graphpaths: L = %d exceeds the 64-length bitset", L)
+	}
+	sources := tree.Sources()
+	leafIdx := make(map[dag.NodeID]int, L)
+	for i, s := range sources {
+		leafIdx[s] = i
+	}
+	_, err = exec.Run(tree, rank, workers, func(v dag.NodeID) error {
+		bits := make([]uint64, n*n)
+		if k, ok := leafIdx[v]; ok {
+			// Leaf: tag A^{k+1} with bit k.
+			m := powers[k]
+			for idx, set := range m.Bits {
+				if set {
+					bits[idx] = 1 << uint(k)
+				}
+			}
+		} else {
+			for _, par := range tree.Parents(v) {
+				for idx, b := range vals[par] {
+					bits[idx] |= b
+				}
+			}
+		}
+		vals[v] = bits
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("graphpaths: %w", err)
+	}
+	rootBits := vals[tree.Sinks()[0]]
+	out := make(Vectors, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([][]bool, n)
+		for j := 0; j < n; j++ {
+			vec := make([]bool, L)
+			b := rootBits[i*n+j]
+			for k := 0; k < L; k++ {
+				vec[k] = b&(1<<uint(k)) != 0
+			}
+			out[i][j] = vec
+		}
+	}
+	return out, nil
+}
+
+// Reference computes the same vectors by naive repeated logical
+// multiplication, as an independent check.
+func Reference(a scan.BoolMatrix, L int) Vectors {
+	n := a.N
+	out := make(Vectors, n)
+	for i := range out {
+		out[i] = make([][]bool, n)
+		for j := range out[i] {
+			out[i][j] = make([]bool, L)
+		}
+	}
+	cur := a
+	for k := 1; k <= L; k++ {
+		if k > 1 {
+			cur = scan.LogicalMul(cur, a)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				out[i][j][k-1] = cur.At(i, j)
+			}
+		}
+	}
+	return out
+}

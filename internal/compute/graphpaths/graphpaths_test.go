@@ -1,0 +1,124 @@
+package graphpaths_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"icsched/internal/compute/graphpaths"
+	"icsched/internal/compute/scan"
+)
+
+// paperGraph builds a 9-node graph like the one Fig. 16 computes on
+// (the figure's exact edge set is decorative; any 9-node graph exercises
+// the same dag).
+func paperGraph() scan.BoolMatrix {
+	a := scan.NewBoolMatrix(9)
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8},
+		{8, 0}, {0, 4}, {2, 6}, {5, 1},
+	}
+	for _, e := range edges {
+		a.Set(e[0], e[1], true)
+	}
+	return a
+}
+
+func TestNineNodeGraphEightLengths(t *testing.T) {
+	// The exact Fig. 16 configuration: 9 nodes, walk lengths 1..8.
+	a := paperGraph()
+	got, err := graphpaths.Compute(a, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graphpaths.Reference(a, 8)
+	for i := range want {
+		for j := range want[i] {
+			for k := range want[i][j] {
+				if got[i][j][k] != want[i][j][k] {
+					t.Fatalf("β^%d(%d,%d) = %v, want %v", k+1, i, j, got[i][j][k], want[i][j][k])
+				}
+			}
+		}
+	}
+}
+
+func TestRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		a := scan.NewBoolMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					a.Set(i, j, true)
+				}
+			}
+		}
+		L := []int{2, 4, 8, 16}[rng.Intn(4)]
+		got, err := graphpaths.Compute(a, L, 1+rng.Intn(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := graphpaths.Reference(a, L)
+		for i := range want {
+			for j := range want[i] {
+				for k := range want[i][j] {
+					if got[i][j][k] != want[i][j][k] {
+						t.Fatalf("n=%d L=%d mismatch at (%d,%d,%d)", n, L, i, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCycleGraphWalks(t *testing.T) {
+	// Directed 4-cycle: walk of length k from i to j iff k ≡ j-i (mod 4).
+	a := scan.NewBoolMatrix(4)
+	for i := 0; i < 4; i++ {
+		a.Set(i, (i+1)%4, true)
+	}
+	got, err := graphpaths.Compute(a, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 1; k <= 8; k++ {
+				want := ((j-i-k)%4+8)%4 == 0
+				if got[i][j][k-1] != want {
+					t.Fatalf("cycle walk (%d,%d,len %d) = %v", i, j, k, got[i][j][k-1])
+				}
+			}
+		}
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	a := scan.NewBoolMatrix(3)
+	for _, L := range []int{0, 1, 3, 6} {
+		if _, err := graphpaths.Compute(a, L, 1); err == nil {
+			t.Fatalf("L=%d accepted", L)
+		}
+	}
+	if _, err := graphpaths.Compute(a, 128, 1); err == nil {
+		t.Fatal("L=128 accepted (exceeds bitset)")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	a := scan.NewBoolMatrix(5)
+	got, err := graphpaths.Compute(a, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		for j := range got[i] {
+			for k := range got[i][j] {
+				if got[i][j][k] {
+					t.Fatal("edgeless graph has a walk")
+				}
+			}
+		}
+	}
+}

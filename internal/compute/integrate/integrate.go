@@ -1,0 +1,229 @@
+// Package integrate implements the adaptive numerical integration of
+// §3.2: the expansive phase recursively splits the integration interval
+// wherever the quadrature rule's error estimate exceeds the tolerance,
+// producing a (possibly quite irregular) proper binary out-tree; the
+// reductive phase accumulates the leaf areas through the dual in-tree.
+// The two trees compose into the diamond dag of Fig. 2, which is executed
+// on the worker-pool executor under its IC-optimal Theorem 2.1 schedule.
+package integrate
+
+import (
+	"fmt"
+	"math"
+
+	"icsched/internal/dag"
+	"icsched/internal/exec"
+	"icsched/internal/trees"
+)
+
+// Rule selects the quadrature rule of §3.2.
+type Rule int
+
+const (
+	// Trapezoid uses the linear approximation A(X,Y) = ½(F(X)+F(Y))(Y−X).
+	Trapezoid Rule = iota
+	// Simpson uses the quadratic approximation
+	// S(X,Y) = (Y−X)/6 · (F(X) + 4F(M) + F(Y)).
+	Simpson
+)
+
+// Options configures an integration.
+type Options struct {
+	Rule     Rule
+	Tol      float64 // absolute error tolerance (default 1e-8)
+	MaxDepth int     // recursion cap (default 40)
+	Workers  int     // executor workers (default 1)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol == 0 {
+		o.Tol = 1e-8
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 40
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// Result reports the integral together with the computation's dag
+// artifacts, so callers can inspect or re-schedule the structure.
+type Result struct {
+	Value   float64
+	Tree    *dag.Dag     // the adaptive out-tree of intervals
+	Diamond *dag.Dag     // the composed diamond dag actually executed
+	Order   []dag.NodeID // the IC-optimal schedule used
+	Leaves  int          // accepted subintervals
+}
+
+// interval is one out-tree task: integrate f over [A, B] to tolerance Tol.
+type interval struct {
+	A, B float64
+	Tol  float64
+	Leaf bool
+}
+
+// Integrate computes ∫_a^b f(x) dx adaptively.
+func Integrate(f func(float64) float64, a, b float64, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if !(a < b) {
+		return Result{}, fmt.Errorf("integrate: bad interval [%g, %g]", a, b)
+	}
+	if opts.Tol <= 0 {
+		return Result{}, fmt.Errorf("integrate: tolerance %g", opts.Tol)
+	}
+
+	// Phase 1 — expansive discovery: build the irregular out-tree.  Node
+	// IDs are assigned in BFS order of splitting.
+	ivs := []interval{{A: a, B: b, Tol: opts.Tol}}
+	var arcs []dag.Arc
+	type qitem struct {
+		id    dag.NodeID
+		depth int
+	}
+	queue := []qitem{{0, 0}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		iv := ivs[it.id]
+		if it.depth >= opts.MaxDepth || accepted(f, iv, opts.Rule) {
+			ivs[it.id].Leaf = true
+			continue
+		}
+		mid := 0.5 * (iv.A + iv.B)
+		left := interval{A: iv.A, B: mid, Tol: iv.Tol / 2}
+		right := interval{A: mid, B: iv.B, Tol: iv.Tol / 2}
+		for _, child := range []interval{left, right} {
+			cid := dag.NodeID(len(ivs))
+			ivs = append(ivs, child)
+			arcs = append(arcs, dag.Arc{From: it.id, To: cid})
+			queue = append(queue, qitem{cid, it.depth + 1})
+		}
+	}
+	tb := dag.NewBuilder(len(ivs))
+	for _, arc := range arcs {
+		tb.AddArc(arc.From, arc.To)
+	}
+	tree, err := tb.Build()
+	if err != nil {
+		return Result{}, fmt.Errorf("integrate: %w", err)
+	}
+
+	// Phase 2 — compose the diamond dag of Fig. 2.
+	comp, err := trees.Diamond(tree)
+	if err != nil {
+		return Result{}, fmt.Errorf("integrate: %w", err)
+	}
+	diamond, err := comp.Dag()
+	if err != nil {
+		return Result{}, fmt.Errorf("integrate: %w", err)
+	}
+	order, err := comp.Schedule()
+	if err != nil {
+		return Result{}, fmt.Errorf("integrate: %w", err)
+	}
+
+	// Phase 3 — execute: leaves evaluate their accepted areas; in-tree
+	// mirror nodes sum their dag parents' values.
+	placed := comp.Placed()
+	outGlobal := placed[0].ToGlobal
+	inGlobal := placed[1].ToGlobal
+	role := make([]dag.NodeID, diamond.NumNodes()) // tree node backing each global
+	isOut := make([]bool, diamond.NumNodes())
+	for u := 0; u < tree.NumNodes(); u++ {
+		role[inGlobal[u]] = dag.NodeID(u)
+		if !tree.IsSink(dag.NodeID(u)) {
+			role[outGlobal[u]] = dag.NodeID(u)
+			isOut[outGlobal[u]] = true
+		}
+	}
+	vals := make([]float64, diamond.NumNodes())
+	rank := exec.RankFromOrder(diamond, order)
+	_, err = exec.Run(diamond, rank, opts.Workers, func(v dag.NodeID) error {
+		u := role[v]
+		iv := ivs[u]
+		switch {
+		case isOut[v]:
+			// Expansive task: redo the split decision (the real work the
+			// out-tree node represents); the children were discovered in
+			// phase 1.
+			_ = accepted(f, iv, opts.Rule)
+		case iv.Leaf && tree.IsSink(u):
+			vals[v] = refined(f, iv, opts.Rule)
+		default:
+			// Reductive task: sum the mirrored children.
+			sum := 0.0
+			for _, p := range diamond.Parents(v) {
+				sum += vals[p]
+			}
+			vals[v] = sum
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("integrate: %w", err)
+	}
+	sink := diamond.Sinks()[0]
+	leaves := 0
+	for _, iv := range ivs {
+		if iv.Leaf {
+			leaves++
+		}
+	}
+	return Result{
+		Value:   vals[sink],
+		Tree:    tree,
+		Diamond: diamond,
+		Order:   order,
+		Leaves:  leaves,
+	}, nil
+}
+
+// area applies the coarse rule over [X, Y].
+func area(f func(float64) float64, x, y float64, r Rule) float64 {
+	switch r {
+	case Simpson:
+		m := 0.5 * (x + y)
+		return (y - x) / 6 * (f(x) + 4*f(m) + f(y))
+	default:
+		return 0.5 * (f(x) + f(y)) * (y - x)
+	}
+}
+
+// refined applies the rule to the two halves of the interval — the A₁
+// quantity of §3.2, used as the accepted value at leaves.
+func refined(f func(float64) float64, iv interval, r Rule) float64 {
+	m := 0.5 * (iv.A + iv.B)
+	return area(f, iv.A, m, r) + area(f, m, iv.B, r)
+}
+
+// accepted reports whether |A₀ − A₁| is within the node's tolerance (§3.2:
+// "if the difference is sufficiently small, the approximation is accepted
+// and the node becomes a leaf").
+func accepted(f func(float64) float64, iv interval, r Rule) bool {
+	a0 := area(f, iv.A, iv.B, r)
+	a1 := refined(f, iv, r)
+	scale := 1.0
+	if r == Simpson {
+		scale = 15 // Richardson factor for the quadratic rule
+	}
+	return math.Abs(a0-a1) <= scale*iv.Tol
+}
+
+// Reference integrates with the same adaptive recursion sequentially, as
+// an independent check of the dag execution.
+func Reference(f func(float64) float64, a, b float64, opts Options) float64 {
+	opts = opts.withDefaults()
+	var rec func(iv interval, depth int) float64
+	rec = func(iv interval, depth int) float64 {
+		if depth >= opts.MaxDepth || accepted(f, iv, opts.Rule) {
+			return refined(f, iv, opts.Rule)
+		}
+		m := 0.5 * (iv.A + iv.B)
+		return rec(interval{A: iv.A, B: m, Tol: iv.Tol / 2}, depth+1) +
+			rec(interval{A: m, B: iv.B, Tol: iv.Tol / 2}, depth+1)
+	}
+	return rec(interval{A: a, B: b, Tol: opts.Tol}, 0)
+}

@@ -1,0 +1,149 @@
+package linalg_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"icsched/internal/compute/linalg"
+)
+
+func matricesClose(a, b linalg.Matrix, tol float64) bool {
+	if a.N != b.N {
+		return false
+	}
+	for i := range a.A {
+		if math.Abs(a.A[i]-b.A[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMulNaive2x2(t *testing.T) {
+	a := linalg.New(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	b := linalg.New(2)
+	b.Set(0, 0, 5)
+	b.Set(0, 1, 6)
+	b.Set(1, 0, 7)
+	b.Set(1, 1, 8)
+	c := linalg.MulNaive(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("c = %v", c)
+			}
+		}
+	}
+}
+
+func TestRecursiveMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		a := linalg.Random(rng, n)
+		b := linalg.Random(rng, n)
+		got, err := linalg.MulRecursive(a, b, 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := linalg.MulNaive(a, b)
+		if !matricesClose(got, want, 1e-9*float64(n)) {
+			t.Fatalf("n=%d: recursive product diverges from naive", n)
+		}
+	}
+}
+
+func TestRecursiveBaseSizeVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := linalg.Random(rng, 16)
+	b := linalg.Random(rng, 16)
+	want := linalg.MulNaive(a, b)
+	for _, base := range []int{1, 2, 4, 8, 16} {
+		got, err := linalg.MulRecursive(a, b, base, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matricesClose(got, want, 1e-8) {
+			t.Fatalf("base=%d diverges", base)
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	n := 8
+	id := linalg.New(n)
+	for i := 0; i < n; i++ {
+		id.Set(i, i, 1)
+	}
+	rng := rand.New(rand.NewSource(3))
+	a := linalg.Random(rng, n)
+	got, err := linalg.MulRecursive(a, id, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesClose(got, a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+	got, err = linalg.MulRecursive(id, a, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesClose(got, a, 1e-12) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := linalg.Random(rng, 8)
+	b := linalg.Random(rng, 8)
+	r1, err := linalg.MulRecursive(a, b, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := linalg.MulRecursive(a, b, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.A {
+		if r1.A[i] != r8.A[i] {
+			t.Fatal("worker count changed the product bits")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	a := linalg.New(4)
+	if _, err := linalg.MulRecursive(linalg.New(3), linalg.New(3), 1, 1); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if _, err := linalg.MulRecursive(a, a, 0, 1); err == nil {
+		t.Fatal("base 0 accepted")
+	}
+	if _, err := linalg.MulRecursive(a, a, 1, 0); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch did not panic")
+		}
+	}()
+	linalg.MulNaive(linalg.New(2), linalg.New(3))
+}
+
+func TestAdd(t *testing.T) {
+	a := linalg.New(2)
+	a.Set(0, 0, 1)
+	b := linalg.New(2)
+	b.Set(0, 0, 2)
+	b.Set(1, 1, 3)
+	c := linalg.Add(a, b)
+	if c.At(0, 0) != 3 || c.At(1, 1) != 3 || c.At(0, 1) != 0 {
+		t.Fatalf("add = %v", c)
+	}
+}

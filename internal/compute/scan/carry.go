@@ -1,0 +1,98 @@
+package scan
+
+import "fmt"
+
+// Carry-lookahead addition — §6.1's "microscopic" example of a
+// computation enabled by parallel prefix ([Blelloch89]).  Each bit
+// position is summarized by a carry status; the statuses form a monoid
+// under "the right status wins unless it Propagates", and the scan of the
+// statuses yields every carry simultaneously.
+
+// CarryStatus is the per-position carry summary.
+type CarryStatus uint8
+
+const (
+	// Kill: the position produces no carry regardless of carry-in.
+	Kill CarryStatus = iota
+	// Propagate: the position forwards its carry-in.
+	Propagate
+	// Generate: the position produces a carry regardless of carry-in.
+	Generate
+)
+
+// CombineCarry is the associative carry-composition operator: the status
+// of a block is the right half's status unless the right half propagates,
+// in which case the left half decides.
+func CombineCarry(left, right CarryStatus) CarryStatus {
+	if right == Propagate {
+		return left
+	}
+	return right
+}
+
+// AddBits adds two little-endian bit vectors of equal length by
+// carry-lookahead: a parallel prefix over carry statuses computed on the
+// P_n dag, followed by the per-bit sums.  It returns the n sum bits and
+// the final carry-out.
+func AddBits(a, b []bool, workers int) (sum []bool, carryOut bool, err error) {
+	n := len(a)
+	if len(b) != n {
+		return nil, false, errLenMismatch(n, len(b))
+	}
+	if n == 0 {
+		return nil, false, nil
+	}
+	status := make([]CarryStatus, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] && b[i]:
+			status[i] = Generate
+		case a[i] || b[i]:
+			status[i] = Propagate
+		default:
+			status[i] = Kill
+		}
+	}
+	prefixes, err := Parallel(CombineCarry, status, workers)
+	if err != nil {
+		return nil, false, err
+	}
+	// carry-in of bit i is the carry-out of the prefix 0..i-1 with an
+	// initial carry of 0 (so a fully-Propagate prefix yields 0).
+	sum = make([]bool, n)
+	for i := 0; i < n; i++ {
+		carryIn := false
+		if i > 0 {
+			carryIn = prefixes[i-1] == Generate
+		}
+		sum[i] = a[i] != b[i] != carryIn
+	}
+	return sum, prefixes[n-1] == Generate, nil
+}
+
+// AddUint64 adds x and y through the 64-bit carry-lookahead network and
+// reports the sum and carry-out — a convenience wrapper over AddBits used
+// by tests and examples.
+func AddUint64(x, y uint64, workers int) (uint64, bool, error) {
+	a := make([]bool, 64)
+	b := make([]bool, 64)
+	for i := 0; i < 64; i++ {
+		a[i] = x&(1<<uint(i)) != 0
+		b[i] = y&(1<<uint(i)) != 0
+	}
+	bits, carry, err := AddBits(a, b, workers)
+	if err != nil {
+		return 0, false, err
+	}
+	var out uint64
+	for i, s := range bits {
+		if s {
+			out |= 1 << uint(i)
+		}
+	}
+	return out, carry, nil
+}
+
+func errLenMismatch(a, b int) error {
+	return fmt.Errorf("scan: bit vectors of lengths %d and %d", a, b)
+}

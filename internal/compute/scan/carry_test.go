@@ -1,0 +1,112 @@
+package scan_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icsched/internal/compute/scan"
+)
+
+func TestCombineCarryAssociative(t *testing.T) {
+	statuses := []scan.CarryStatus{scan.Kill, scan.Propagate, scan.Generate}
+	for _, a := range statuses {
+		for _, b := range statuses {
+			for _, c := range statuses {
+				l := scan.CombineCarry(scan.CombineCarry(a, b), c)
+				r := scan.CombineCarry(a, scan.CombineCarry(b, c))
+				if l != r {
+					t.Fatalf("not associative at (%d,%d,%d)", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestCombineCarryTable(t *testing.T) {
+	// Right wins unless it propagates.
+	if scan.CombineCarry(scan.Generate, scan.Kill) != scan.Kill {
+		t.Fatal("kill must override")
+	}
+	if scan.CombineCarry(scan.Generate, scan.Propagate) != scan.Generate {
+		t.Fatal("propagate must defer left")
+	}
+	if scan.CombineCarry(scan.Kill, scan.Generate) != scan.Generate {
+		t.Fatal("generate must override")
+	}
+}
+
+func TestAddUint64MatchesHardware(t *testing.T) {
+	f := func(x, y uint64) bool {
+		sum, carry, err := scan.AddUint64(x, y, 4)
+		if err != nil {
+			return false
+		}
+		want := x + y
+		wantCarry := want < x // overflow iff wrapped
+		return sum == want && carry == wantCarry
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddUint64Known(t *testing.T) {
+	for _, tc := range []struct {
+		x, y, sum uint64
+		carry     bool
+	}{
+		{0, 0, 0, false},
+		{1, 1, 2, false},
+		{^uint64(0), 1, 0, true},
+		{^uint64(0), ^uint64(0), ^uint64(0) - 1, true},
+		{0xFFFF, 0x1, 0x10000, false},
+	} {
+		sum, carry, err := scan.AddUint64(tc.x, tc.y, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum != tc.sum || carry != tc.carry {
+			t.Fatalf("%d + %d = %d carry %v, want %d carry %v", tc.x, tc.y, sum, carry, tc.sum, tc.carry)
+		}
+	}
+}
+
+func TestAddBitsArbitraryWidth(t *testing.T) {
+	// Ripple-carry reference at odd widths.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(100)
+		a := make([]bool, n)
+		b := make([]bool, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Intn(2) == 1
+			b[i] = rng.Intn(2) == 1
+		}
+		got, gotCarry, err := scan.AddBits(a, b, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		carry := false
+		for i := 0; i < n; i++ {
+			s := a[i] != b[i] != carry
+			carry = (a[i] && b[i]) || (a[i] && carry) || (b[i] && carry)
+			if got[i] != s {
+				t.Fatalf("bit %d wrong (n=%d)", i, n)
+			}
+		}
+		if gotCarry != carry {
+			t.Fatalf("carry-out wrong (n=%d)", n)
+		}
+	}
+}
+
+func TestAddBitsValidation(t *testing.T) {
+	if _, _, err := scan.AddBits(make([]bool, 3), make([]bool, 4), 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	sum, carry, err := scan.AddBits(nil, nil, 1)
+	if err != nil || sum != nil || carry {
+		t.Fatal("empty addition wrong")
+	}
+}

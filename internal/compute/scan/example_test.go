@@ -1,0 +1,32 @@
+package scan_test
+
+import (
+	"fmt"
+
+	"icsched/internal/compute/scan"
+)
+
+// Compute a running sum on the parallel-prefix dag P_n (§6.1).
+func ExampleParallel() {
+	sums, _ := scan.Parallel(func(a, b int) int { return a + b },
+		[]int{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	fmt.Println(sums)
+	// Output:
+	// [1 3 6 10 15 21 28 36]
+}
+
+// Generate the first powers of an integer (§6.1's first instantiation).
+func ExampleIntPowers() {
+	powers, _ := scan.IntPowers(2, 8, 2)
+	fmt.Println(powers)
+	// Output:
+	// [2 4 8 16 32 64 128 256]
+}
+
+// Carry-lookahead addition through the scan of carry statuses.
+func ExampleAddUint64() {
+	sum, carry, _ := scan.AddUint64(0xFFFF, 1, 2)
+	fmt.Printf("0xFFFF + 1 = %#x (carry-out: %v)\n", sum, carry)
+	// Output:
+	// 0xFFFF + 1 = 0x10000 (carry-out: false)
+}

@@ -1,0 +1,145 @@
+// Package scan computes the parallel-prefix (scan) operator of §6.1 for an
+// arbitrary associative operation, by actually executing the P_n dag of
+// package prefix on the worker-pool executor under its IC-optimal
+// schedule.
+//
+// The package also provides the three §6.1 instantiations: integer powers,
+// complex powers, and logical (boolean) matrix powers — the last being the
+// building block of the paths-in-a-graph computation of §6.2.2.
+package scan
+
+import (
+	"fmt"
+
+	"icsched/internal/dag"
+	"icsched/internal/exec"
+	"icsched/internal/prefix"
+	"icsched/internal/sched"
+)
+
+// Op is a binary associative operation.
+type Op[T any] func(a, b T) T
+
+// Serial computes the inclusive prefix of xs under op sequentially —
+// system (6.3) — as the reference implementation.
+func Serial[T any](op Op[T], xs []T) []T {
+	out := make([]T, len(xs))
+	for i, x := range xs {
+		if i == 0 {
+			out[0] = x
+			continue
+		}
+		out[i] = op(out[i-1], x)
+	}
+	return out
+}
+
+// Parallel computes the inclusive prefix of xs under op by executing the
+// parallel-prefix dag P_n with the given number of workers, dispatching
+// ELIGIBLE tasks in the dag's IC-optimal order.  The operation must be
+// associative (Serial and Parallel then agree, which the test suite checks
+// with testing/quick).
+func Parallel[T any](op Op[T], xs []T, workers int) ([]T, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, nil
+	}
+	g := prefix.Network(n)
+	L := prefix.Levels(n)
+	vals := make([]T, g.NumNodes())
+	for i, x := range xs {
+		vals[prefix.ID(n, 0, i)] = x
+	}
+	order := sched.Complete(g, prefix.Nonsinks(n))
+	rank := exec.RankFromOrder(g, order)
+	_, err := exec.Run(g, rank, workers, func(v dag.NodeID) error {
+		row := int(v) / n
+		col := int(v) % n
+		if row == 0 {
+			return nil // inputs are pre-loaded
+		}
+		step := 1 << uint(row-1)
+		below := vals[prefix.ID(n, row-1, col)]
+		if col >= step {
+			vals[v] = op(vals[prefix.ID(n, row-1, col-step)], below)
+		} else {
+			vals[v] = below
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scan: %w", err)
+	}
+	out := make([]T, n)
+	for i := range out {
+		out[i] = vals[prefix.ID(n, L, i)]
+	}
+	return out, nil
+}
+
+// IntPowers returns ⟨N, N², …, N^n⟩ via the ×-scan of ⟨N, N, …⟩ (§6.1).
+func IntPowers(base int64, n int, workers int) ([]int64, error) {
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = base
+	}
+	return Parallel(func(a, b int64) int64 { return a * b }, xs, workers)
+}
+
+// ComplexPowers returns ⟨ω, ω², …, ω^n⟩ via the complex-×-scan (§6.1).
+func ComplexPowers(omega complex128, n int, workers int) ([]complex128, error) {
+	xs := make([]complex128, n)
+	for i := range xs {
+		xs[i] = omega
+	}
+	return Parallel(func(a, b complex128) complex128 { return a * b }, xs, workers)
+}
+
+// BoolMatrix is a dense square boolean matrix (an adjacency matrix).
+type BoolMatrix struct {
+	N    int
+	Bits []bool // row-major
+}
+
+// NewBoolMatrix returns the zero n×n matrix.
+func NewBoolMatrix(n int) BoolMatrix {
+	return BoolMatrix{N: n, Bits: make([]bool, n*n)}
+}
+
+// At reports entry (i, j).
+func (m BoolMatrix) At(i, j int) bool { return m.Bits[i*m.N+j] }
+
+// Set assigns entry (i, j).
+func (m BoolMatrix) Set(i, j int, v bool) { m.Bits[i*m.N+j] = v }
+
+// LogicalMul returns the logical matrix product (AND for ×, OR for +) of
+// a and b — the "considerably more complex operation" of §6.1.
+func LogicalMul(a, b BoolMatrix) BoolMatrix {
+	if a.N != b.N {
+		panic(fmt.Sprintf("scan: logical product of %d×%d and %d×%d", a.N, a.N, b.N, b.N))
+	}
+	out := NewBoolMatrix(a.N)
+	for i := 0; i < a.N; i++ {
+		for k := 0; k < a.N; k++ {
+			if !a.At(i, k) {
+				continue
+			}
+			for j := 0; j < a.N; j++ {
+				if b.At(k, j) {
+					out.Set(i, j, true)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MatrixPowers returns ⟨A, A², …, A^n⟩ under the logical product, the
+// all-walk-lengths computation that feeds §6.2.2.
+func MatrixPowers(a BoolMatrix, n int, workers int) ([]BoolMatrix, error) {
+	xs := make([]BoolMatrix, n)
+	for i := range xs {
+		xs[i] = a
+	}
+	return Parallel(LogicalMul, xs, workers)
+}

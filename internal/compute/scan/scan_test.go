@@ -1,0 +1,182 @@
+package scan_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icsched/internal/compute/scan"
+)
+
+func TestSerialSum(t *testing.T) {
+	got := scan.Serial(func(a, b int) int { return a + b }, []int{1, 2, 3, 4})
+	want := []int{1, 3, 6, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("serial scan = %v", got)
+		}
+	}
+}
+
+func TestParallelMatchesSerialSum(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(65)
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(r.Intn(100) - 50)
+		}
+		add := func(a, b int64) int64 { return a + b }
+		got, err := scan.Parallel(add, xs, 1+r.Intn(8))
+		if err != nil {
+			return false
+		}
+		want := scan.Serial(add, xs)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelMatchesSerialMax(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = r.Intn(1000)
+		}
+		max := func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		}
+		got, err := scan.Parallel(max, xs, 4)
+		if err != nil {
+			return false
+		}
+		want := scan.Serial(max, xs)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelConcat(t *testing.T) {
+	// "concatenate" is the paper's fourth example of an associative op.
+	xs := []string{"a", "b", "c", "d", "e"}
+	got, err := scan.Parallel(func(a, b string) string { return a + b }, xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "ab", "abc", "abcd", "abcde"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("concat scan = %v", got)
+		}
+	}
+}
+
+func TestParallelEmptyAndSingle(t *testing.T) {
+	add := func(a, b int) int { return a + b }
+	if out, err := scan.Parallel(add, nil, 2); err != nil || out != nil {
+		t.Fatalf("empty scan: %v %v", out, err)
+	}
+	out, err := scan.Parallel(add, []int{7}, 2)
+	if err != nil || len(out) != 1 || out[0] != 7 {
+		t.Fatalf("single scan: %v %v", out, err)
+	}
+}
+
+func TestIntPowers(t *testing.T) {
+	got, err := scan.IntPowers(3, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(1)
+	for i := 0; i < 8; i++ {
+		want *= 3
+		if got[i] != want {
+			t.Fatalf("3^%d = %d, want %d", i+1, got[i], want)
+		}
+	}
+}
+
+func TestComplexPowers(t *testing.T) {
+	// i^1..i^4 = i, -1, -i, 1.
+	got, err := scan.ComplexPowers(complex(0, 1), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{complex(0, 1), -1, complex(0, -1), 1}
+	for i := range want {
+		d := got[i] - want[i]
+		if real(d)*real(d)+imag(d)*imag(d) > 1e-20 {
+			t.Fatalf("i^%d = %v, want %v", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestLogicalMulIdentity(t *testing.T) {
+	n := 4
+	id := scan.NewBoolMatrix(n)
+	for i := 0; i < n; i++ {
+		id.Set(i, i, true)
+	}
+	a := scan.NewBoolMatrix(n)
+	a.Set(0, 1, true)
+	a.Set(1, 2, true)
+	got := scan.LogicalMul(a, id)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if got.At(i, j) != a.At(i, j) {
+				t.Fatal("A·I != A")
+			}
+		}
+	}
+}
+
+func TestMatrixPowersWalkSemantics(t *testing.T) {
+	// Directed 3-cycle: A^k has a 1 at (i, j) iff j-i ≡ k (mod 3).
+	a := scan.NewBoolMatrix(3)
+	a.Set(0, 1, true)
+	a.Set(1, 2, true)
+	a.Set(2, 0, true)
+	powers, err := scan.MatrixPowers(a, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 6; k++ {
+		p := powers[k-1]
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				want := ((j-i-k)%3+3*3)%3 == 0
+				if p.At(i, j) != want {
+					t.Fatalf("A^%d (%d,%d) = %v, want %v", k, i, j, p.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestLogicalMulSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch did not panic")
+		}
+	}()
+	scan.LogicalMul(scan.NewBoolMatrix(2), scan.NewBoolMatrix(3))
+}

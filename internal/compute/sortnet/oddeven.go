@@ -1,0 +1,256 @@
+package sortnet
+
+// Batcher's odd-even mergesort — a second comparator network backing
+// §5.2's observation that any comparator-based sorting network yields an
+// IC-optimally schedulable computation.  Unlike the bitonic network, its
+// stages are partial matchings (not every wire is compared at every
+// stage), and the ENCODING of the dag matters:
+//
+//   - OddEvenNetwork materializes one node per wire per stage boundary,
+//     inserting pass-through copy nodes for uncompared wires.  That dag is
+//     NOT an iterated composition of the butterfly block, the §5.1
+//     pair-consecutive rule does not apply, and in fact the dag admits NO
+//     IC-optimal schedule at all (oracle-verified; see EXPERIMENTS.md E8).
+//
+//   - OddEvenComposition wires each comparator block directly onto the
+//     previous producer of its two wire values — a pure iterated
+//     composition of B, which is ▷-linear (B ▷ B), so its Theorem 2.1
+//     schedule is IC-optimal.  This is the encoding §5.2's claim is about,
+//     and the one OddEvenSort executes.
+
+import (
+	"cmp"
+	"fmt"
+
+	"icsched/internal/compose"
+	"icsched/internal/dag"
+	"icsched/internal/exec"
+)
+
+// Comparator is one compare-exchange between two wires (Low < High).
+type Comparator struct {
+	Low, High int
+}
+
+// OddEvenStages returns the comparator stages of Batcher's odd-even
+// mergesort on 2^k wires: each stage is a set of disjoint comparators
+// (Knuth vol. 3, §5.3.4; phases p = 1, 2, 4, …, within each phase merge
+// distances kk = p, p/2, …, 1).
+func OddEvenStages(k int) [][]Comparator {
+	n := 1 << uint(k)
+	var stages [][]Comparator
+	for p := 1; p < n; p <<= 1 {
+		for kk := p; kk >= 1; kk >>= 1 {
+			var stage []Comparator
+			for j := kk % p; j <= n-1-kk; j += 2 * kk {
+				top := kk - 1
+				if n-j-kk-1 < top {
+					top = n - j - kk - 1
+				}
+				for i := 0; i <= top; i++ {
+					if (i+j)/(2*p) == (i+j+kk)/(2*p) {
+						stage = append(stage, Comparator{Low: i + j, High: i + j + kk})
+					}
+				}
+			}
+			if len(stage) > 0 {
+				stages = append(stages, stage)
+			}
+		}
+	}
+	return stages
+}
+
+// OddEvenNetwork returns the odd-even mergesort dag on 2^k wires: one
+// level of wires per stage boundary; compared wires pass through a
+// comparator block, uncompared wires pass straight down.  It also returns
+// the per-stage comparator sets (indexable by level-1).
+func OddEvenNetwork(k int) (*dag.Dag, [][]Comparator) {
+	if k < 1 {
+		panic(fmt.Sprintf("sortnet: OddEvenNetwork k=%d", k))
+	}
+	n := 1 << uint(k)
+	stages := OddEvenStages(k)
+	b := dag.NewBuilder((len(stages) + 1) * n)
+	id := func(level, wire int) dag.NodeID { return dag.NodeID(level*n + wire) }
+	for s, stage := range stages {
+		compared := make([]bool, n)
+		for _, c := range stage {
+			compared[c.Low] = true
+			compared[c.High] = true
+			b.AddArc(id(s, c.Low), id(s+1, c.Low))
+			b.AddArc(id(s, c.Low), id(s+1, c.High))
+			b.AddArc(id(s, c.High), id(s+1, c.Low))
+			b.AddArc(id(s, c.High), id(s+1, c.High))
+		}
+		for w := 0; w < n; w++ {
+			if !compared[w] {
+				b.AddArc(id(s, w), id(s+1, w))
+			}
+		}
+	}
+	return b.MustBuild(), stages
+}
+
+// OddEvenNonsinks returns the pair-consecutive IC-optimal nonsink order
+// of the odd-even network: stage by stage, each comparator's two inputs in
+// consecutive steps, then the stage's pass-through wires.
+func OddEvenNonsinks(k int) []dag.NodeID {
+	n := 1 << uint(k)
+	stages := OddEvenStages(k)
+	var order []dag.NodeID
+	for s, stage := range stages {
+		compared := make([]bool, n)
+		for _, c := range stage {
+			compared[c.Low] = true
+			compared[c.High] = true
+			order = append(order, dag.NodeID(s*n+c.Low), dag.NodeID(s*n+c.High))
+		}
+		for w := 0; w < n; w++ {
+			if !compared[w] {
+				order = append(order, dag.NodeID(s*n+w))
+			}
+		}
+	}
+	return order
+}
+
+// OddEvenComposition builds the odd-even mergesort network as a pure
+// iterated composition of butterfly blocks: each comparator's inputs merge
+// onto the current producers of its two wire values, with no pass-through
+// nodes.  It returns the composer, the flat comparator list in placement
+// order, and the final global node carrying each wire.
+func OddEvenComposition(k int) (*compose.Composer, []Comparator, []dag.NodeID, error) {
+	if k < 1 {
+		return nil, nil, nil, fmt.Errorf("sortnet: OddEvenComposition k=%d", k)
+	}
+	n := 1 << uint(k)
+	var c compose.Composer
+	wireTop := make([]dag.NodeID, n) // current global producer of each wire
+	for w := range wireTop {
+		wireTop[w] = -1
+	}
+	var comparators []Comparator
+	for _, stage := range OddEvenStages(k) {
+		for _, cmp := range stage {
+			block := compose.Block{
+				Name:     fmt.Sprintf("B(%d,%d)", cmp.Low, cmp.High),
+				G:        bBlock(),
+				Nonsinks: []dag.NodeID{0, 1},
+			}
+			var merges []compose.Merge
+			if wireTop[cmp.Low] >= 0 {
+				merges = append(merges, compose.Merge{Source: 0, Sink: wireTop[cmp.Low]})
+			}
+			if wireTop[cmp.High] >= 0 {
+				merges = append(merges, compose.Merge{Source: 1, Sink: wireTop[cmp.High]})
+			}
+			if err := c.Add(block, merges); err != nil {
+				return nil, nil, nil, fmt.Errorf("sortnet: comparator %v: %w", cmp, err)
+			}
+			placed := c.Placed()
+			toGlobal := placed[len(placed)-1].ToGlobal
+			wireTop[cmp.Low] = toGlobal[2]  // min output
+			wireTop[cmp.High] = toGlobal[3] // max output
+			comparators = append(comparators, cmp)
+		}
+	}
+	return &c, comparators, wireTop, nil
+}
+
+// bBlock builds one comparator butterfly block: sources 0 (low wire) and
+// 1 (high wire); sinks 2 (min) and 3 (max).
+func bBlock() *dag.Dag {
+	b := dag.NewBuilder(4)
+	for _, src := range []dag.NodeID{0, 1} {
+		for _, dst := range []dag.NodeID{2, 3} {
+			b.AddArc(src, dst)
+		}
+	}
+	return b.MustBuild()
+}
+
+// OddEvenSort sorts xs (length a power of two) by executing the pure
+// B-composition odd-even mergesort dag under its IC-optimal Theorem 2.1
+// schedule with the given number of workers.
+func OddEvenSort[T cmp.Ordered](xs []T, workers int) ([]T, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, nil
+	}
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("sortnet: length %d is not a power of two", n)
+	}
+	if n == 1 {
+		return []T{xs[0]}, nil
+	}
+	k := 0
+	for 1<<uint(k) < n {
+		k++
+	}
+	comp, comparators, finalTop, err := OddEvenComposition(k)
+	if err != nil {
+		return nil, err
+	}
+	g, err := comp.Dag()
+	if err != nil {
+		return nil, err
+	}
+	order, err := comp.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	// Role tables: which input wire feeds each global source, and for
+	// comparator outputs, the two input globals and min/max selection.
+	type outSpec struct {
+		a, b    dag.NodeID
+		takeMin bool
+	}
+	inputWire := make(map[dag.NodeID]int)
+	outputs := make(map[dag.NodeID]outSpec)
+	seen := make([]bool, n) // wire already sourced?
+	for i, p := range comp.Placed() {
+		cmpr := comparators[i]
+		in0, in1 := p.ToGlobal[0], p.ToGlobal[1]
+		if g.IsSource(in0) && !seen[cmpr.Low] {
+			inputWire[in0] = cmpr.Low
+			seen[cmpr.Low] = true
+		}
+		if g.IsSource(in1) && !seen[cmpr.High] {
+			inputWire[in1] = cmpr.High
+			seen[cmpr.High] = true
+		}
+		outputs[p.ToGlobal[2]] = outSpec{a: in0, b: in1, takeMin: true}
+		outputs[p.ToGlobal[3]] = outSpec{a: in0, b: in1, takeMin: false}
+	}
+	vals := make([]T, g.NumNodes())
+	rank := exec.RankFromOrder(g, order)
+	_, err = exec.Run(g, rank, workers, func(v dag.NodeID) error {
+		if w, ok := inputWire[v]; ok {
+			vals[v] = xs[w]
+			return nil
+		}
+		spec, ok := outputs[v]
+		if !ok {
+			return fmt.Errorf("node %d has no role", v)
+		}
+		lo, hi := vals[spec.a], vals[spec.b]
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		if spec.takeMin {
+			vals[v] = lo
+		} else {
+			vals[v] = hi
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sortnet: %w", err)
+	}
+	out := make([]T, n)
+	for w := 0; w < n; w++ {
+		out[w] = vals[finalTop[w]]
+	}
+	return out, nil
+}

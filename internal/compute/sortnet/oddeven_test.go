@@ -1,0 +1,201 @@
+package sortnet_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"icsched/internal/compute/sortnet"
+	"icsched/internal/opt"
+	"icsched/internal/sched"
+)
+
+func TestOddEvenStagesAreMatchings(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		for s, stage := range sortnet.OddEvenStages(k) {
+			used := map[int]bool{}
+			for _, c := range stage {
+				if c.Low >= c.High {
+					t.Fatalf("k=%d stage %d: comparator %v inverted", k, s, c)
+				}
+				if used[c.Low] || used[c.High] {
+					t.Fatalf("k=%d stage %d: wire reused", k, s)
+				}
+				used[c.Low] = true
+				used[c.High] = true
+			}
+		}
+	}
+}
+
+func TestOddEvenZeroOnePrinciple(t *testing.T) {
+	// Exhaustive over all 0-1 inputs for 4 and 8 wires — the 0-1
+	// principle then certifies the network for all inputs of those widths.
+	for _, n := range []int{4, 8} {
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			xs := make([]int, n)
+			ones := 0
+			for b := 0; b < n; b++ {
+				if mask&(1<<uint(b)) != 0 {
+					xs[b] = 1
+					ones++
+				}
+			}
+			got, err := sortnet.OddEvenSort(xs, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range got {
+				want := 0
+				if i >= n-ones {
+					want = 1
+				}
+				if v != want {
+					t.Fatalf("n=%d mask %b sorted to %v", n, mask, got)
+				}
+			}
+		}
+	}
+}
+
+func TestOddEvenMatchesStdlib(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(5)
+		n := 1 << uint(k)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		got, err := sortnet.OddEvenSort(xs, 1+r.Intn(4))
+		if err != nil {
+			return false
+		}
+		want := append([]float64(nil), xs...)
+		sort.Float64s(want)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOddEvenAgreesWithBitonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]int, 32)
+	for i := range xs {
+		xs[i] = rng.Intn(100)
+	}
+	a, err := sortnet.Sort(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sortnet.OddEvenSort(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("the two comparator networks disagree")
+		}
+	}
+}
+
+func TestOddEvenUsesFewerComparators(t *testing.T) {
+	// The classic fact: odd-even mergesort uses fewer comparators than the
+	// bitonic sorter at equal width.
+	for k := 2; k <= 6; k++ {
+		oe := 0
+		for _, s := range sortnet.OddEvenStages(k) {
+			oe += len(s)
+		}
+		n := 1 << uint(k)
+		bitonic := len(sortnet.Stages(k)) * (n / 2)
+		if oe >= bitonic {
+			t.Fatalf("k=%d: odd-even %d comparators vs bitonic %d", k, oe, bitonic)
+		}
+	}
+}
+
+func TestLeveledOddEvenAdmitsNoOptimalSchedule(t *testing.T) {
+	// The encoding matters (EXPERIMENTS.md E8): materializing pass-through
+	// copy nodes for uncompared wires breaks the pure-B-composition
+	// structure, and the leveled odd-even dag admits NO IC-optimal
+	// schedule at all — so the §5.1 pair-consecutive rule must fail too.
+	g, _ := sortnet.OddEvenNetwork(2)
+	l, err := opt.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err := l.IsOptimal(sched.Complete(g, sortnet.OddEvenNonsinks(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("pair-consecutive schedule unexpectedly optimal for the leveled encoding")
+	}
+	if l.Exists() {
+		t.Fatal("leveled odd-even dag unexpectedly admits an IC-optimal schedule")
+	}
+}
+
+func TestOddEvenCompositionIsLinearAndOptimal(t *testing.T) {
+	// The pure B-composition encoding (no copy nodes) IS an iterated
+	// composition of B, hence ▷-linear, and its Theorem 2.1 schedule is
+	// IC-optimal — the encoding §5.2's claim is about.
+	comp, comparators, finalTop, err := sortnet.OddEvenComposition(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comparators) != 5 { // Batcher n=4 uses 5 comparators
+		t.Fatalf("comparators = %d, want 5", len(comparators))
+	}
+	if len(finalTop) != 4 {
+		t.Fatalf("finalTop = %v", finalTop)
+	}
+	ok, err := comp.VerifyLinear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("B-composition must be ▷-linear (B ▷ B)")
+	}
+	g, err := comp.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := comp.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := opt.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, step, err := l.IsOptimal(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !good {
+		t.Fatalf("odd-even composition schedule not optimal at step %d", step)
+	}
+}
+
+func TestOddEvenEdgeCases(t *testing.T) {
+	if out, err := sortnet.OddEvenSort([]int{}, 1); err != nil || out != nil {
+		t.Fatalf("empty: %v %v", out, err)
+	}
+	out, err := sortnet.OddEvenSort([]int{5}, 1)
+	if err != nil || out[0] != 5 {
+		t.Fatalf("single: %v %v", out, err)
+	}
+	if _, err := sortnet.OddEvenSort([]int{1, 2, 3}, 1); err == nil {
+		t.Fatal("length 3 accepted")
+	}
+}

@@ -1,0 +1,169 @@
+// Package sortnet implements comparator-based sorting networks (§5.2):
+// Batcher's bitonic sorter over 2^k wires, built — like every network in
+// §5 — as an iterated composition of butterfly building blocks, each
+// applying the comparator transformation (5.1):
+//
+//	y0 = min(x0, x1),  y1 = max(x0, x1)
+//
+// The network dag is executed on the worker-pool executor under the
+// pair-consecutive IC-optimal schedule of §5.1.
+package sortnet
+
+import (
+	"cmp"
+	"fmt"
+
+	"icsched/internal/dag"
+	"icsched/internal/exec"
+	"icsched/internal/sched"
+)
+
+// Stage describes one comparator stage of the bitonic network.
+type Stage struct {
+	// Dist is the wire-partner distance: wire i pairs with i XOR Dist.
+	Dist int
+	// Block is the bitonic phase size: wire i sorts ascending iff
+	// i AND Block == 0.
+	Block int
+}
+
+// Stages returns the k(k+1)/2 comparator stages of the bitonic sorter on
+// 2^k wires, in execution order.
+func Stages(k int) []Stage {
+	var out []Stage
+	for block := 2; block <= 1<<uint(k); block <<= 1 {
+		for dist := block >> 1; dist > 0; dist >>= 1 {
+			out = append(out, Stage{Dist: dist, Block: block})
+		}
+	}
+	return out
+}
+
+// Network returns the bitonic sorting network dag on 2^k wires (k ≥ 1):
+// one level of 2^k nodes per stage boundary, each stage a perfect matching
+// of butterfly blocks.
+func Network(k int) *dag.Dag {
+	if k < 1 {
+		panic(fmt.Sprintf("sortnet: k %d < 1", k))
+	}
+	n := 1 << uint(k)
+	stages := Stages(k)
+	b := dag.NewBuilder((len(stages) + 1) * n)
+	for s, st := range stages {
+		for i := 0; i < n; i++ {
+			u := ID(k, s, i)
+			b.AddArc(u, ID(k, s+1, i))
+			b.AddArc(u, ID(k, s+1, i^st.Dist))
+		}
+	}
+	return b.MustBuild()
+}
+
+// ID returns the node ID of (level, wire) in Network(k).
+func ID(k, level, wire int) dag.NodeID {
+	return dag.NodeID(level<<uint(k) + wire)
+}
+
+// Nonsinks returns the IC-optimal nonsink order of Network(k): stage by
+// stage, the two sources of each comparator block in consecutive steps
+// (§5.1).
+func Nonsinks(k int) []dag.NodeID {
+	n := 1 << uint(k)
+	stages := Stages(k)
+	var order []dag.NodeID
+	for s, st := range stages {
+		for i := 0; i < n; i++ {
+			if i&st.Dist != 0 {
+				continue
+			}
+			order = append(order, ID(k, s, i), ID(k, s, i^st.Dist))
+		}
+	}
+	return order
+}
+
+// Sort sorts xs (whose length must be a power of two) by executing the
+// bitonic network dag with the given number of workers.
+func Sort[T cmp.Ordered](xs []T, workers int) ([]T, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, nil
+	}
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("sortnet: length %d is not a power of two (use SortAny)", n)
+	}
+	if n == 1 {
+		return []T{xs[0]}, nil
+	}
+	k := 0
+	for 1<<uint(k) < n {
+		k++
+	}
+	g := Network(k)
+	stages := Stages(k)
+	vals := make([]T, g.NumNodes())
+	copy(vals, xs)
+	order := sched.Complete(g, Nonsinks(k))
+	rank := exec.RankFromOrder(g, order)
+	_, err := exec.Run(g, rank, workers, func(v dag.NodeID) error {
+		level := int(v) >> uint(k)
+		if level == 0 {
+			return nil // inputs pre-loaded
+		}
+		wire := int(v) & (n - 1)
+		st := stages[level-1]
+		partner := wire ^ st.Dist
+		a := vals[ID(k, level-1, wire)]
+		b := vals[ID(k, level-1, partner)]
+		lo, hi := a, b
+		if b < a {
+			lo, hi = b, a
+		}
+		ascending := wire&st.Block == 0
+		takeMin := (wire < partner) == ascending
+		if takeMin {
+			vals[v] = lo
+		} else {
+			vals[v] = hi
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sortnet: %w", err)
+	}
+	out := make([]T, n)
+	last := len(stages)
+	for i := range out {
+		out[i] = vals[ID(k, last, i)]
+	}
+	return out, nil
+}
+
+// SortAny sorts a slice of arbitrary length by padding to the next power
+// of two with copies of the maximum element and truncating afterwards.
+func SortAny[T cmp.Ordered](xs []T, workers int) ([]T, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, nil
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	padded := make([]T, p)
+	copy(padded, xs)
+	maxv := xs[0]
+	for _, x := range xs[1:] {
+		if x > maxv {
+			maxv = x
+		}
+	}
+	for i := n; i < p; i++ {
+		padded[i] = maxv
+	}
+	sorted, err := Sort(padded, workers)
+	if err != nil {
+		return nil, err
+	}
+	return sorted[:n], nil
+}

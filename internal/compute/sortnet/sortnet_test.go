@@ -1,0 +1,198 @@
+package sortnet_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"icsched/internal/compute/sortnet"
+	"icsched/internal/opt"
+	"icsched/internal/sched"
+)
+
+func TestStagesCount(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		if got := len(sortnet.Stages(k)); got != k*(k+1)/2 {
+			t.Fatalf("stages(%d) = %d, want %d", k, got, k*(k+1)/2)
+		}
+	}
+}
+
+func TestNetworkShape(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		g := sortnet.Network(k)
+		n := 1 << uint(k)
+		s := k * (k + 1) / 2
+		if g.NumNodes() != (s+1)*n {
+			t.Fatalf("network(%d) nodes = %d, want %d", k, g.NumNodes(), (s+1)*n)
+		}
+		if len(g.Sources()) != n || len(g.Sinks()) != n {
+			t.Fatalf("network(%d) sources/sinks wrong", k)
+		}
+	}
+}
+
+func TestProfileMatchesButterflyForm(t *testing.T) {
+	// Every stage is a perfect matching of butterfly blocks, so the
+	// pair-consecutive schedule keeps E(x) = n − (x mod 2), as in §5.1.
+	for k := 1; k <= 3; k++ {
+		g := sortnet.Network(k)
+		prof, err := sched.NonsinkProfile(g, sortnet.Nonsinks(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1 << uint(k)
+		for x, e := range prof {
+			want := n - x%2
+			if e != want {
+				t.Fatalf("k=%d profile[%d] = %d, want %d", k, x, e, want)
+			}
+		}
+	}
+}
+
+func TestPairConsecutiveOptimalByOracle(t *testing.T) {
+	// k=2: 16 nodes, within oracle reach.
+	g := sortnet.Network(2)
+	l, err := opt.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, step, err := l.IsOptimal(sched.Complete(g, sortnet.Nonsinks(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("bitonic schedule not IC-optimal at step %d", step)
+	}
+}
+
+func TestZeroOnePrinciple(t *testing.T) {
+	// A comparator network sorts all inputs iff it sorts all 0-1 inputs:
+	// check every boolean vector on 8 wires.
+	for mask := 0; mask < 256; mask++ {
+		xs := make([]int, 8)
+		ones := 0
+		for b := 0; b < 8; b++ {
+			if mask&(1<<uint(b)) != 0 {
+				xs[b] = 1
+				ones++
+			}
+		}
+		got, err := sortnet.Sort(xs, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			want := 0
+			if i >= 8-ones {
+				want = 1
+			}
+			if v != want {
+				t.Fatalf("mask %08b sorted to %v", mask, got)
+			}
+		}
+	}
+}
+
+func TestSortMatchesStdlib(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(5)
+		n := 1 << uint(k)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		got, err := sortnet.Sort(xs, 1+r.Intn(4))
+		if err != nil {
+			return false
+		}
+		want := append([]float64(nil), xs...)
+		sort.Float64s(want)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortDuplicates(t *testing.T) {
+	got, err := sortnet.Sort([]int{3, 1, 3, 1, 2, 2, 3, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 1, 1, 2, 2, 3, 3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestSortStrings(t *testing.T) {
+	got, err := sortnet.Sort([]string{"pear", "apple", "fig", "date"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"apple", "date", "fig", "pear"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestSortRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := sortnet.Sort([]int{3, 1, 2}, 1); err == nil {
+		t.Fatal("length 3 accepted by Sort")
+	}
+}
+
+func TestSortAnyArbitraryLengths(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = r.Intn(100)
+		}
+		got, err := sortnet.SortAny(xs, 3)
+		if err != nil {
+			return false
+		}
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		if len(got) != n {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	if out, err := sortnet.Sort([]int{}, 1); err != nil || out != nil {
+		t.Fatalf("empty: %v %v", out, err)
+	}
+	out, err := sortnet.Sort([]int{42}, 1)
+	if err != nil || len(out) != 1 || out[0] != 42 {
+		t.Fatalf("single: %v %v", out, err)
+	}
+	if out, err := sortnet.SortAny([]int(nil), 1); err != nil || out != nil {
+		t.Fatalf("SortAny empty: %v %v", out, err)
+	}
+}

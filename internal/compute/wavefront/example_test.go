@@ -1,0 +1,19 @@
+package wavefront_test
+
+import (
+	"fmt"
+
+	"icsched/internal/compute/wavefront"
+)
+
+// Edit distance computed by the anti-diagonal wavefront over the mesh dag
+// (§4).
+func ExampleEditDistance() {
+	d, err := wavefront.EditDistance("kitten", "sitting", 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("distance:", d)
+	// Output:
+	// distance: 3
+}

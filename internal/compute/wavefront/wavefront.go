@@ -1,0 +1,189 @@
+// Package wavefront implements the wavefront computations of §4 on the
+// rectangular mesh dag: dynamic-programming recurrences whose cell (r, c)
+// depends on (r-1, c), (r, c-1) and (transitively) (r-1, c-1), executed on
+// the worker-pool executor under the anti-diagonal IC-optimal schedule.
+//
+// Two classic instances are provided — edit distance (Levenshtein) and
+// longest-common-subsequence length — plus a blocked variant that runs a
+// Fig.-7-style coarsened mesh: each coarse task fills an f×f tile, so the
+// computation per task grows quadratically in f while the communicated
+// boundary grows linearly (§4's granularity trade-off).
+package wavefront
+
+import (
+	"fmt"
+
+	"icsched/internal/coarsen"
+	"icsched/internal/dag"
+	"icsched/internal/exec"
+	"icsched/internal/mesh"
+	"icsched/internal/sched"
+)
+
+// CellFunc computes the DP value of cell (r, c) given the lookup function
+// for previously computed cells.  It is called only when every cell with
+// smaller r/c is complete.
+type CellFunc func(r, c int, get func(r, c int) int) int
+
+// Run fills a rows×cols DP table by executing the mesh dag with the given
+// number of workers and returns the completed table.
+func Run(rows, cols int, cell CellFunc, workers int) ([][]int, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("wavefront: table %dx%d", rows, cols)
+	}
+	g := mesh.Grid(rows, cols)
+	order := sched.Complete(g, mesh.GridDiagonalNonsinks(rows, cols))
+	rank := exec.RankFromOrder(g, order)
+	table := make([][]int, rows)
+	for r := range table {
+		table[r] = make([]int, cols)
+	}
+	get := func(r, c int) int { return table[r][c] }
+	_, err := exec.Run(g, rank, workers, func(v dag.NodeID) error {
+		r := int(v) / cols
+		c := int(v) % cols
+		table[r][c] = cell(r, c, get)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wavefront: %w", err)
+	}
+	return table, nil
+}
+
+// RunBlocked fills the same table with an f×f-blocked coarsening of the
+// mesh (Fig. 7): the quotient dag is executed instead, and each coarse
+// task serially fills its tile.  Granularity statistics of the clustering
+// are returned alongside the table.
+func RunBlocked(rows, cols, f int, cell CellFunc, workers int) ([][]int, coarsen.Stats, error) {
+	if rows < 1 || cols < 1 || f < 1 {
+		return nil, coarsen.Stats{}, fmt.Errorf("wavefront: blocked %dx%d/%d", rows, cols, f)
+	}
+	g := mesh.Grid(rows, cols)
+	// Cluster by (r/f, c/f) tiles; the quotient of a rectangular mesh under
+	// axis blocking is again a rectangular mesh.
+	tilesPerRow := (cols + f - 1) / f
+	tileRows := (rows + f - 1) / f
+	part := make([]int, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			part[int(mesh.GridID(r, c, cols))] = (r/f)*tilesPerRow + c/f
+		}
+	}
+	q, stats, err := coarsen.Quotient(g, part, tileRows*tilesPerRow)
+	if err != nil {
+		return nil, coarsen.Stats{}, fmt.Errorf("wavefront: %w", err)
+	}
+	order := sched.Complete(q, mesh.GridDiagonalNonsinks(tileRows, tilesPerRow))
+	rank := exec.RankFromOrder(q, order)
+	table := make([][]int, rows)
+	for r := range table {
+		table[r] = make([]int, cols)
+	}
+	get := func(r, c int) int { return table[r][c] }
+	_, err = exec.Run(q, rank, workers, func(t dag.NodeID) error {
+		tr := int(t) / tilesPerRow
+		tc := int(t) % tilesPerRow
+		for r := tr * f; r < (tr+1)*f && r < rows; r++ {
+			for c := tc * f; c < (tc+1)*f && c < cols; c++ {
+				table[r][c] = cell(r, c, get)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, coarsen.Stats{}, fmt.Errorf("wavefront: %w", err)
+	}
+	return table, stats, nil
+}
+
+// EditDistance returns the Levenshtein distance between a and b, computed
+// by the wavefront.
+func EditDistance(a, b string, workers int) (int, error) {
+	table, err := Run(len(a)+1, len(b)+1, editCell(a, b), workers)
+	if err != nil {
+		return 0, err
+	}
+	return table[len(a)][len(b)], nil
+}
+
+// EditDistanceBlocked is EditDistance on the f-blocked mesh.
+func EditDistanceBlocked(a, b string, f, workers int) (int, coarsen.Stats, error) {
+	table, stats, err := RunBlocked(len(a)+1, len(b)+1, f, editCell(a, b), workers)
+	if err != nil {
+		return 0, coarsen.Stats{}, err
+	}
+	return table[len(a)][len(b)], stats, nil
+}
+
+func editCell(a, b string) CellFunc {
+	return func(r, c int, get func(r, c int) int) int {
+		switch {
+		case r == 0:
+			return c
+		case c == 0:
+			return r
+		}
+		cost := 1
+		if a[r-1] == b[c-1] {
+			cost = 0
+		}
+		best := get(r-1, c-1) + cost
+		if d := get(r-1, c) + 1; d < best {
+			best = d
+		}
+		if d := get(r, c-1) + 1; d < best {
+			best = d
+		}
+		return best
+	}
+}
+
+// LCS returns the length of the longest common subsequence of a and b.
+func LCS(a, b string, workers int) (int, error) {
+	table, err := Run(len(a)+1, len(b)+1, func(r, c int, get func(r, c int) int) int {
+		if r == 0 || c == 0 {
+			return 0
+		}
+		if a[r-1] == b[c-1] {
+			return get(r-1, c-1) + 1
+		}
+		x, y := get(r-1, c), get(r, c-1)
+		if x > y {
+			return x
+		}
+		return y
+	}, workers)
+	if err != nil {
+		return 0, err
+	}
+	return table[len(a)][len(b)], nil
+}
+
+// EditDistanceSerial is the straightforward row-major reference.
+func EditDistanceSerial(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for c := range prev {
+		prev[c] = c
+	}
+	for r := 1; r <= len(a); r++ {
+		cur[0] = r
+		for c := 1; c <= len(b); c++ {
+			cost := 1
+			if a[r-1] == b[c-1] {
+				cost = 0
+			}
+			best := prev[c-1] + cost
+			if d := prev[c] + 1; d < best {
+				best = d
+			}
+			if d := cur[c-1] + 1; d < best {
+				best = d
+			}
+			cur[c] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

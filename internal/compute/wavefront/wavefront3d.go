@@ -1,0 +1,77 @@
+package wavefront
+
+// Three-dimensional wavefront: the DP pattern of §4 one dimension up
+// (its source [22] treats higher-dimensional meshes).  LCS3 computes the
+// longest common subsequence of THREE strings on the Grid3D dag under the
+// anti-diagonal-plane IC-optimal schedule.
+
+import (
+	"fmt"
+
+	"icsched/internal/dag"
+	"icsched/internal/exec"
+	"icsched/internal/mesh"
+	"icsched/internal/sched"
+)
+
+// LCS3 returns the length of the longest common subsequence of a, b, c,
+// computed by a 3D wavefront with the given number of workers.
+func LCS3(a, b, c string, workers int) (int, error) {
+	nx, ny, nz := len(a)+1, len(b)+1, len(c)+1
+	g := mesh.Grid3D(nx, ny, nz)
+	order := sched.Complete(g, mesh.Grid3DDiagonalNonsinks(nx, ny, nz))
+	rank := exec.RankFromOrder(g, order)
+	table := make([]int, nx*ny*nz)
+	at := func(x, y, z int) int { return table[mesh.Grid3DID(x, y, z, ny, nz)] }
+	_, err := exec.Run(g, rank, workers, func(v dag.NodeID) error {
+		x := int(v) / (ny * nz)
+		y := (int(v) / nz) % ny
+		z := int(v) % nz
+		if x == 0 || y == 0 || z == 0 {
+			return nil // boundary stays 0
+		}
+		best := 0
+		if a[x-1] == b[y-1] && b[y-1] == c[z-1] {
+			best = at(x-1, y-1, z-1) + 1
+		}
+		for _, d := range [][3]int{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}} {
+			if v := at(x-d[0], y-d[1], z-d[2]); v > best {
+				best = v
+			}
+		}
+		table[v] = best
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("wavefront: %w", err)
+	}
+	return at(nx-1, ny-1, nz-1), nil
+}
+
+// LCS3Serial is the straightforward triple-loop reference.
+func LCS3Serial(a, b, c string) int {
+	nx, ny, nz := len(a)+1, len(b)+1, len(c)+1
+	table := make([]int, nx*ny*nz)
+	idx := func(x, y, z int) int { return (x*ny+y)*nz + z }
+	for x := 1; x < nx; x++ {
+		for y := 1; y < ny; y++ {
+			for z := 1; z < nz; z++ {
+				best := 0
+				if a[x-1] == b[y-1] && b[y-1] == c[z-1] {
+					best = table[idx(x-1, y-1, z-1)] + 1
+				}
+				if v := table[idx(x-1, y, z)]; v > best {
+					best = v
+				}
+				if v := table[idx(x, y-1, z)]; v > best {
+					best = v
+				}
+				if v := table[idx(x, y, z-1)]; v > best {
+					best = v
+				}
+				table[idx(x, y, z)] = best
+			}
+		}
+	}
+	return table[idx(nx-1, ny-1, nz-1)]
+}

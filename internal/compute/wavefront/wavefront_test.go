@@ -1,0 +1,237 @@
+package wavefront_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"icsched/internal/compute/wavefront"
+)
+
+func randomString(rng *rand.Rand, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(byte('a' + rng.Intn(4)))
+	}
+	return b.String()
+}
+
+func TestEditDistanceKnown(t *testing.T) {
+	for _, tc := range []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+	} {
+		got, err := wavefront.EditDistance(tc.a, tc.b, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("dist(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestEditDistanceMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomString(r, r.Intn(30))
+		b := randomString(r, r.Intn(30))
+		got, err := wavefront.EditDistance(a, b, 1+r.Intn(6))
+		if err != nil {
+			return false
+		}
+		return got == wavefront.EditDistanceSerial(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockedMatchesUnblocked(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomString(r, 1+r.Intn(40))
+		b := randomString(r, 1+r.Intn(40))
+		fblk := 1 + r.Intn(6)
+		got, _, err := wavefront.EditDistanceBlocked(a, b, fblk, 1+r.Intn(4))
+		if err != nil {
+			return false
+		}
+		return got == wavefront.EditDistanceSerial(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockedGranularityTradeoff(t *testing.T) {
+	// §4: computation per coarse task grows quadratically with the side
+	// length, communication linearly — so total cut arcs shrink roughly
+	// linearly in f.
+	a := strings.Repeat("ab", 32)
+	b := strings.Repeat("ba", 32)
+	_, s2, err := wavefront.EditDistanceBlocked(a, b, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s8, err := wavefront.EditDistanceBlocked(a, b, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s8.CutArcs >= s2.CutArcs {
+		t.Fatalf("coarser blocking did not cut communication: f=2 %d vs f=8 %d", s2.CutArcs, s8.CutArcs)
+	}
+	max2, max8 := 0, 0
+	for _, w := range s2.Work {
+		if w > max2 {
+			max2 = w
+		}
+	}
+	for _, w := range s8.Work {
+		if w > max8 {
+			max8 = w
+		}
+	}
+	if max8 != 16*max2 {
+		t.Fatalf("work did not scale quadratically: %d vs %d", max2, max8)
+	}
+}
+
+func TestLCSKnown(t *testing.T) {
+	for _, tc := range []struct {
+		a, b string
+		want int
+	}{
+		{"", "x", 0},
+		{"abcde", "ace", 3},
+		{"aggtab", "gxtxayb", 4},
+		{"abc", "abc", 3},
+	} {
+		got, err := wavefront.LCS(tc.a, tc.b, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("lcs(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestLCSEditDistanceRelation(t *testing.T) {
+	// For unit-cost edit distance without substitutions disallowed this
+	// doesn't hold in general, but with equal strings both are trivial;
+	// instead check the standard inequality |a|+|b|-2·LCS >= dist.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomString(r, r.Intn(20))
+		b := randomString(r, r.Intn(20))
+		lcs, err := wavefront.LCS(a, b, 2)
+		if err != nil {
+			return false
+		}
+		dist, err := wavefront.EditDistance(a, b, 2)
+		if err != nil {
+			return false
+		}
+		return len(a)+len(b)-2*lcs >= dist
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLCS3Known(t *testing.T) {
+	for _, tc := range []struct {
+		a, b, c string
+	}{
+		{"", "", ""},
+		{"abc", "abc", "abc"},
+		{"abcd", "bacd", "acbd"},
+		{"epidemiologist", "refrigeration", "supercalifragilistic"},
+	} {
+		got, err := wavefront.LCS3(tc.a, tc.b, tc.c, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := wavefront.LCS3Serial(tc.a, tc.b, tc.c)
+		if got != want {
+			t.Fatalf("LCS3(%q,%q,%q) = %d, serial says %d", tc.a, tc.b, tc.c, got, want)
+		}
+	}
+	// One fully known value.
+	got, err := wavefront.LCS3("abc", "abc", "abc", 2)
+	if err != nil || got != 3 {
+		t.Fatalf("identical strings LCS3 = %d (%v)", got, err)
+	}
+}
+
+func TestLCS3MatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomString(r, r.Intn(12))
+		b := randomString(r, r.Intn(12))
+		c := randomString(r, r.Intn(12))
+		got, err := wavefront.LCS3(a, b, c, 1+r.Intn(4))
+		if err != nil {
+			return false
+		}
+		return got == wavefront.LCS3Serial(a, b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLCS3BoundedByPairwise(t *testing.T) {
+	// LCS of three strings can't exceed any pairwise LCS.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomString(r, 1+r.Intn(10))
+		b := randomString(r, 1+r.Intn(10))
+		c := randomString(r, 1+r.Intn(10))
+		l3, err := wavefront.LCS3(a, b, c, 2)
+		if err != nil {
+			return false
+		}
+		l2, err := wavefront.LCS(a, b, 2)
+		if err != nil {
+			return false
+		}
+		return l3 <= l2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := wavefront.Run(0, 3, nil, 1); err == nil {
+		t.Fatal("0 rows accepted")
+	}
+	if _, _, err := wavefront.RunBlocked(3, 3, 0, nil, 1); err == nil {
+		t.Fatal("block 0 accepted")
+	}
+}
+
+func TestWorkerInvariance(t *testing.T) {
+	a, b := "wavefront", "waterfront"
+	d1, err := wavefront.EditDistance(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d8, err := wavefront.EditDistance(a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d8 {
+		t.Fatal("worker count changed edit distance")
+	}
+}

@@ -1,0 +1,241 @@
+// Package zt computes the n-dimensional Discrete Laplace Transform
+// (Z-Transform) of §6.2.1:
+//
+//	y_k(ω) = Σ_{i=0}^{n-1} x_i · ω^{ik}                  (6.4)
+//
+// with both of the paper's algorithms, each executing its dag on the
+// worker-pool executor:
+//
+//   - ViaPrefix (Fig. 13): an n-input parallel-prefix dag generates the
+//     powers ⟨1, ω^k, …, ω^{(n-1)k}⟩, whose outputs multiply the x_i and
+//     feed the accumulating in-tree — the dag L_n of package dltdag.
+//
+//   - ViaPowerTree (Figs. 14–15): a ternary out-tree of 3-prong Vee dags
+//     generates the powers.  Node j holds ω^{jk}; its V₃ transformation
+//     sends w to (w³·ω^{-k}, w³, w³·ω^{k}), i.e. children 3j-1, 3j, 3j+1 —
+//     the ternary heap that enumerates every exponent ≥ 2 exactly once.
+//     Each power node also feeds the multiply task x_j·ω^{jk}, and the
+//     in-tree accumulates; the leftmost source contributes x_0 unscaled.
+package zt
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"icsched/internal/dag"
+	"icsched/internal/dltdag"
+	"icsched/internal/exec"
+	"icsched/internal/prefix"
+)
+
+// Naive evaluates (6.4) directly in O(n·m) multiplications, as the
+// reference implementation.
+func Naive(xs []complex128, omega complex128, m int) []complex128 {
+	out := make([]complex128, m)
+	for k := 0; k < m; k++ {
+		var sum complex128
+		p := complex(1, 0) // ω^{ik}, built incrementally
+		wk := cmplx.Pow(omega, complex(float64(k), 0))
+		for _, x := range xs {
+			sum += x * p
+			p *= wk
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// ViaPrefix computes ⟨y_0, …, y_{m-1}⟩ by executing the L_n dag of
+// Fig. 13 once per output.  len(xs) must be a power of two ≥ 2.
+func ViaPrefix(xs []complex128, omega complex128, m, workers int) ([]complex128, error) {
+	n := len(xs)
+	comp, err := dltdag.L(n)
+	if err != nil {
+		return nil, fmt.Errorf("zt: %w", err)
+	}
+	g, err := comp.Dag()
+	if err != nil {
+		return nil, fmt.Errorf("zt: %w", err)
+	}
+	order, err := comp.Schedule()
+	if err != nil {
+		return nil, fmt.Errorf("zt: %w", err)
+	}
+	rank := exec.RankFromOrder(g, order)
+	placed := comp.Placed()
+	pGlobal := placed[0].ToGlobal
+	L := prefix.Levels(n)
+	// Classify every global node: prefix (row, col), or in-tree join.
+	type pos struct{ row, col int }
+	prefixPos := make(map[dag.NodeID]pos, (L+1)*n)
+	for row := 0; row <= L; row++ {
+		for col := 0; col < n; col++ {
+			prefixPos[pGlobal[prefix.ID(n, row, col)]] = pos{row, col}
+		}
+	}
+
+	out := make([]complex128, m)
+	for k := 0; k < m; k++ {
+		wk := cmplx.Pow(omega, complex(float64(k), 0))
+		vals := make([]complex128, g.NumNodes())
+		_, err := exec.Run(g, rank, workers, func(v dag.NodeID) error {
+			if p, ok := prefixPos[v]; ok {
+				switch {
+				case p.row == 0:
+					// Input vector ⟨1, ω^k, ω^k, …⟩ so the ×-scan yields
+					// ⟨1, ω^k, ω^{2k}, …, ω^{(n-1)k}⟩.
+					if p.col == 0 {
+						vals[v] = 1
+					} else {
+						vals[v] = wk
+					}
+				default:
+					step := 1 << uint(p.row-1)
+					below := vals[pGlobal[prefix.ID(n, p.row-1, p.col)]]
+					if p.col >= step {
+						vals[v] = vals[pGlobal[prefix.ID(n, p.row-1, p.col-step)]] * below
+					} else {
+						vals[v] = below
+					}
+					if p.row == L {
+						// The merged node is the in-tree source: fold in x_i.
+						vals[v] *= xs[p.col]
+					}
+				}
+				return nil
+			}
+			// In-tree join: sum the two parents.
+			var sum complex128
+			for _, par := range g.Parents(v) {
+				sum += vals[par]
+			}
+			vals[v] = sum
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("zt: output %d: %w", k, err)
+		}
+		out[k] = vals[g.Sinks()[0]]
+	}
+	return out, nil
+}
+
+// PowerTreeDag builds the Fig. 15 computation dag for n inputs (n a power
+// of two ≥ 2): power nodes P_1 … P_{n-1} wired as the ternary heap
+// (children 3j-1, 3j, 3j+1), multiply nodes V_0 … V_{n-1} with V_j a child
+// of P_j (V_0 is a free source), and a complete binary in-tree over the
+// V_j.  It returns the dag plus the node-ID tables.
+func PowerTreeDag(n int) (*dag.Dag, []dag.NodeID, []dag.NodeID, []dag.NodeID, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, nil, nil, nil, fmt.Errorf("zt: n = %d is not a power of two >= 2", n)
+	}
+	b := &dag.Builder{}
+	powers := make([]dag.NodeID, n) // powers[j] = P_j for j >= 1
+	for j := 1; j < n; j++ {
+		powers[j] = b.AddLabeledNode(fmt.Sprintf("w^%d", j))
+	}
+	for j := 1; j < n; j++ {
+		for _, c := range []int{3*j - 1, 3 * j, 3*j + 1} {
+			if c >= 2 && c < n {
+				b.AddArc(powers[j], powers[c])
+			}
+		}
+	}
+	mults := make([]dag.NodeID, n)
+	for j := 0; j < n; j++ {
+		mults[j] = b.AddLabeledNode(fmt.Sprintf("x%d*w^%d", j, j))
+		if j >= 1 {
+			b.AddArc(powers[j], mults[j])
+		}
+	}
+	// Complete binary in-tree over the multiply nodes.
+	level := append([]dag.NodeID(nil), mults...)
+	var joins []dag.NodeID
+	for len(level) > 1 {
+		var next []dag.NodeID
+		for i := 0; i < len(level); i += 2 {
+			j := b.AddNode()
+			joins = append(joins, j)
+			b.AddArc(level[i], j)
+			b.AddArc(level[i+1], j)
+			next = append(next, j)
+		}
+		level = next
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return g, powers, mults, joins, nil
+}
+
+// ViaPowerTree computes ⟨y_0, …, y_{m-1}⟩ by executing the power-tree dag
+// of Figs. 14–15 once per output.  len(xs) must be a power of two ≥ 2.
+func ViaPowerTree(xs []complex128, omega complex128, m, workers int) ([]complex128, error) {
+	n := len(xs)
+	g, powers, mults, _, err := PowerTreeDag(n)
+	if err != nil {
+		return nil, err
+	}
+	isPower := make([]int, g.NumNodes()) // exponent j for P_j, else 0
+	for j := 1; j < n; j++ {
+		isPower[powers[j]] = j
+	}
+	multIdx := make([]int, g.NumNodes()) // j+1 for V_j, else 0
+	for j := 0; j < n; j++ {
+		multIdx[mults[j]] = j + 1
+	}
+	order := g.TopoOrder()
+	rank := exec.RankFromOrder(g, order)
+
+	out := make([]complex128, m)
+	for k := 0; k < m; k++ {
+		wk := cmplx.Pow(omega, complex(float64(k), 0))
+		wkInv := complex(1, 0)
+		if wk != 0 {
+			wkInv = 1 / wk
+		}
+		vals := make([]complex128, g.NumNodes())
+		_, err := exec.Run(g, rank, workers, func(v dag.NodeID) error {
+			if j := isPower[v]; j > 0 {
+				if j == 1 {
+					vals[v] = wk // the root holds ω^k
+					return nil
+				}
+				// P_j's parent is P_⌈j/3⌉ (heap): j = 3p+δ, δ ∈ {-1,0,1}.
+				p := (j + 1) / 3
+				w := vals[powers[p]]
+				cube := w * w * w
+				switch j - 3*p {
+				case -1:
+					vals[v] = cube * wkInv // x0 = w³·ω^{-k}
+				case 0:
+					vals[v] = cube // x1 = w³
+				default:
+					vals[v] = cube * wk // x2 = w³·ω^{k}
+				}
+				return nil
+			}
+			if ji := multIdx[v]; ji > 0 {
+				j := ji - 1
+				if j == 0 {
+					vals[v] = xs[0] // x_0·ω^0
+				} else {
+					vals[v] = xs[j] * vals[powers[j]]
+				}
+				return nil
+			}
+			var sum complex128
+			for _, par := range g.Parents(v) {
+				sum += vals[par]
+			}
+			vals[v] = sum
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("zt: output %d: %w", k, err)
+		}
+		out[k] = vals[g.Sinks()[0]]
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package zt_test
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"icsched/internal/compute/zt"
+)
+
+func randomInputs(rng *rand.Rand, n int) []complex128 {
+	xs := make([]complex128, n)
+	for i := range xs {
+		xs[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return xs
+}
+
+func closeTo(a, b complex128, tol float64) bool { return cmplx.Abs(a-b) <= tol }
+
+func TestViaPrefixMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 4, 8, 16} {
+		xs := randomInputs(rng, n)
+		omega := cmplx.Exp(complex(0, 2*math.Pi/float64(n)))
+		m := n
+		got, err := zt.ViaPrefix(xs, omega, m, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := zt.Naive(xs, omega, m)
+		for k := range want {
+			if !closeTo(got[k], want[k], 1e-8*float64(n)) {
+				t.Fatalf("n=%d: y_%d = %v, want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestViaPowerTreeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		xs := randomInputs(rng, n)
+		omega := cmplx.Exp(complex(0, 2*math.Pi/float64(2*n)))
+		m := 6
+		got, err := zt.ViaPowerTree(xs, omega, m, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := zt.Naive(xs, omega, m)
+		for k := range want {
+			if !closeTo(got[k], want[k], 1e-7*float64(n)) {
+				t.Fatalf("n=%d: y_%d = %v, want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestAlgorithmsAgree(t *testing.T) {
+	// The two §6.2.1 algorithms compute the same transform.
+	rng := rand.New(rand.NewSource(3))
+	n := 8
+	xs := randomInputs(rng, n)
+	omega := complex(0.9, 0.3)
+	a, err := zt.ViaPrefix(xs, omega, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := zt.ViaPowerTree(xs, omega, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a {
+		if !closeTo(a[k], b[k], 1e-8) {
+			t.Fatalf("algorithms disagree at k=%d: %v vs %v", k, a[k], b[k])
+		}
+	}
+}
+
+func TestDLTAtUnitRootIsDFTRow(t *testing.T) {
+	// With ω = e^{-2πi/n}, y_k is exactly the k-th DFT coefficient.
+	rng := rand.New(rand.NewSource(4))
+	n := 8
+	xs := randomInputs(rng, n)
+	omega := cmplx.Exp(complex(0, -2*math.Pi/float64(n)))
+	got, err := zt.ViaPrefix(xs, omega, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		var want complex128
+		for i := 0; i < n; i++ {
+			want += xs[i] * cmplx.Exp(complex(0, -2*math.Pi*float64(i*k)/float64(n)))
+		}
+		if !closeTo(got[k], want, 1e-8) {
+			t.Fatalf("DFT row %d: %v vs %v", k, got[k], want)
+		}
+	}
+}
+
+func TestPowerTreeDagStructure(t *testing.T) {
+	n := 8
+	g, powers, mults, joins, err := zt.PowerTreeDag(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n-1 powers + n multiplies + n-1 joins.
+	if g.NumNodes() != (n-1)+n+(n-1) {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Sources: P_1 and V_0 (the paper's "leftmost source").
+	if len(g.Sources()) != 2 {
+		t.Fatalf("sources = %v", g.Sources())
+	}
+	if len(g.Sinks()) != 1 {
+		t.Fatalf("sinks = %v", g.Sinks())
+	}
+	// Heap wiring: P_2, P_3, P_4 are children of P_1.
+	for _, c := range []int{2, 3, 4} {
+		if !g.HasArc(powers[1], powers[c]) {
+			t.Fatalf("P_1 -> P_%d missing", c)
+		}
+	}
+	// P_5, P_6, P_7 are children of P_2.
+	for _, c := range []int{5, 6, 7} {
+		if !g.HasArc(powers[2], powers[c]) {
+			t.Fatalf("P_2 -> P_%d missing", c)
+		}
+	}
+	// Every multiply node j >= 1 hangs off its power node.
+	for j := 1; j < n; j++ {
+		if !g.HasArc(powers[j], mults[j]) {
+			t.Fatalf("P_%d -> V_%d missing", j, j)
+		}
+	}
+	if len(joins) != n-1 {
+		t.Fatalf("joins = %d", len(joins))
+	}
+}
+
+func TestPowerTreeDagRejects(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6} {
+		if _, _, _, _, err := zt.PowerTreeDag(n); err == nil {
+			t.Fatalf("PowerTreeDag(%d) accepted", n)
+		}
+	}
+}
+
+func TestViaPrefixRejectsBadN(t *testing.T) {
+	if _, err := zt.ViaPrefix(make([]complex128, 3), 1, 1, 1); err == nil {
+		t.Fatal("n=3 accepted")
+	}
+}
+
+func TestWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := randomInputs(rng, 16)
+	omega := complex(0.7, -0.2)
+	a, err := zt.ViaPowerTree(xs, omega, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := zt.ViaPowerTree(xs, omega, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatal("worker count changed DLT bits")
+		}
+	}
+}
+
+func TestPowerNodesHoldExactPowers(t *testing.T) {
+	// White-box via the dag: run ViaPowerTree with xs = e_j to isolate
+	// x_j·ω^{jk} and confirm the tree's cube±1 arithmetic.
+	n := 16
+	omega := complex(1.1, 0.4)
+	for _, j := range []int{1, 5, 11, 15} {
+		xs := make([]complex128, n)
+		xs[j] = 1
+		got, err := zt.ViaPowerTree(xs, omega, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 3; k++ {
+			want := cmplx.Pow(omega, complex(float64(j*k), 0))
+			if !closeTo(got[k], want, 1e-9*math.Pow(cmplx.Abs(omega), float64(j*k))) {
+				t.Fatalf("e_%d transform at k=%d: %v vs ω^%d = %v", j, k, got[k], j*k, want)
+			}
+		}
+	}
+}

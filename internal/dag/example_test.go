@@ -1,0 +1,52 @@
+package dag_test
+
+import (
+	"fmt"
+
+	"icsched/internal/dag"
+)
+
+// Build the Lambda dag of Fig. 1 and inspect its structure.
+func ExampleBuilder() {
+	b := dag.NewBuilder(3)
+	b.SetLabel(0, "y0")
+	b.SetLabel(1, "y1")
+	b.SetLabel(2, "z")
+	b.AddArc(0, 2)
+	b.AddArc(1, 2)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g)
+	fmt.Println("sources:", len(g.Sources()), "sinks:", len(g.Sinks()))
+	// Output:
+	// dag{nodes:3 arcs:2 sources:2 sinks:1}
+	// sources: 2 sinks: 1
+}
+
+// The dual interchanges sources and sinks (§2.3.2).
+func ExampleDag_Dual() {
+	b := dag.NewBuilder(3)
+	b.AddArc(0, 1)
+	b.AddArc(0, 2)
+	v := b.MustBuild() // the Vee dag
+	d := v.Dual()      // ... whose dual is a Lambda dag
+	fmt.Println("V:", len(v.Sources()), "source(s),", len(v.Sinks()), "sink(s)")
+	fmt.Println("Ṽ:", len(d.Sources()), "source(s),", len(d.Sinks()), "sink(s)")
+	// Output:
+	// V: 1 source(s), 2 sink(s)
+	// Ṽ: 2 source(s), 1 sink(s)
+}
+
+// Transitive reduction removes redundant dependency arcs.
+func ExampleDag_TransitiveReduction() {
+	b := dag.NewBuilder(3)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	b.AddArc(0, 2) // implied by 0->1->2
+	g := b.MustBuild()
+	fmt.Println("before:", g.NumArcs(), "arcs; after:", g.TransitiveReduction().NumArcs())
+	// Output:
+	// before: 3 arcs; after: 2
+}

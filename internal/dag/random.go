@@ -1,0 +1,103 @@
+package dag
+
+import "math/rand"
+
+// Random returns a random dag on n nodes: nodes are implicitly ordered
+// 0..n-1 and each forward pair (u, v) with u < v becomes an arc with
+// probability p.  The result is acyclic by construction.  Used throughout
+// the test suite (testing/quick harnesses) and by the synthetic-workflow
+// generators.
+func Random(rng *rand.Rand, n int, p float64) *Dag {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddArc(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomConnected returns a random connected dag on n >= 1 nodes: it starts
+// from Random(rng, n, p) and then links any disconnected node to a random
+// earlier node (or later node, for node 0) so the underlying undirected
+// graph is connected.
+func RandomConnected(rng *rand.Rand, n int, p float64) *Dag {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddArc(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	g := b.MustBuild()
+	if g.Connected() {
+		return g
+	}
+	// Union-find over the undirected skeleton; join components with
+	// forward arcs to preserve acyclicity.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, a := range g.Arcs() {
+		union(int(a.From), int(a.To))
+	}
+	b2 := NewBuilder(n)
+	for _, a := range g.Arcs() {
+		b2.AddArc(a.From, a.To)
+	}
+	for v := 1; v < n; v++ {
+		if find(v) != find(0) {
+			u := rng.Intn(v)
+			b2.AddArc(NodeID(u), NodeID(v))
+			union(u, v)
+		}
+	}
+	return b2.MustBuild()
+}
+
+// RandomLayered returns a random layered dag: layers[i] nodes in layer i,
+// with each node in layer i+1 receiving between 1 and maxIn arcs from
+// uniformly chosen nodes of layer i.  Layered dags model the staged
+// scientific workflows used in the scheduler-comparison experiments.
+func RandomLayered(rng *rand.Rand, layers []int, maxIn int) *Dag {
+	total := 0
+	for _, l := range layers {
+		total += l
+	}
+	b := NewBuilder(total)
+	offset := 0
+	for i := 0; i+1 < len(layers); i++ {
+		next := offset + layers[i]
+		for v := 0; v < layers[i+1]; v++ {
+			k := 1
+			if maxIn > 1 {
+				k += rng.Intn(maxIn)
+			}
+			if k > layers[i] {
+				k = layers[i]
+			}
+			seen := map[int]bool{}
+			for len(seen) < k {
+				seen[rng.Intn(layers[i])] = true
+			}
+			for u := range seen {
+				b.AddArc(NodeID(offset+u), NodeID(next+v))
+			}
+		}
+		offset = next
+	}
+	return b.MustBuild()
+}

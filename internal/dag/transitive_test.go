@@ -1,0 +1,150 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClosureOfChain(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	b.AddArc(2, 3)
+	g := b.MustBuild()
+	c := g.TransitiveClosure()
+	if c.NumArcs() != 6 { // all ordered pairs of the chain
+		t.Fatalf("closure arcs = %d, want 6", c.NumArcs())
+	}
+	if !c.HasArc(0, 3) || !c.HasArc(1, 3) {
+		t.Fatal("closure missing implied arcs")
+	}
+}
+
+func TestReductionRemovesShortcuts(t *testing.T) {
+	// 0->1->2 plus the shortcut 0->2: reduction drops the shortcut.
+	b := NewBuilder(3)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	b.AddArc(0, 2)
+	g := b.MustBuild()
+	r := g.TransitiveReduction()
+	if r.NumArcs() != 2 || r.HasArc(0, 2) {
+		t.Fatalf("reduction kept the shortcut: %v", r)
+	}
+}
+
+func TestReductionKeepsEssentialArcs(t *testing.T) {
+	// Diamond 0->{1,2}->3: nothing is redundant.
+	b := NewBuilder(4)
+	b.AddArc(0, 1)
+	b.AddArc(0, 2)
+	b.AddArc(1, 3)
+	b.AddArc(2, 3)
+	g := b.MustBuild()
+	r := g.TransitiveReduction()
+	if !Equal(g, r) {
+		t.Fatal("reduction changed an already-minimal dag")
+	}
+}
+
+func TestReductionPreservesLabels(t *testing.T) {
+	b := NewBuilder(3)
+	b.SetLabel(0, "start")
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	b.AddArc(0, 2)
+	r := b.MustBuild().TransitiveReduction()
+	if r.Label(0) != "start" {
+		t.Fatal("reduction lost labels")
+	}
+}
+
+func TestReductionClosureInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := Random(r, 1+r.Intn(14), 0.4)
+		red := g.TransitiveReduction()
+		clo := g.TransitiveClosure()
+		// Reduction and original have the same closure.
+		if !Equal(red.TransitiveClosure(), clo) {
+			return false
+		}
+		// Reduction is idempotent.
+		if !Equal(red.TransitiveReduction(), red) {
+			return false
+		}
+		// Closure is idempotent.
+		if !Equal(clo.TransitiveClosure(), clo) {
+			return false
+		}
+		// Arc counts: reduction <= original <= closure.
+		return red.NumArcs() <= g.NumArcs() && g.NumArcs() <= clo.NumArcs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReductionPreservesEligibilityProfiles(t *testing.T) {
+	// Every legal schedule of g is legal for the reduction with the exact
+	// same per-step eligibility counts.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := Random(r, 1+r.Intn(12), 0.5)
+		red := g.TransitiveReduction()
+		// Random legal schedule of g via repeated eligible choice.
+		type state struct {
+			remaining []int
+			elig      map[NodeID]bool
+		}
+		mk := func(d *Dag) *state {
+			s := &state{remaining: make([]int, d.NumNodes()), elig: map[NodeID]bool{}}
+			for v := 0; v < d.NumNodes(); v++ {
+				s.remaining[v] = d.InDegree(NodeID(v))
+				if s.remaining[v] == 0 {
+					s.elig[NodeID(v)] = true
+				}
+			}
+			return s
+		}
+		exe := func(d *Dag, s *state, v NodeID) bool {
+			if !s.elig[v] {
+				return false
+			}
+			delete(s.elig, v)
+			for _, c := range d.Children(v) {
+				s.remaining[c]--
+				if s.remaining[c] == 0 {
+					s.elig[c] = true
+				}
+			}
+			return true
+		}
+		sg, sr := mk(g), mk(red)
+		for step := 0; step < g.NumNodes(); step++ {
+			if len(sg.elig) != len(sr.elig) {
+				return false
+			}
+			// pick a random eligible node of g
+			var choices []NodeID
+			for v := range sg.elig {
+				choices = append(choices, v)
+			}
+			// deterministic pick for reproducibility
+			best := choices[0]
+			for _, c := range choices[1:] {
+				if c < best {
+					best = c
+				}
+			}
+			if !exe(g, sg, best) || !exe(red, sr, best) {
+				return false
+			}
+		}
+		return len(sg.elig) == 0 && len(sr.elig) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

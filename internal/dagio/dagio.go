@@ -1,0 +1,184 @@
+// Package dagio serializes computation-dags and schedules, so the CLI and
+// downstream tools can exchange dags with external workflow systems
+// (DAGMan-style edge lists) and structured pipelines (JSON).
+package dagio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"icsched/internal/dag"
+)
+
+// jsonDag is the JSON wire form.
+type jsonDag struct {
+	Nodes  int               `json:"nodes"`
+	Arcs   [][2]int32        `json:"arcs"`
+	Labels map[string]string `json:"labels,omitempty"` // node id -> label
+}
+
+// MarshalJSON encodes g.
+func MarshalJSON(g *dag.Dag) ([]byte, error) {
+	jd := jsonDag{Nodes: g.NumNodes()}
+	for _, a := range g.Arcs() {
+		jd.Arcs = append(jd.Arcs, [2]int32{a.From, a.To})
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if l := g.Label(dag.NodeID(v)); l != "" {
+			if jd.Labels == nil {
+				jd.Labels = make(map[string]string)
+			}
+			jd.Labels[strconv.Itoa(v)] = l
+		}
+	}
+	return json.MarshalIndent(jd, "", "  ")
+}
+
+// UnmarshalJSON decodes a dag, validating acyclicity.
+func UnmarshalJSON(data []byte) (*dag.Dag, error) {
+	var jd jsonDag
+	if err := json.Unmarshal(data, &jd); err != nil {
+		return nil, fmt.Errorf("dagio: %w", err)
+	}
+	if jd.Nodes < 0 {
+		return nil, fmt.Errorf("dagio: negative node count %d", jd.Nodes)
+	}
+	b := dag.NewBuilder(jd.Nodes)
+	for _, a := range jd.Arcs {
+		b.AddArc(a[0], a[1])
+	}
+	for k, l := range jd.Labels {
+		v, err := strconv.Atoi(k)
+		if err != nil || v < 0 || v >= jd.Nodes {
+			return nil, fmt.Errorf("dagio: bad label key %q", k)
+		}
+		b.SetLabel(dag.NodeID(v), l)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("dagio: %w", err)
+	}
+	return g, nil
+}
+
+// WriteEdgeList writes g as a DAGMan-style text edge list: one "parent
+// child" pair per line, nodes named by label (or n<id>), preceded by
+// "node <name>" declarations so isolated nodes survive the round trip.
+func WriteEdgeList(w io.Writer, g *dag.Dag) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < g.NumNodes(); v++ {
+		if _, err := fmt.Fprintf(bw, "node %s\n", g.Name(dag.NodeID(v))); err != nil {
+			return err
+		}
+	}
+	for _, a := range g.Arcs() {
+		if _, err := fmt.Fprintf(bw, "%s %s\n", g.Name(a.From), g.Name(a.To)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format (also accepting bare edge
+// lists with no node declarations).  Node IDs are assigned by first
+// appearance; names become labels.  The word "node" in the first column
+// is reserved for declarations, so a task cannot itself be named "node".
+func ReadEdgeList(r io.Reader) (*dag.Dag, error) {
+	ids := map[string]dag.NodeID{}
+	var names []string
+	intern := func(name string) dag.NodeID {
+		if id, ok := ids[name]; ok {
+			return id
+		}
+		id := dag.NodeID(len(names))
+		ids[name] = id
+		names = append(names, name)
+		return id
+	}
+	type arc struct{ from, to string }
+	var arcs []arc
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		switch {
+		case len(fields) == 0 || strings.HasPrefix(fields[0], "#"):
+			continue
+		case len(fields) == 2 && fields[0] == "node":
+			intern(fields[1])
+		case len(fields) == 2:
+			intern(fields[0])
+			intern(fields[1])
+			arcs = append(arcs, arc{fields[0], fields[1]})
+		default:
+			return nil, fmt.Errorf("dagio: line %d: want 'node NAME' or 'PARENT CHILD'", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dagio: %w", err)
+	}
+	b := dag.NewBuilder(len(names))
+	for i, n := range names {
+		b.SetLabel(dag.NodeID(i), n)
+	}
+	for _, a := range arcs {
+		b.AddArc(ids[a.from], ids[a.to])
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("dagio: %w", err)
+	}
+	return g, nil
+}
+
+// MarshalSchedule encodes an execution order as a JSON array of node
+// names (labels when present).
+func MarshalSchedule(g *dag.Dag, order []dag.NodeID) ([]byte, error) {
+	names := make([]string, len(order))
+	for i, v := range order {
+		if int(v) < 0 || int(v) >= g.NumNodes() {
+			return nil, fmt.Errorf("dagio: schedule node %d out of range", v)
+		}
+		names[i] = g.Name(v)
+	}
+	return json.MarshalIndent(names, "", "  ")
+}
+
+// UnmarshalSchedule decodes a schedule back into node IDs by matching
+// names against g.
+func UnmarshalSchedule(g *dag.Dag, data []byte) ([]dag.NodeID, error) {
+	var names []string
+	if err := json.Unmarshal(data, &names); err != nil {
+		return nil, fmt.Errorf("dagio: %w", err)
+	}
+	byName := map[string]dag.NodeID{}
+	for v := 0; v < g.NumNodes(); v++ {
+		byName[g.Name(dag.NodeID(v))] = dag.NodeID(v)
+	}
+	out := make([]dag.NodeID, len(names))
+	for i, n := range names {
+		v, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("dagio: schedule names unknown node %q", n)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// CanonicalNames returns the dag's node names sorted, primarily for
+// golden-file tests.
+func CanonicalNames(g *dag.Dag) []string {
+	names := make([]string, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		names[v] = g.Name(dag.NodeID(v))
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,160 @@
+package dagio_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"icsched/internal/dag"
+	"icsched/internal/dagio"
+	"icsched/internal/mesh"
+	"icsched/internal/sched"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := dag.Random(r, r.Intn(25), 0.3)
+		data, err := dagio.MarshalJSON(g)
+		if err != nil {
+			return false
+		}
+		back, err := dagio.UnmarshalJSON(data)
+		if err != nil {
+			return false
+		}
+		return dag.Equal(g, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONPreservesLabels(t *testing.T) {
+	b := dag.NewBuilder(2)
+	b.SetLabel(0, "alpha")
+	b.AddArc(0, 1)
+	g := b.MustBuild()
+	data, err := dagio.MarshalJSON(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := dagio.UnmarshalJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Label(0) != "alpha" || back.Label(1) != "" {
+		t.Fatalf("labels lost: %q %q", back.Label(0), back.Label(1))
+	}
+}
+
+func TestJSONRejectsCycle(t *testing.T) {
+	data := []byte(`{"nodes": 2, "arcs": [[0,1],[1,0]]}`)
+	if _, err := dagio.UnmarshalJSON(data); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestJSONRejectsGarbage(t *testing.T) {
+	if _, err := dagio.UnmarshalJSON([]byte(`{`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := dagio.UnmarshalJSON([]byte(`{"nodes": -1}`)); err == nil {
+		t.Fatal("negative nodes accepted")
+	}
+	if _, err := dagio.UnmarshalJSON([]byte(`{"nodes": 2, "labels": {"9": "x"}}`)); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := mesh.OutMesh(4)
+	var buf bytes.Buffer
+	if err := dagio.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dagio.ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumArcs() != g.NumArcs() {
+		t.Fatalf("round trip shape: %v vs %v", back, g)
+	}
+}
+
+func TestEdgeListBareFormat(t *testing.T) {
+	in := strings.NewReader("# comment\nsetup build\nbuild test\nbuild package\n")
+	g, err := dagio.ReadEdgeList(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumArcs() != 3 {
+		t.Fatalf("bare edge list: %v", g)
+	}
+	if g.Label(0) != "setup" {
+		t.Fatalf("first node label %q", g.Label(0))
+	}
+}
+
+func TestEdgeListIsolatedNodes(t *testing.T) {
+	in := strings.NewReader("node lonely\na b\n")
+	g, err := dagio.ReadEdgeList(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("isolated node lost: %v", g)
+	}
+}
+
+func TestEdgeListRejectsBadLines(t *testing.T) {
+	if _, err := dagio.ReadEdgeList(strings.NewReader("a b c\n")); err == nil {
+		t.Fatal("3-field line accepted")
+	}
+	if _, err := dagio.ReadEdgeList(strings.NewReader("a b\nb a\n")); err == nil {
+		t.Fatal("cyclic edge list accepted")
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	g := mesh.OutMesh(5)
+	order := sched.Complete(g, mesh.OutMeshNonsinks(5))
+	data, err := dagio.MarshalSchedule(g, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := dagio.UnmarshalSchedule(g, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(order) {
+		t.Fatal("length changed")
+	}
+	for i := range order {
+		if back[i] != order[i] {
+			t.Fatalf("schedule diverged at %d", i)
+		}
+	}
+}
+
+func TestScheduleUnknownName(t *testing.T) {
+	g := mesh.OutMesh(3)
+	if _, err := dagio.UnmarshalSchedule(g, []byte(`["bogus"]`)); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if _, err := dagio.MarshalSchedule(g, []dag.NodeID{99}); err == nil {
+		t.Fatal("out-of-range schedule accepted")
+	}
+}
+
+func TestCanonicalNamesSorted(t *testing.T) {
+	g := mesh.OutMesh(3)
+	names := dagio.CanonicalNames(g)
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatal("names not sorted")
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package dagio_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"icsched/internal/dag"
+	"icsched/internal/dagio"
+)
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("a b\nb c\n")
+	f.Add("node x\n# comment\nx y\n")
+	f.Add("")
+	f.Add("a a\n") // self-loop must be rejected, not panic
+	f.Add("a b\nb a\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := dagio.ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything accepted must survive a write/read round trip with the
+		// same shape.
+		var buf bytes.Buffer
+		if err := dagio.WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write after accept: %v", err)
+		}
+		back, err := dagio.ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("reread after write: %v", err)
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumArcs() != g.NumArcs() {
+			t.Fatalf("round trip changed shape: %v vs %v", back, g)
+		}
+	})
+}
+
+func FuzzUnmarshalJSON(f *testing.F) {
+	f.Add([]byte(`{"nodes": 3, "arcs": [[0,1],[1,2]]}`))
+	f.Add([]byte(`{"nodes": 0}`))
+	f.Add([]byte(`{"nodes": 2, "arcs": [[0,0]]}`))
+	f.Add([]byte(`{"nodes": 2, "labels": {"0": "x"}}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := dagio.UnmarshalJSON(data)
+		if err != nil {
+			return
+		}
+		out, err := dagio.MarshalJSON(g)
+		if err != nil {
+			t.Fatalf("marshal after accept: %v", err)
+		}
+		back, err := dagio.UnmarshalJSON(out)
+		if err != nil {
+			t.Fatalf("reparse after marshal: %v", err)
+		}
+		if !dag.Equal(g, back) {
+			t.Fatal("round trip changed the dag")
+		}
+	})
+}

@@ -1,0 +1,197 @@
+// Package dltdag implements the Discrete Laplace Transform dag families of
+// §6.2: the composite dag L_n = P_n ⇑ T_n of Fig. 13 (an n-input
+// parallel-prefix dag generating the powers ω^{ik}, feeding an n-source
+// accumulation in-tree), the alternative dag L'_n of Fig. 15 (a ternary
+// out-tree of 3-prong Vee dags generating the powers, feeding the same
+// in-tree), and a Fig.-13-style coarsening of L_8.
+//
+// The paths-in-a-graph computation of Fig. 16 (§6.2.2) has exactly the
+// L_n dependency structure with matrix-valued tasks, so package
+// compute/graphpaths reuses L as well.
+//
+// Scheduling facts implemented and machine-checked here:
+//
+//   - L_n is ▷-linear (N_s ▷ N_t, N_s ▷ Λ, Λ ▷ Λ), so executing its P_n
+//     IC-optimally and then its T_n IC-optimally is IC-optimal;
+//   - L'_n is ▷-linear via the chain V₃ ▷ V₃ ▷ Λ ▷ Λ, and the schedule
+//     that executes the out-tree, then the leftmost in-tree source, then
+//     the in-tree, is IC-optimal.
+package dltdag
+
+import (
+	"fmt"
+
+	"icsched/internal/compose"
+	"icsched/internal/dag"
+	"icsched/internal/prefix"
+	"icsched/internal/trees"
+)
+
+// L returns the n-input DLT dag L_n = P_n ⇑ T_n of Fig. 13 (n must be a
+// power of 2, n ≥ 2): the n sinks of the parallel-prefix dag merge with
+// the n sources of the complete binary in-tree.
+func L(n int) (*compose.Composer, error) {
+	p, err := log2(n)
+	if err != nil {
+		return nil, fmt.Errorf("dltdag: L: %w", err)
+	}
+	var c compose.Composer
+	pn := prefix.Network(n)
+	if err := c.Add(compose.Block{
+		Name:     fmt.Sprintf("P%d", n),
+		G:        pn,
+		Nonsinks: prefix.Nonsinks(n),
+	}, nil); err != nil {
+		return nil, fmt.Errorf("dltdag: %w", err)
+	}
+	tn := trees.CompleteInTree(2, p)
+	tOrder, err := trees.InTreeNonsinks(tn)
+	if err != nil {
+		return nil, fmt.Errorf("dltdag: %w", err)
+	}
+	sinks := pn.Sinks()
+	var merges []compose.Merge
+	for i, src := range tn.Sources() {
+		merges = append(merges, compose.Merge{Source: src, Sink: sinks[i]})
+	}
+	if err := c.Add(compose.Block{
+		Name:     fmt.Sprintf("T%d", n),
+		G:        tn,
+		Nonsinks: tOrder,
+	}, merges); err != nil {
+		return nil, fmt.Errorf("dltdag: %w", err)
+	}
+	return &c, nil
+}
+
+// TernaryPowerTree returns a proper ternary out-tree with exactly
+// `leaves` leaves (leaves must be odd and ≥ 1), built by breadth-first
+// expansion — the V₃-composition of Fig. 15 that generates the powers
+// ω^{jk}.
+func TernaryPowerTree(leaves int) (*dag.Dag, error) {
+	if leaves < 1 || leaves%2 == 0 {
+		return nil, fmt.Errorf("dltdag: ternary tree needs an odd leaf count, got %d", leaves)
+	}
+	expansions := (leaves - 1) / 2
+	n := 3*expansions + 1
+	b := dag.NewBuilder(n)
+	next := dag.NodeID(1)
+	queue := []dag.NodeID{0}
+	for e := 0; e < expansions; e++ {
+		u := queue[0]
+		queue = queue[1:]
+		for c := 0; c < 3; c++ {
+			b.AddArc(u, next)
+			queue = append(queue, next)
+			next++
+		}
+	}
+	return b.Build()
+}
+
+// LPrime returns the alternative n-input DLT dag L'_n of Fig. 15 (n must
+// be a power of 2, n ≥ 4): a ternary out-tree with n-1 leaves generates
+// the powers ω^k … ω^{(n-1)k}; its leaves merge with in-tree sources
+// v_1 … v_{n-1}, while the leftmost source v_0 (which contributes
+// x_0·ω^0 = x_0) stays a free source.
+func LPrime(n int) (*compose.Composer, error) {
+	p, err := log2(n)
+	if err != nil {
+		return nil, fmt.Errorf("dltdag: LPrime: %w", err)
+	}
+	if n < 4 {
+		return nil, fmt.Errorf("dltdag: LPrime needs n >= 4, got %d", n)
+	}
+	tree, err := TernaryPowerTree(n - 1)
+	if err != nil {
+		return nil, fmt.Errorf("dltdag: %w", err)
+	}
+	var c compose.Composer
+	if err := c.Add(compose.Block{
+		Name:     fmt.Sprintf("V3tree%d", n-1),
+		G:        tree,
+		Nonsinks: trees.OutTreeNonsinks(tree),
+	}, nil); err != nil {
+		return nil, fmt.Errorf("dltdag: %w", err)
+	}
+	tn := trees.CompleteInTree(2, p)
+	tOrder, err := trees.InTreeNonsinks(tn)
+	if err != nil {
+		return nil, fmt.Errorf("dltdag: %w", err)
+	}
+	leaves := tree.Sinks()
+	srcs := tn.Sources()
+	var merges []compose.Merge
+	for i := 1; i < n; i++ { // v_0 stays free
+		merges = append(merges, compose.Merge{Source: srcs[i], Sink: leaves[i-1]})
+	}
+	if err := c.Add(compose.Block{
+		Name:     fmt.Sprintf("T%d", n),
+		G:        tn,
+		Nonsinks: tOrder,
+	}, merges); err != nil {
+		return nil, fmt.Errorf("dltdag: %w", err)
+	}
+	return &c, nil
+}
+
+// CoarsenedL8 returns the L_8 dag together with the Fig.-13-style
+// coarsening partition: the entire right-hand portion of the computation —
+// the prefix dag's combining stages for columns 4-7 plus the in-tree's
+// right half (its merged sources and internal joins) — collapses into one
+// coarse task, leaving the left half fine-grained.  The quotient remains
+// acyclic and — as the paper argues by combining ▷-priorities with the
+// topological fact that the in-tree's right portion cannot start before
+// its sources finish — still admits an IC-optimal schedule (the test suite
+// checks this with the exact oracle).
+//
+// It returns the fine dag, the partition, and the cluster count.
+func CoarsenedL8() (*dag.Dag, []int, int, error) {
+	c, err := L(8)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	g, err := c.Dag()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	placed := c.Placed()
+	pGlobal := placed[0].ToGlobal // prefix-local -> global
+	tGlobal := placed[1].ToGlobal // in-tree-local -> global
+	part := make([]int, g.NumNodes())
+	for i := range part {
+		part[i] = -1
+	}
+	// Cluster 0: prefix rows 1-3, columns 4-7, plus the in-tree's
+	// right-half internal joins.  In the heap numbering of
+	// CompleteInTree(2,3): root 0, right child 2, its children 5, 6.
+	for row := 1; row <= 3; row++ {
+		for col := 4; col < 8; col++ {
+			part[pGlobal[prefix.ID(8, row, col)]] = 0
+		}
+	}
+	for _, local := range []dag.NodeID{2, 5, 6} {
+		part[tGlobal[local]] = 0
+	}
+	count := 1
+	for i := range part {
+		if part[i] == -1 {
+			part[i] = count
+			count++
+		}
+	}
+	return g, part, count, nil
+}
+
+// log2 returns p with n = 2^p, or an error when n is not a power of two
+// or is < 2.
+func log2(n int) (int, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("n = %d is not a power of two >= 2", n)
+	}
+	p := 0
+	for 1<<uint(p) < n {
+		p++
+	}
+	return p, nil
+}

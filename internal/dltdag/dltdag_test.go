@@ -1,0 +1,227 @@
+package dltdag_test
+
+import (
+	"testing"
+
+	"icsched/internal/coarsen"
+	"icsched/internal/dltdag"
+	"icsched/internal/opt"
+	"icsched/internal/prefix"
+	"icsched/internal/sched"
+)
+
+func TestLShape(t *testing.T) {
+	for _, tc := range []struct{ n, nodes int }{
+		{2, 5},   // P_2 (4) + T_2 (3) - 2 shared
+		{4, 15},  // P_4 (12) + T_4 (7) - 4
+		{8, 39},  // P_8 (32) + T_8 (15) - 8
+		{16, 95}, // P_16 (80) + T_16 (31) - 16
+	} {
+		c, err := dltdag.L(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := c.Dag()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumNodes() != tc.nodes {
+			t.Fatalf("L_%d nodes = %d, want %d", tc.n, g.NumNodes(), tc.nodes)
+		}
+		if len(g.Sources()) != tc.n || len(g.Sinks()) != 1 {
+			t.Fatalf("L_%d sources/sinks: %d/%d", tc.n, len(g.Sources()), len(g.Sinks()))
+		}
+	}
+}
+
+func TestLRejectsNonPowersOfTwo(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6, 12} {
+		if _, err := dltdag.L(n); err == nil {
+			t.Fatalf("L(%d) accepted", n)
+		}
+	}
+}
+
+func TestLIsLinearComposition(t *testing.T) {
+	// §6.2.1: N_s ▷ N_t, N_s ▷ Λ, Λ ▷ Λ make L_n ▷-linear; at the block
+	// level the P_n ▷ T_n link must hold.
+	c, err := dltdag.L(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.VerifyLinear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("P_n ⇑ T_n must be ▷-linear")
+	}
+}
+
+func TestLScheduleOptimalByOracle(t *testing.T) {
+	for _, n := range []int{2, 4} {
+		c, err := dltdag.L(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := c.Dag()
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, err := c.Schedule()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := opt.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, step, err := l.IsOptimal(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("L_%d schedule not optimal at step %d", n, step)
+		}
+	}
+}
+
+func TestL8ScheduleProfile(t *testing.T) {
+	// L_8 exceeds the oracle limit; check the schedule is legal and its
+	// prefix phase keeps the constant-8 profile of P_8.
+	c, err := dltdag.L(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := c.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := sched.Profile(g, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPrefix := len(prefix.Nonsinks(8))
+	for x := 0; x <= nPrefix; x++ {
+		if prof[x] != 8 {
+			t.Fatalf("L_8 profile[%d] = %d, want 8 during the prefix phase", x, prof[x])
+		}
+	}
+}
+
+func TestTernaryPowerTree(t *testing.T) {
+	for _, leaves := range []int{1, 3, 5, 7, 9, 15} {
+		g, err := dltdag.TernaryPowerTree(leaves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Sinks()) != leaves {
+			t.Fatalf("tree(%d) has %d leaves", leaves, len(g.Sinks()))
+		}
+		// Proper ternary: every internal node has 3 children.
+		for v := 0; v < g.NumNodes(); v++ {
+			if d := g.OutDegree(int32(v)); d != 0 && d != 3 {
+				t.Fatalf("tree(%d) node %d has out-degree %d", leaves, v, d)
+			}
+		}
+	}
+	for _, leaves := range []int{0, 2, 4, -1} {
+		if _, err := dltdag.TernaryPowerTree(leaves); err == nil {
+			t.Fatalf("TernaryPowerTree(%d) accepted", leaves)
+		}
+	}
+}
+
+func TestLPrimeShape(t *testing.T) {
+	// L'_8: ternary tree with 7 leaves (10 nodes) ⇑ T_8 (15 nodes),
+	// 7 merges: 18 nodes; sources = tree root + free v_0.
+	c, err := dltdag.LPrime(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 18 {
+		t.Fatalf("L'_8 nodes = %d, want 18", g.NumNodes())
+	}
+	if len(g.Sources()) != 2 || len(g.Sinks()) != 1 {
+		t.Fatalf("L'_8 sources/sinks: %d/%d", len(g.Sources()), len(g.Sinks()))
+	}
+}
+
+func TestLPrimeIsLinearAndOptimal(t *testing.T) {
+	// §6.2.1: the chain V₃ ▷ V₃ ▷ Λ ▷ Λ; at block level out-tree ▷ in-tree.
+	for _, n := range []int{4, 8} {
+		c, err := dltdag.LPrime(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := c.VerifyLinear()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("L'_%d must be ▷-linear", n)
+		}
+		g, err := c.Dag()
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, err := c.Schedule()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := opt.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		good, step, err := l.IsOptimal(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !good {
+			t.Fatalf("L'_%d schedule not optimal at step %d", n, step)
+		}
+	}
+}
+
+func TestLPrimeRejects(t *testing.T) {
+	for _, n := range []int{0, 2, 3, 6} {
+		if _, err := dltdag.LPrime(n); err == nil {
+			t.Fatalf("LPrime(%d) accepted", n)
+		}
+	}
+}
+
+func TestCoarsenedL8(t *testing.T) {
+	g, part, k, err := dltdag.CoarsenedL8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, stats, err := coarsen.Quotient(g, part, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The coarse right-half task holds 12 prefix nodes + 3 in-tree joins.
+	if stats.Work[0] != 15 {
+		t.Fatalf("coarse cluster work = %d, want 15", stats.Work[0])
+	}
+	if q.NumNodes() != 39-14 {
+		t.Fatalf("quotient nodes = %d, want 25", q.NumNodes())
+	}
+	// Fig. 13 (right): the coarsened L_8 still admits an IC-optimal
+	// schedule.
+	l, err := opt.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Exists() {
+		t.Fatal("coarsened L_8 admits no IC-optimal schedule")
+	}
+}

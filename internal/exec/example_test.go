@@ -1,0 +1,31 @@
+package exec_test
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"icsched/internal/dag"
+	"icsched/internal/exec"
+	"icsched/internal/mesh"
+	"icsched/internal/sched"
+)
+
+// Execute a wavefront mesh on four workers, dispatching ELIGIBLE tasks in
+// IC-optimal order.
+func ExampleRun() {
+	levels := 6
+	g := mesh.OutMesh(levels)
+	order := sched.Complete(g, mesh.OutMeshNonsinks(levels))
+	rank := exec.RankFromOrder(g, order)
+
+	var executed int64
+	if _, err := exec.Run(g, rank, 4, func(v dag.NodeID) error {
+		atomic.AddInt64(&executed, 1)
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+	fmt.Println("executed:", executed, "tasks of", g.NumNodes())
+	// Output:
+	// executed: 21 tasks of 21
+}

@@ -1,0 +1,138 @@
+// Package exec executes computation-dags for real: a pool of worker
+// goroutines runs one task function per node, respecting the dag's
+// dependencies, and dispatches ELIGIBLE tasks in the priority order of a
+// supplied schedule.  With an IC-optimal schedule this realizes the
+// paper's server: work is handed out in the order that maximizes the
+// ELIGIBLE pool, so workers are starved as little as the dag permits.
+//
+// The compute packages (integrate, fftconv, scan, zt, linalg, wavefront,
+// graphpaths) all run their dags through this executor.
+package exec
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+
+	"icsched/internal/dag"
+)
+
+// RankFromOrder converts a (full or partial) schedule into a rank vector:
+// rank[v] = position of v in the order; unranked nodes sort last by ID.
+func RankFromOrder(g *dag.Dag, order []dag.NodeID) []int {
+	rank := make([]int, g.NumNodes())
+	for i := range rank {
+		rank[i] = len(order) + i
+	}
+	for i, v := range order {
+		rank[v] = i
+	}
+	return rank
+}
+
+// Run executes every node of g with the given number of worker goroutines
+// (≥ 1).  task(v) is called exactly once per node, only after all of v's
+// parents' calls returned.  Among simultaneously ELIGIBLE nodes, workers
+// take the one with the smallest rank.  The first task error aborts the
+// run (in-flight tasks finish; unstarted ones never start) and is
+// returned.  It also returns the order in which tasks were started.
+func Run(g *dag.Dag, rank []int, workers int, task func(dag.NodeID) error) ([]dag.NodeID, error) {
+	n := g.NumNodes()
+	if workers < 1 {
+		return nil, fmt.Errorf("exec: %d workers", workers)
+	}
+	if len(rank) != n {
+		return nil, fmt.Errorf("exec: rank covers %d of %d nodes", len(rank), n)
+	}
+
+	var (
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		remaining = make([]int32, n)
+		ready     = rankHeap{rank: rank}
+		started   = make([]dag.NodeID, 0, n)
+		completed int
+		inFlight  int
+		firstErr  error
+	)
+	for v := 0; v < n; v++ {
+		remaining[v] = int32(g.InDegree(dag.NodeID(v)))
+		if remaining[v] == 0 {
+			heap.Push(&ready, dag.NodeID(v))
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for ready.Len() == 0 && completed+inFlight < n && firstErr == nil {
+					cond.Wait()
+				}
+				if firstErr != nil || (completed+inFlight == n && ready.Len() == 0) {
+					mu.Unlock()
+					cond.Broadcast()
+					return
+				}
+				v := heap.Pop(&ready).(dag.NodeID)
+				started = append(started, v)
+				inFlight++
+				mu.Unlock()
+
+				err := task(v)
+
+				mu.Lock()
+				inFlight--
+				completed++
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("exec: task %s: %w", g.Name(v), err)
+				}
+				if firstErr == nil {
+					for _, c := range g.Children(v) {
+						remaining[c]--
+						if remaining[c] == 0 {
+							heap.Push(&ready, c)
+						}
+					}
+				}
+				mu.Unlock()
+				cond.Broadcast()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return started, firstErr
+	}
+	if completed != n {
+		return started, fmt.Errorf("exec: completed %d of %d tasks", completed, n)
+	}
+	return started, nil
+}
+
+// rankHeap is a min-heap of node IDs ordered by rank (ties by ID).
+type rankHeap struct {
+	rank []int
+	xs   []dag.NodeID
+}
+
+func (h rankHeap) Len() int { return len(h.xs) }
+func (h rankHeap) Less(i, j int) bool {
+	ri, rj := h.rank[h.xs[i]], h.rank[h.xs[j]]
+	if ri != rj {
+		return ri < rj
+	}
+	return h.xs[i] < h.xs[j]
+}
+func (h rankHeap) Swap(i, j int) { h.xs[i], h.xs[j] = h.xs[j], h.xs[i] }
+func (h *rankHeap) Push(x any)   { h.xs = append(h.xs, x.(dag.NodeID)) }
+func (h *rankHeap) Pop() any {
+	old := h.xs
+	n := len(old)
+	v := old[n-1]
+	h.xs = old[:n-1]
+	return v
+}

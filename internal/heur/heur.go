@@ -1,0 +1,343 @@
+// Package heur implements the dag-scheduling policies that the
+// IC-Scheduling papers' assessment studies compare against ([15], [19]):
+// the FIFO heuristic used by Condor's DAGMan, LIFO, RANDOM, greedy
+// max-out-degree, min-/max-depth, greedy max-new-eligible — and the
+// Static policy that replays a precomputed (e.g. IC-optimal) schedule.
+//
+// A Policy is consulted online: the server Offers nodes as they become
+// ELIGIBLE and asks for the Next node to allocate.  This is exactly the
+// interface a work server needs, and it lets the same policies drive both
+// eligibility-profile comparisons (RunOrder) and the discrete-event IC
+// simulator (package icsim).
+package heur
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"icsched/internal/dag"
+	"icsched/internal/sched"
+)
+
+// Policy creates per-run scheduler instances.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Start returns a fresh instance for one execution of g.
+	Start(g *dag.Dag) Instance
+}
+
+// Instance is the online state of a policy during one dag execution.
+type Instance interface {
+	// Offer makes nodes available for allocation (they just became
+	// ELIGIBLE).  Each node is offered exactly once.
+	Offer(nodes []dag.NodeID)
+	// Next returns the next node to allocate and removes it from the
+	// available pool; ok is false when no offered node remains.
+	Next() (v dag.NodeID, ok bool)
+}
+
+// RunOrder executes g to completion under the policy with immediate
+// execution (the event-driven quality model of §2.2: one node per step),
+// returning the complete schedule it induces.
+func RunOrder(g *dag.Dag, p Policy) ([]dag.NodeID, error) {
+	inst := p.Start(g)
+	st := sched.NewState(g)
+	inst.Offer(st.Eligible())
+	order := make([]dag.NodeID, 0, g.NumNodes())
+	for !st.Done() {
+		v, ok := inst.Next()
+		if !ok {
+			return nil, fmt.Errorf("heur: policy %s stalled with %d nodes left", p.Name(), g.NumNodes()-st.NumExecuted())
+		}
+		packet, err := st.Execute(v)
+		if err != nil {
+			return nil, fmt.Errorf("heur: policy %s picked %d: %w", p.Name(), v, err)
+		}
+		inst.Offer(packet)
+		order = append(order, v)
+	}
+	return order, nil
+}
+
+// FIFO allocates ELIGIBLE nodes in the order they became eligible — the
+// DAGMan-style heuristic of [19].
+func FIFO() Policy { return fifoPolicy{} }
+
+type fifoPolicy struct{}
+
+func (fifoPolicy) Name() string            { return "FIFO" }
+func (fifoPolicy) Start(*dag.Dag) Instance { return &fifoInstance{} }
+
+type fifoInstance struct{ queue []dag.NodeID }
+
+func (f *fifoInstance) Offer(nodes []dag.NodeID) { f.queue = append(f.queue, nodes...) }
+
+func (f *fifoInstance) Next() (dag.NodeID, bool) {
+	if len(f.queue) == 0 {
+		return 0, false
+	}
+	v := f.queue[0]
+	f.queue = f.queue[1:]
+	return v, true
+}
+
+// LIFO allocates the most recently eligible node first.
+func LIFO() Policy { return lifoPolicy{} }
+
+type lifoPolicy struct{}
+
+func (lifoPolicy) Name() string            { return "LIFO" }
+func (lifoPolicy) Start(*dag.Dag) Instance { return &lifoInstance{} }
+
+type lifoInstance struct{ stack []dag.NodeID }
+
+func (l *lifoInstance) Offer(nodes []dag.NodeID) { l.stack = append(l.stack, nodes...) }
+
+func (l *lifoInstance) Next() (dag.NodeID, bool) {
+	if len(l.stack) == 0 {
+		return 0, false
+	}
+	v := l.stack[len(l.stack)-1]
+	l.stack = l.stack[:len(l.stack)-1]
+	return v, true
+}
+
+// Random allocates a uniformly random available node, seeded per Start for
+// reproducibility.
+func Random(seed int64) Policy { return randomPolicy{seed: seed} }
+
+type randomPolicy struct{ seed int64 }
+
+func (randomPolicy) Name() string { return "RANDOM" }
+
+func (p randomPolicy) Start(*dag.Dag) Instance {
+	return &randomInstance{rng: rand.New(rand.NewSource(p.seed))}
+}
+
+type randomInstance struct {
+	rng  *rand.Rand
+	pool []dag.NodeID
+}
+
+func (r *randomInstance) Offer(nodes []dag.NodeID) { r.pool = append(r.pool, nodes...) }
+
+func (r *randomInstance) Next() (dag.NodeID, bool) {
+	if len(r.pool) == 0 {
+		return 0, false
+	}
+	i := r.rng.Intn(len(r.pool))
+	v := r.pool[i]
+	r.pool[i] = r.pool[len(r.pool)-1]
+	r.pool = r.pool[:len(r.pool)-1]
+	return v, true
+}
+
+// MaxOutDegree greedily allocates the available node with the most
+// children (ties by smaller ID) — a natural "enable the most" heuristic.
+func MaxOutDegree() Policy { return maxOutPolicy{} }
+
+type maxOutPolicy struct{}
+
+func (maxOutPolicy) Name() string { return "MAX-OUTDEGREE" }
+
+func (maxOutPolicy) Start(g *dag.Dag) Instance {
+	return &scoredInstance{
+		better: func(a, b dag.NodeID) bool {
+			da, db := g.OutDegree(a), g.OutDegree(b)
+			if da != db {
+				return da > db
+			}
+			return a < b
+		},
+	}
+}
+
+// MinDepth allocates the shallowest available node first (breadth-first
+// flavor).
+func MinDepth() Policy { return depthPolicy{deepestFirst: false} }
+
+// MaxDepth allocates the deepest available node first (critical-path
+// flavor).
+func MaxDepth() Policy { return depthPolicy{deepestFirst: true} }
+
+type depthPolicy struct{ deepestFirst bool }
+
+func (p depthPolicy) Name() string {
+	if p.deepestFirst {
+		return "MAX-DEPTH"
+	}
+	return "MIN-DEPTH"
+}
+
+func (p depthPolicy) Start(g *dag.Dag) Instance {
+	depth := g.Depths()
+	return &scoredInstance{
+		better: func(a, b dag.NodeID) bool {
+			da, db := depth[a], depth[b]
+			if da != db {
+				if p.deepestFirst {
+					return da > db
+				}
+				return da < db
+			}
+			return a < b
+		},
+	}
+}
+
+// MaxHeight allocates the available node with the longest remaining path
+// to a sink first — list scheduling by static bottom level (HLFET), the
+// classic critical-path heuristic from the multiprocessor-scheduling
+// literature, included to contrast makespan-oriented priorities with the
+// eligibility-oriented IC objective.
+func MaxHeight() Policy { return heightPolicy{} }
+
+type heightPolicy struct{}
+
+func (heightPolicy) Name() string { return "MAX-HEIGHT" }
+
+func (heightPolicy) Start(g *dag.Dag) Instance {
+	height := g.Heights()
+	return &scoredInstance{
+		better: func(a, b dag.NodeID) bool {
+			ha, hb := height[a], height[b]
+			if ha != hb {
+				return ha > hb
+			}
+			return a < b
+		},
+	}
+}
+
+// MaxNewEligible greedily allocates the node whose execution would render
+// the most children newly ELIGIBLE right now.  This is the strongest
+// single-step lookahead heuristic of the comparison set; unlike the
+// others its scores change as the execution proceeds, so it rescans its
+// pool on every Next.
+func MaxNewEligible() Policy { return maxNewPolicy{} }
+
+type maxNewPolicy struct{}
+
+func (maxNewPolicy) Name() string { return "MAX-NEW-ELIGIBLE" }
+
+func (maxNewPolicy) Start(g *dag.Dag) Instance {
+	remaining := make([]int, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		remaining[v] = g.InDegree(dag.NodeID(v))
+	}
+	return &maxNewInstance{g: g, remaining: remaining}
+}
+
+type maxNewInstance struct {
+	g         *dag.Dag
+	remaining []int // unexecuted parents per node, maintained on Next
+	pool      []dag.NodeID
+}
+
+func (m *maxNewInstance) Offer(nodes []dag.NodeID) { m.pool = append(m.pool, nodes...) }
+
+func (m *maxNewInstance) Next() (dag.NodeID, bool) {
+	if len(m.pool) == 0 {
+		return 0, false
+	}
+	best := 0
+	bestScore := -1
+	for i, v := range m.pool {
+		score := 0
+		for _, c := range m.g.Children(v) {
+			if m.remaining[c] == 1 {
+				score++
+			}
+		}
+		if score > bestScore || (score == bestScore && v < m.pool[best]) {
+			best, bestScore = i, score
+		}
+	}
+	v := m.pool[best]
+	m.pool[best] = m.pool[len(m.pool)-1]
+	m.pool = m.pool[:len(m.pool)-1]
+	for _, c := range m.g.Children(v) {
+		m.remaining[c]--
+	}
+	return v, true
+}
+
+// scoredInstance keeps the pool sorted lazily by a fixed priority.
+type scoredInstance struct {
+	better func(a, b dag.NodeID) bool
+	pool   []dag.NodeID
+}
+
+func (s *scoredInstance) Offer(nodes []dag.NodeID) { s.pool = append(s.pool, nodes...) }
+
+func (s *scoredInstance) Next() (dag.NodeID, bool) {
+	if len(s.pool) == 0 {
+		return 0, false
+	}
+	best := 0
+	for i := 1; i < len(s.pool); i++ {
+		if s.better(s.pool[i], s.pool[best]) {
+			best = i
+		}
+	}
+	v := s.pool[best]
+	s.pool[best] = s.pool[len(s.pool)-1]
+	s.pool = s.pool[:len(s.pool)-1]
+	return v, true
+}
+
+// Static replays a fixed schedule: Next returns the earliest not-yet-
+// allocated node of the order that has been offered.  With an IC-optimal
+// order this is the theory's scheduler.
+func Static(name string, order []dag.NodeID) Policy {
+	return staticPolicy{name: name, order: order}
+}
+
+type staticPolicy struct {
+	name  string
+	order []dag.NodeID
+}
+
+func (p staticPolicy) Name() string { return p.name }
+
+func (p staticPolicy) Start(g *dag.Dag) Instance {
+	rank := make([]int, g.NumNodes())
+	for i := range rank {
+		rank[i] = len(p.order) // unranked nodes go last
+	}
+	for i, v := range p.order {
+		rank[v] = i
+	}
+	return &staticInstance{rank: rank}
+}
+
+type staticInstance struct {
+	rank []int
+	pool []dag.NodeID
+}
+
+func (s *staticInstance) Offer(nodes []dag.NodeID) {
+	s.pool = append(s.pool, nodes...)
+	sort.Slice(s.pool, func(i, j int) bool { return s.rank[s.pool[i]] < s.rank[s.pool[j]] })
+}
+
+func (s *staticInstance) Next() (dag.NodeID, bool) {
+	if len(s.pool) == 0 {
+		return 0, false
+	}
+	v := s.pool[0]
+	s.pool = s.pool[1:]
+	return v, true
+}
+
+// Standard returns the comparison suite used throughout the experiments:
+// FIFO, LIFO, RANDOM, MAX-OUTDEGREE, MIN-DEPTH, MAX-DEPTH, MAX-HEIGHT,
+// MAX-NEW-ELIGIBLE.
+func Standard(seed int64) []Policy {
+	return []Policy{
+		FIFO(), LIFO(), Random(seed), MaxOutDegree(), MinDepth(), MaxDepth(),
+		MaxHeight(), MaxNewEligible(),
+	}
+}

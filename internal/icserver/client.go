@@ -1,0 +1,135 @@
+package icserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"icsched/internal/dag"
+)
+
+// Client is a remote IC client: it polls the server for work, runs the
+// task function, and reports completions, until the server says the
+// computation is finished.
+type Client struct {
+	// BaseURL of the server (e.g. an httptest.Server URL).
+	BaseURL string
+	// HTTP is the transport (defaults to http.DefaultClient).
+	HTTP *http.Client
+	// Compute executes one task; its error aborts the client.
+	Compute func(task dag.NodeID, name string) error
+	// IdleWait is how long to sleep when the server has nothing eligible
+	// (defaults to 5ms).
+	IdleWait time.Duration
+}
+
+// Stats reports one client's activity.
+type Stats struct {
+	Completed int
+	IdlePolls int
+}
+
+// Run loops until the computation finishes, the context is cancelled, or
+// a task fails.
+func (c *Client) Run(ctx context.Context) (Stats, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	idle := c.IdleWait
+	if idle <= 0 {
+		idle = 5 * time.Millisecond
+	}
+	var stats Stats
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		code, body, err := post(ctx, httpc, c.BaseURL+"/task", nil)
+		if err != nil {
+			return stats, err
+		}
+		switch code {
+		case http.StatusGone:
+			return stats, nil
+		case http.StatusNoContent:
+			stats.IdlePolls++
+			select {
+			case <-time.After(idle):
+			case <-ctx.Done():
+				return stats, ctx.Err()
+			}
+			continue
+		case http.StatusOK:
+			// fall through
+		default:
+			return stats, fmt.Errorf("icserver client: /task returned %d: %s", code, body)
+		}
+		var task taskResponse
+		if err := json.Unmarshal(body, &task); err != nil {
+			return stats, fmt.Errorf("icserver client: %w", err)
+		}
+		if c.Compute != nil {
+			if err := c.Compute(task.Task, task.Name); err != nil {
+				return stats, fmt.Errorf("icserver client: task %s: %w", task.Name, err)
+			}
+		}
+		payload, err := json.Marshal(doneRequest{Task: task.Task})
+		if err != nil {
+			return stats, err
+		}
+		code, body, err = post(ctx, httpc, c.BaseURL+"/done", payload)
+		if err != nil {
+			return stats, err
+		}
+		if code != http.StatusOK {
+			return stats, fmt.Errorf("icserver client: /done returned %d: %s", code, body)
+		}
+		stats.Completed++
+	}
+}
+
+// FetchStatus reads the server's progress snapshot.
+func FetchStatus(ctx context.Context, httpc *http.Client, baseURL string) (Status, error) {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/status", nil)
+	if err != nil {
+		return Status{}, err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Status{}, err
+	}
+	return st, nil
+}
+
+func post(ctx context.Context, httpc *http.Client, url string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}

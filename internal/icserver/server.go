@@ -1,0 +1,242 @@
+// Package icserver is a working Internet-computing task server in the
+// paper's setting (§1–§2): a server owns a computation-dag and hands
+// ELIGIBLE tasks to remote clients over HTTP, allocating in the order a
+// pluggable scheduling policy dictates (IC-optimal via heur.Static, or
+// any heuristic).
+//
+// The quality model's idealization — tasks are executed in allocation
+// order — cannot be enforced over a real network, so the server adds the
+// one mechanism real IC systems use against slow or vanished clients
+// (cf. the monitoring prescriptions the paper cites): an allocation
+// lease.  A task not reported complete within the lease is re-offered to
+// other clients; completions are idempotent, so a late original client
+// causes no harm.
+//
+// Wire protocol (JSON):
+//
+//	POST /task          -> 200 {"task": id, "name": label}  |  204 (none eligible)  |  410 (done)
+//	POST /done {"task"} -> 200 {"newlyEligible": k}
+//	GET  /status        -> 200 {"total", "completed", "eligible", "allocated", "stalls", "reissues"}
+package icserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"icsched/internal/dag"
+	"icsched/internal/heur"
+	"icsched/internal/sched"
+)
+
+// Server allocates the tasks of one dag execution.  Create with New and
+// mount via Handler (or use httptest / http.Server directly).
+type Server struct {
+	mu       sync.Mutex
+	g        *dag.Dag
+	st       *sched.State
+	inst     heur.Instance
+	lease    time.Duration
+	now      func() time.Time // injectable clock for tests
+	leases   map[dag.NodeID]time.Time
+	done     map[dag.NodeID]bool
+	stalls   int
+	reissues int
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLease sets the allocation lease (default 30s; 0 disables
+// reissuing).
+func WithLease(d time.Duration) Option {
+	return func(s *Server) { s.lease = d }
+}
+
+// WithClock injects a time source (tests).
+func WithClock(now func() time.Time) Option {
+	return func(s *Server) { s.now = now }
+}
+
+// New builds a server for one execution of g under the policy.
+func New(g *dag.Dag, policy heur.Policy, opts ...Option) *Server {
+	s := &Server{
+		g:      g,
+		st:     sched.NewState(g),
+		inst:   policy.Start(g),
+		lease:  30 * time.Second,
+		now:    time.Now,
+		leases: make(map[dag.NodeID]time.Time),
+		done:   make(map[dag.NodeID]bool),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.inst.Offer(s.st.Eligible())
+	return s
+}
+
+// Handler returns the HTTP handler exposing the protocol.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /task", s.handleTask)
+	mux.HandleFunc("POST /done", s.handleDone)
+	mux.HandleFunc("GET /status", s.handleStatus)
+	return mux
+}
+
+// taskResponse is the /task payload.
+type taskResponse struct {
+	Task dag.NodeID `json:"task"`
+	Name string     `json:"name"`
+}
+
+// doneRequest is the /done payload.
+type doneRequest struct {
+	Task dag.NodeID `json:"task"`
+}
+
+// doneResponse reports the packet size.
+type doneResponse struct {
+	NewlyEligible int `json:"newlyEligible"`
+}
+
+// Status is the /status payload.
+type Status struct {
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	Eligible  int `json:"eligible"`
+	Allocated int `json:"allocated"`
+	Stalls    int `json:"stalls"`
+	Reissues  int `json:"reissues"`
+}
+
+func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
+	v, state := s.Allocate()
+	switch state {
+	case AllocOK:
+		writeJSON(w, taskResponse{Task: v, Name: s.g.Name(v)})
+	case AllocEmpty:
+		w.WriteHeader(http.StatusNoContent)
+	case AllocFinished:
+		w.WriteHeader(http.StatusGone)
+	}
+}
+
+func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
+	var req doneRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	k, err := s.Complete(req.Task)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, doneResponse{NewlyEligible: k})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Status())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// AllocState classifies the outcome of an allocation request.
+type AllocState int
+
+const (
+	// AllocOK: a task was allocated.
+	AllocOK AllocState = iota
+	// AllocEmpty: nothing is currently ELIGIBLE and unallocated.
+	AllocEmpty
+	// AllocFinished: the whole computation has completed.
+	AllocFinished
+)
+
+// Allocate hands out the next task per the policy, reissuing expired
+// leases first.  Exposed for in-process use (the simulator-free examples
+// and tests drive it directly).
+func (s *Server) Allocate() (dag.NodeID, AllocState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.st.Done() {
+		return 0, AllocFinished
+	}
+	now := s.now()
+	// Reissue expired leases: hand the longest-expired task back out
+	// without consulting the policy (it has already been prioritized).
+	if s.lease > 0 {
+		var expired dag.NodeID = -1
+		var oldest time.Time
+		for v, t := range s.leases {
+			if now.Sub(t) >= s.lease && (expired == -1 || t.Before(oldest)) {
+				expired, oldest = v, t
+			}
+		}
+		if expired >= 0 {
+			s.leases[expired] = now
+			s.reissues++
+			return expired, AllocOK
+		}
+	}
+	v, ok := s.inst.Next()
+	if !ok {
+		s.stalls++
+		return 0, AllocEmpty
+	}
+	s.leases[v] = now
+	return v, AllocOK
+}
+
+// Complete records a finished task, returning how many tasks became
+// newly ELIGIBLE.  Duplicate completions (late lease-holders) are
+// idempotent no-ops.
+func (s *Server) Complete(v dag.NodeID) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(v) < 0 || int(v) >= s.g.NumNodes() {
+		return 0, fmt.Errorf("icserver: task %d out of range", v)
+	}
+	if s.done[v] {
+		return 0, nil // idempotent
+	}
+	if _, ok := s.leases[v]; !ok {
+		return 0, fmt.Errorf("icserver: task %s was never allocated", s.g.Name(v))
+	}
+	packet, err := s.st.Execute(v)
+	if err != nil {
+		return 0, fmt.Errorf("icserver: %w", err)
+	}
+	s.done[v] = true
+	delete(s.leases, v)
+	s.inst.Offer(packet)
+	return len(packet), nil
+}
+
+// Status snapshots the execution.
+func (s *Server) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Status{
+		Total:     s.g.NumNodes(),
+		Completed: s.st.NumExecuted(),
+		Eligible:  s.st.NumEligible(),
+		Allocated: len(s.leases),
+		Stalls:    s.stalls,
+		Reissues:  s.reissues,
+	}
+}
+
+// Finished reports whether every task completed.
+func (s *Server) Finished() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Done()
+}

@@ -1,0 +1,254 @@
+package icserver_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"icsched/internal/dag"
+	"icsched/internal/heur"
+	"icsched/internal/icserver"
+	"icsched/internal/mesh"
+	"icsched/internal/sched"
+	"icsched/internal/workflows"
+)
+
+func optimalMeshPolicy(levels int) heur.Policy {
+	g := mesh.OutMesh(levels)
+	return heur.Static("IC-OPTIMAL", sched.Complete(g, mesh.OutMeshNonsinks(levels)))
+}
+
+func TestDistributedMeshExecution(t *testing.T) {
+	levels := 10
+	g := mesh.OutMesh(levels)
+	srv := icserver.New(g, optimalMeshPolicy(levels))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var executed int64
+	var wg sync.WaitGroup
+	const clients = 6
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := &icserver.Client{
+				BaseURL: ts.URL,
+				Compute: func(dag.NodeID, string) error {
+					atomic.AddInt64(&executed, 1)
+					return nil
+				},
+			}
+			_, errs[i] = c.Run(context.Background())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	if !srv.Finished() {
+		t.Fatal("server not finished")
+	}
+	if executed != int64(g.NumNodes()) {
+		t.Fatalf("executed %d of %d tasks", executed, g.NumNodes())
+	}
+	st := srv.Status()
+	if st.Completed != g.NumNodes() || st.Allocated != 0 || st.Eligible != 0 {
+		t.Fatalf("final status: %+v", st)
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	g := workflows.Montage(6)
+	srv := icserver.New(g, heur.FIFO())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	st, err := icserver.FetchStatus(context.Background(), nil, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != g.NumNodes() || st.Completed != 0 || st.Eligible != len(g.Sources()) {
+		t.Fatalf("initial status: %+v", st)
+	}
+}
+
+func TestAllocationFollowsPolicyOrder(t *testing.T) {
+	// With a single in-process consumer, allocations must come out in the
+	// static schedule order.
+	levels := 6
+	g := mesh.OutMesh(levels)
+	order := sched.Complete(g, mesh.OutMeshNonsinks(levels))
+	srv := icserver.New(g, heur.Static("IC-OPTIMAL", order))
+	for i := 0; ; i++ {
+		v, state := srv.Allocate()
+		if state != icserver.AllocOK {
+			break
+		}
+		if v != order[i] {
+			t.Fatalf("allocation %d = %v, want %v", i, v, order[i])
+		}
+		if _, err := srv.Complete(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !srv.Finished() {
+		t.Fatal("not finished")
+	}
+}
+
+func TestLeaseReissue(t *testing.T) {
+	// A client takes a task and vanishes; after the lease expires the
+	// task is reissued and the computation still completes.
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := dag.NewBuilder(2)
+	b.AddArc(0, 1)
+	g := b.MustBuild()
+	srv := icserver.New(g, heur.FIFO(), icserver.WithLease(10*time.Second), icserver.WithClock(clock))
+
+	v1, _ := srv.Allocate() // vanished client takes task 0
+	if v1 != 0 {
+		t.Fatalf("first allocation = %d", v1)
+	}
+	// Another client polls: nothing eligible (task 0 leased, task 1 blocked).
+	if _, state := srv.Allocate(); state != icserver.AllocEmpty {
+		t.Fatal("expected empty allocation while lease held")
+	}
+	// Lease expires; the same task is reissued.
+	now = now.Add(11 * time.Second)
+	v2, state := srv.Allocate()
+	if state != icserver.AllocOK || v2 != 0 {
+		t.Fatalf("reissue = %d (state %d)", v2, state)
+	}
+	if _, err := srv.Complete(0); err != nil {
+		t.Fatal(err)
+	}
+	// The original (vanished) client's late completion is idempotent.
+	if _, err := srv.Complete(0); err != nil {
+		t.Fatalf("late duplicate completion: %v", err)
+	}
+	if srv.Status().Reissues != 1 {
+		t.Fatalf("reissues = %d", srv.Status().Reissues)
+	}
+	v3, _ := srv.Allocate()
+	if v3 != 1 {
+		t.Fatalf("next allocation = %d", v3)
+	}
+	if _, err := srv.Complete(1); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Finished() {
+		t.Fatal("not finished")
+	}
+}
+
+func TestDoneEndpointErrors(t *testing.T) {
+	g := dag.NewBuilder(2).MustBuild()
+	srv := icserver.New(g, heur.FIFO())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// Bad JSON.
+	resp, err := http.Post(ts.URL+"/done", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON -> %d", resp.StatusCode)
+	}
+	// Completion of a never-allocated task.
+	resp, err = http.Post(ts.URL+"/done", "application/json", strings.NewReader(`{"task": 0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("unallocated done -> %d", resp.StatusCode)
+	}
+}
+
+func TestCompleteValidation(t *testing.T) {
+	g := dag.NewBuilder(2).MustBuild()
+	srv := icserver.New(g, heur.FIFO())
+	if _, err := srv.Complete(5); err == nil {
+		t.Fatal("out-of-range completion accepted")
+	}
+	if _, err := srv.Complete(0); err == nil {
+		t.Fatal("unallocated completion accepted")
+	}
+}
+
+func TestStallCounting(t *testing.T) {
+	// Chain: a second concurrent request must stall.
+	b := dag.NewBuilder(3)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	g := b.MustBuild()
+	srv := icserver.New(g, heur.FIFO(), icserver.WithLease(0))
+	if v, _ := srv.Allocate(); v != 0 {
+		t.Fatal("bad first allocation")
+	}
+	if _, state := srv.Allocate(); state != icserver.AllocEmpty {
+		t.Fatal("expected stall")
+	}
+	if srv.Status().Stalls != 1 {
+		t.Fatalf("stalls = %d", srv.Status().Stalls)
+	}
+}
+
+func TestDistributedComputationWithValues(t *testing.T) {
+	// End-to-end over HTTP with real task payloads: Pascal accumulation
+	// over a small mesh, values guarded by a mutex on the client side.
+	levels := 7
+	g := mesh.OutMesh(levels)
+	srv := icserver.New(g, optimalMeshPolicy(levels))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var mu sync.Mutex
+	vals := make([]int64, g.NumNodes())
+	compute := func(v dag.NodeID, _ string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if g.IsSource(v) {
+			vals[v] = 1
+			return nil
+		}
+		var sum int64
+		for _, p := range g.Parents(v) {
+			sum += vals[p]
+		}
+		vals[v] = sum
+		return nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &icserver.Client{BaseURL: ts.URL, Compute: compute}
+			if _, err := c.Run(context.Background()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	// Row i holds binomials; check the row sums are 2^i.
+	for i := 0; i < levels; i++ {
+		var sum int64
+		for j := 0; j <= i; j++ {
+			sum += vals[mesh.TriID(i, j)]
+		}
+		if sum != 1<<uint(i) {
+			t.Fatalf("row %d sum = %d, want %d", i, sum, 1<<uint(i))
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package icsim_test
+
+import (
+	"fmt"
+
+	"icsched/internal/heur"
+	"icsched/internal/icsim"
+	"icsched/internal/mesh"
+	"icsched/internal/sched"
+)
+
+// Simulate a wavefront computation on four Internet clients under the
+// IC-optimal schedule.
+func ExampleRun() {
+	levels := 10
+	g := mesh.OutMesh(levels)
+	order := sched.Complete(g, mesh.OutMeshNonsinks(levels))
+	res, err := icsim.Run(g, heur.Static("IC-OPTIMAL", order), icsim.Config{
+		Clients: 4,
+		Seed:    1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("completed:", res.Completed, "of", g.NumNodes())
+	fmt.Println("all tasks done:", res.Completed == g.NumNodes())
+	// Output:
+	// completed: 55 of 55
+	// all tasks done: true
+}

@@ -1,0 +1,265 @@
+// Package icsim is a discrete-event simulator of Internet-based computing
+// in the style of the assessment studies the paper builds on ([15], [19]):
+// a server owns a computation-dag and allocates ELIGIBLE tasks to remote
+// clients under a pluggable scheduling policy; clients compute at varying
+// speeds and return results after their task time elapses.
+//
+// The simulator measures exactly the phenomena §2.2 motivates:
+//
+//   - gridlock/stall events — a client asks for work while no task is
+//     ELIGIBLE and unallocated (scenario 1);
+//   - batch satisfaction — how many of a burst of simultaneous requests
+//     the server can satisfy (scenario 2);
+//   - client utilization and makespan.
+//
+// Tasks complete in the order each client executes its own allocations,
+// but across clients completions interleave by speed, so the simulation
+// also exercises schedules outside the theory's executed-in-allocation-
+// order idealization.
+package icsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"icsched/internal/dag"
+	"icsched/internal/heur"
+	"icsched/internal/sched"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Clients is the number of remote clients (≥ 1).
+	Clients int
+	// Speeds optionally gives each client a speed factor (task time is
+	// divided by it).  Defaults to all 1.0.
+	Speeds []float64
+	// MinTaskTime and MaxTaskTime bound the uniformly distributed base
+	// execution time of a task.  Defaults to [0.5, 1.5].
+	MinTaskTime, MaxTaskTime float64
+	// Weight optionally scales each task's execution time (coarsened
+	// tasks carry more work, §4).  Defaults to 1 for every task.
+	Weight func(dag.NodeID) float64
+	// CommLatency is the per-dependency fetch cost added to a task's
+	// duration: a task with k parents pays k·CommLatency before computing
+	// ("communication proceeds over the Internet", §1).  Default 0.
+	CommLatency float64
+	// Seed drives the task-time randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Clients < 1 {
+		return c, fmt.Errorf("icsim: %d clients", c.Clients)
+	}
+	if c.MinTaskTime == 0 && c.MaxTaskTime == 0 {
+		c.MinTaskTime, c.MaxTaskTime = 0.5, 1.5
+	}
+	if c.MinTaskTime <= 0 || c.MaxTaskTime < c.MinTaskTime {
+		return c, fmt.Errorf("icsim: bad task-time range [%g, %g]", c.MinTaskTime, c.MaxTaskTime)
+	}
+	if c.CommLatency < 0 {
+		return c, fmt.Errorf("icsim: negative communication latency %g", c.CommLatency)
+	}
+	if c.Speeds == nil {
+		c.Speeds = make([]float64, c.Clients)
+		for i := range c.Speeds {
+			c.Speeds[i] = 1
+		}
+	}
+	if len(c.Speeds) != c.Clients {
+		return c, fmt.Errorf("icsim: %d speeds for %d clients", len(c.Speeds), c.Clients)
+	}
+	for i, s := range c.Speeds {
+		if s <= 0 {
+			return c, fmt.Errorf("icsim: client %d speed %g", i, s)
+		}
+	}
+	return c, nil
+}
+
+// Result reports the metrics of one run.
+type Result struct {
+	Policy string
+	// Makespan is the completion time of the last task.
+	Makespan float64
+	// Stalls counts requests that found no allocatable task.
+	Stalls int
+	// StallTime is total client idle time attributable to an empty
+	// ELIGIBLE pool (gridlock pressure).
+	StallTime float64
+	// Utilization is the busy fraction aggregated over clients and the
+	// makespan.
+	Utilization float64
+	// AvgEligibleAtRequest averages, over all allocation requests, the
+	// number of ELIGIBLE-and-unallocated tasks available just before the
+	// allocation (the server-side view of the §2.2 quality measure).
+	AvgEligibleAtRequest float64
+	// Completed is the number of tasks executed (equals the dag size on a
+	// successful run).
+	Completed int
+}
+
+// event is a client becoming free (requesting work) or a task completing.
+type event struct {
+	time   float64
+	client int
+	task   dag.NodeID
+	isDone bool // completion event; otherwise a work request
+	seq    int  // tiebreaker for determinism
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// Run simulates the execution of g under the policy and configuration.
+func Run(g *dag.Dag, p heur.Policy, cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	st := sched.NewState(g)
+	inst := p.Start(g)
+	inst.Offer(st.Eligible())
+	available := st.NumEligible() // ELIGIBLE and unallocated
+
+	res := Result{Policy: p.Name()}
+	busyTime := 0.0
+	requests := 0
+	sumAvailable := 0
+	seq := 0
+
+	var q eventQueue
+	push := func(e event) {
+		e.seq = seq
+		seq++
+		heap.Push(&q, e)
+	}
+	for c := 0; c < cfg.Clients; c++ {
+		push(event{time: 0, client: c})
+	}
+	idleSince := make([]float64, cfg.Clients)
+	idle := make([]bool, cfg.Clients)
+
+	taskTime := func(client int, task dag.NodeID) float64 {
+		base := cfg.MinTaskTime + rng.Float64()*(cfg.MaxTaskTime-cfg.MinTaskTime)
+		if cfg.Weight != nil {
+			base *= cfg.Weight(task)
+		}
+		base += cfg.CommLatency * float64(g.InDegree(task))
+		return base / cfg.Speeds[client]
+	}
+
+	now := 0.0
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(event)
+		now = e.time
+		if e.isDone {
+			// Task result returns: execute in the quality model, offer the
+			// newly eligible packet, then the client asks for more work.
+			packet, err := st.Execute(e.task)
+			if err != nil {
+				return Result{}, fmt.Errorf("icsim: completion of %d: %w", e.task, err)
+			}
+			res.Completed++
+			inst.Offer(packet)
+			available += len(packet)
+			push(event{time: now, client: e.client})
+			// Wake idle clients: they retry by re-requesting now.
+			for c := range idle {
+				if idle[c] {
+					idle[c] = false
+					res.StallTime += now - idleSince[c]
+					push(event{time: now, client: c})
+				}
+			}
+			continue
+		}
+		// A work request.
+		if st.Done() {
+			continue // computation finished; client retires
+		}
+		requests++
+		sumAvailable += available
+		v, ok := inst.Next()
+		if !ok {
+			if !idle[e.client] {
+				idle[e.client] = true
+				idleSince[e.client] = now
+				res.Stalls++
+			}
+			continue
+		}
+		available--
+		d := taskTime(e.client, v)
+		busyTime += d
+		push(event{time: now + d, client: e.client, task: v, isDone: true})
+	}
+	if res.Completed != g.NumNodes() {
+		return Result{}, fmt.Errorf("icsim: completed %d of %d tasks", res.Completed, g.NumNodes())
+	}
+	res.Makespan = now
+	if res.Makespan > 0 {
+		res.Utilization = busyTime / (res.Makespan * float64(cfg.Clients))
+	}
+	if requests > 0 {
+		res.AvgEligibleAtRequest = float64(sumAvailable) / float64(requests)
+	}
+	return res, nil
+}
+
+// Compare runs the same configuration for several policies and returns the
+// results in policy order.
+func Compare(g *dag.Dag, policies []heur.Policy, cfg Config) ([]Result, error) {
+	out := make([]Result, 0, len(policies))
+	for _, p := range policies {
+		r, err := Run(g, p, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("icsim: policy %s: %w", p.Name(), err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// BatchSatisfaction replays the §2.2 scenario 2 experiment: execute the
+// dag step by step under the policy (immediate execution), and after every
+// execution record how many of `batch` simultaneous requests could be
+// satisfied from the ELIGIBLE pool.  It returns the per-step satisfied
+// counts and their mean.
+func BatchSatisfaction(g *dag.Dag, p heur.Policy, batch int) ([]int, float64, error) {
+	if batch < 1 {
+		return nil, 0, fmt.Errorf("icsim: batch %d", batch)
+	}
+	order, err := heur.RunOrder(g, p)
+	if err != nil {
+		return nil, 0, err
+	}
+	prof, err := sched.Profile(g, order)
+	if err != nil {
+		return nil, 0, err
+	}
+	satisfied := make([]int, len(prof))
+	total := 0
+	for t, e := range prof {
+		s := e
+		if s > batch {
+			s = batch
+		}
+		satisfied[t] = s
+		total += s
+	}
+	return satisfied, float64(total) / float64(len(satisfied)), nil
+}

@@ -1,0 +1,320 @@
+package icsim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"icsched/internal/coarsen"
+	"icsched/internal/dag"
+	"icsched/internal/heur"
+	"icsched/internal/icsim"
+	"icsched/internal/mesh"
+	"icsched/internal/sched"
+	"icsched/internal/trees"
+)
+
+func TestRunCompletesAllTasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		g := dag.Random(rng, 1+rng.Intn(40), 0.2)
+		res, err := icsim.Run(g, heur.FIFO(), icsim.Config{Clients: 3, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed != g.NumNodes() {
+			t.Fatalf("completed %d of %d", res.Completed, g.NumNodes())
+		}
+		if res.Makespan <= 0 && g.NumNodes() > 0 {
+			t.Fatalf("makespan = %g", res.Makespan)
+		}
+		if res.Utilization < 0 || res.Utilization > 1 {
+			t.Fatalf("utilization = %g", res.Utilization)
+		}
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := dag.Random(rng, 30, 0.2)
+	cfg := icsim.Config{Clients: 4, Seed: 99}
+	r1, err := icsim.Run(g, heur.FIFO(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := icsim.Run(g, heur.FIFO(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("nondeterministic simulation: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestSingleClientSerialMakespan(t *testing.T) {
+	// With one client and a connected dag the makespan equals the sum of
+	// the task times, and utilization is 1 unless the client ever stalls
+	// (it cannot: with one client a task is always available or done).
+	g := mesh.OutMesh(4)
+	res, err := icsim.Run(g, heur.FIFO(), icsim.Config{Clients: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalls != 0 {
+		t.Fatalf("single client stalled %d times", res.Stalls)
+	}
+	if res.Utilization < 0.999 {
+		t.Fatalf("single client utilization = %g", res.Utilization)
+	}
+}
+
+func TestChainForcesStalls(t *testing.T) {
+	// A pure chain admits no parallelism: with 4 clients, 3 must stall.
+	b := dag.NewBuilder(10)
+	for i := 0; i < 9; i++ {
+		b.AddArc(dag.NodeID(i), dag.NodeID(i+1))
+	}
+	g := b.MustBuild()
+	res, err := icsim.Run(g, heur.FIFO(), icsim.Config{Clients: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalls == 0 {
+		t.Fatal("chain with 4 clients must stall")
+	}
+	if res.Utilization > 0.5 {
+		t.Fatalf("chain utilization = %g, expected low", res.Utilization)
+	}
+}
+
+func TestOptimalPolicyReducesStallsOnMesh(t *testing.T) {
+	// The paper's claim (§1): IC-optimal schedules lessen gridlock.  On a
+	// sizeable out-mesh with many clients, the wavefront schedule should
+	// stall no more than LIFO (which starves the frontier) and keep
+	// AvgEligibleAtRequest at least as high as every heuristic's.
+	levels := 16
+	g := mesh.OutMesh(levels)
+	optOrder := sched.Complete(g, mesh.OutMeshNonsinks(levels))
+	cfg := icsim.Config{Clients: 8, Seed: 11}
+	optRes, err := icsim.Run(g, heur.Static("IC-OPTIMAL", optOrder), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifoRes, err := icsim.Run(g, heur.LIFO(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optRes.Stalls > lifoRes.Stalls {
+		t.Fatalf("IC-optimal stalled more than LIFO: %d vs %d", optRes.Stalls, lifoRes.Stalls)
+	}
+}
+
+func TestHeterogeneousSpeeds(t *testing.T) {
+	g := mesh.OutMesh(8)
+	res, err := icsim.Run(g, heur.FIFO(), icsim.Config{
+		Clients: 3,
+		Speeds:  []float64{1, 2, 0.5},
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != g.NumNodes() {
+		t.Fatal("heterogeneous run incomplete")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := dag.NewBuilder(1).MustBuild()
+	if _, err := icsim.Run(g, heur.FIFO(), icsim.Config{Clients: 0}); err == nil {
+		t.Fatal("0 clients accepted")
+	}
+	if _, err := icsim.Run(g, heur.FIFO(), icsim.Config{Clients: 2, Speeds: []float64{1}}); err == nil {
+		t.Fatal("mismatched speeds accepted")
+	}
+	if _, err := icsim.Run(g, heur.FIFO(), icsim.Config{Clients: 1, Speeds: []float64{-1}}); err == nil {
+		t.Fatal("negative speed accepted")
+	}
+	if _, err := icsim.Run(g, heur.FIFO(), icsim.Config{Clients: 1, MinTaskTime: 2, MaxTaskTime: 1}); err == nil {
+		t.Fatal("inverted task-time range accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	g := mesh.OutMesh(6)
+	results, err := icsim.Compare(g, heur.Standard(3), icsim.Config{Clients: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(heur.Standard(3)) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Completed != g.NumNodes() {
+			t.Fatalf("%s incomplete", r.Policy)
+		}
+	}
+}
+
+func TestBatchSatisfactionOptimalDominates(t *testing.T) {
+	// Scenario 2 of §2.2: with batched requests, more ELIGIBLE tasks means
+	// more satisfied requests.  The IC-optimal schedule's satisfaction
+	// curve dominates every heuristic's pointwise.
+	levels := 10
+	g := mesh.OutMesh(levels)
+	optOrder := sched.Complete(g, mesh.OutMeshNonsinks(levels))
+	optSat, optMean, err := icsim.BatchSatisfaction(g, heur.Static("IC-OPTIMAL", optOrder), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range heur.Standard(5) {
+		sat, mean, err := icsim.BatchSatisfaction(g, p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mean > optMean {
+			t.Fatalf("%s batch mean %g beats optimal %g", p.Name(), mean, optMean)
+		}
+		for i := range sat {
+			if sat[i] > optSat[i] {
+				t.Fatalf("%s satisfies more at step %d", p.Name(), i)
+			}
+		}
+	}
+}
+
+func TestBatchSatisfactionValidation(t *testing.T) {
+	g := dag.NewBuilder(1).MustBuild()
+	if _, _, err := icsim.BatchSatisfaction(g, heur.FIFO(), 0); err == nil {
+		t.Fatal("batch 0 accepted")
+	}
+}
+
+func TestRunManyAggregates(t *testing.T) {
+	g := mesh.OutMesh(8)
+	mr, err := icsim.RunMany(g, heur.FIFO(), icsim.Config{Clients: 4, Seed: 100}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Trials != 12 || mr.Policy != "FIFO" {
+		t.Fatalf("meta wrong: %+v", mr)
+	}
+	if mr.Makespan.Min > mr.Makespan.Mean || mr.Makespan.Mean > mr.Makespan.Max {
+		t.Fatalf("makespan aggregate inconsistent: %+v", mr.Makespan)
+	}
+	if mr.Makespan.StdDev < 0 {
+		t.Fatal("negative stddev")
+	}
+	if mr.Utilization.Max > 1 || mr.Utilization.Min < 0 {
+		t.Fatalf("utilization out of range: %+v", mr.Utilization)
+	}
+	if _, err := icsim.RunMany(g, heur.FIFO(), icsim.Config{Clients: 4}, 0); err == nil {
+		t.Fatal("0 trials accepted")
+	}
+}
+
+func TestRunManyDistinguishesSeeds(t *testing.T) {
+	// Different seeds must actually vary the draws (stddev > 0 on a dag
+	// with randomness-sensitive makespan).
+	g := mesh.OutMesh(10)
+	mr, err := icsim.RunMany(g, heur.FIFO(), icsim.Config{Clients: 3, Seed: 7}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Makespan.StdDev == 0 {
+		t.Fatal("10 trials produced identical makespans")
+	}
+}
+
+func TestWeightedTasksStretchMakespan(t *testing.T) {
+	g := mesh.OutMesh(8)
+	base := icsim.Config{Clients: 4, Seed: 5}
+	heavy := icsim.Config{Clients: 4, Seed: 5, Weight: func(dag.NodeID) float64 { return 10 }}
+	rb, err := icsim.Run(g, heur.FIFO(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := icsim.Run(g, heur.FIFO(), heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.Makespan < 5*rb.Makespan {
+		t.Fatalf("10x weights gave makespan %g vs %g", rh.Makespan, rb.Makespan)
+	}
+}
+
+func TestCommLatencyAddsCost(t *testing.T) {
+	g := mesh.OutMesh(8)
+	quiet := icsim.Config{Clients: 4, Seed: 9}
+	chatty := icsim.Config{Clients: 4, Seed: 9, CommLatency: 2}
+	rq, err := icsim.Run(g, heur.FIFO(), quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := icsim.Run(g, heur.FIFO(), chatty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Makespan <= rq.Makespan {
+		t.Fatalf("comm latency did not increase makespan: %g vs %g", rc.Makespan, rq.Makespan)
+	}
+	if _, err := icsim.Run(g, heur.FIFO(), icsim.Config{Clients: 1, CommLatency: -1}); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+}
+
+func TestCoarseningReducesCommunicationBoundMakespan(t *testing.T) {
+	// The §4 trade-off in action: with expensive communication, executing
+	// the f-coarsened mesh (fewer, heavier tasks, fewer cross-arcs) beats
+	// the fine-grained mesh.
+	levels := 16
+	fine := mesh.OutMesh(levels)
+	fineCfg := icsim.Config{Clients: 8, Seed: 21, CommLatency: 3}
+	fineRes, err := icsim.Run(fine, heur.Static("IC-OPTIMAL",
+		sched.Complete(fine, mesh.OutMeshNonsinks(levels))), fineCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, k, _ := coarsen.MeshBlocks(levels, 4)
+	quotient, stats, err := coarsen.Quotient(fine, part, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarseCfg := icsim.Config{
+		Clients:     8,
+		Seed:        21,
+		CommLatency: 3,
+		Weight:      func(v dag.NodeID) float64 { return float64(stats.Work[v]) },
+	}
+	coarseRes, err := icsim.Run(quotient, heur.FIFO(), coarseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarseRes.Makespan >= fineRes.Makespan {
+		t.Fatalf("coarsening did not pay off under comm latency: coarse %g vs fine %g",
+			coarseRes.Makespan, fineRes.Makespan)
+	}
+}
+
+func TestDiamondSimulation(t *testing.T) {
+	// End-to-end: simulate a diamond dag under the Theorem 2.1 schedule.
+	out := trees.CompleteOutTree(2, 4)
+	c, err := trees.Diamond(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := c.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := icsim.Run(g, heur.Static("IC-OPTIMAL", order), icsim.Config{Clients: 6, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != g.NumNodes() {
+		t.Fatal("diamond simulation incomplete")
+	}
+}

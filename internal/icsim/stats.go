@@ -1,0 +1,79 @@
+package icsim
+
+import (
+	"fmt"
+	"math"
+
+	"icsched/internal/dag"
+	"icsched/internal/heur"
+)
+
+// Aggregate summarizes a metric across simulation trials.
+type Aggregate struct {
+	Mean, StdDev, Min, Max float64
+}
+
+func aggregate(xs []float64) Aggregate {
+	if len(xs) == 0 {
+		return Aggregate{}
+	}
+	agg := Aggregate{Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range xs {
+		agg.Mean += x
+		if x < agg.Min {
+			agg.Min = x
+		}
+		if x > agg.Max {
+			agg.Max = x
+		}
+	}
+	agg.Mean /= float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - agg.Mean
+			ss += d * d
+		}
+		agg.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return agg
+}
+
+// MultiResult aggregates the per-run metrics of RunMany.
+type MultiResult struct {
+	Policy      string
+	Trials      int
+	Makespan    Aggregate
+	Stalls      Aggregate
+	Utilization Aggregate
+}
+
+// RunMany repeats the simulation with seeds cfg.Seed, cfg.Seed+1, … and
+// aggregates the metrics, so policy comparisons are not hostage to one
+// random draw of task times.
+func RunMany(g *dag.Dag, p heur.Policy, cfg Config, trials int) (MultiResult, error) {
+	if trials < 1 {
+		return MultiResult{}, fmt.Errorf("icsim: %d trials", trials)
+	}
+	makespans := make([]float64, 0, trials)
+	stalls := make([]float64, 0, trials)
+	utils := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		res, err := Run(g, p, c)
+		if err != nil {
+			return MultiResult{}, fmt.Errorf("icsim: trial %d: %w", i, err)
+		}
+		makespans = append(makespans, res.Makespan)
+		stalls = append(stalls, float64(res.Stalls))
+		utils = append(utils, res.Utilization)
+	}
+	return MultiResult{
+		Policy:      p.Name(),
+		Trials:      trials,
+		Makespan:    aggregate(makespans),
+		Stalls:      aggregate(stalls),
+		Utilization: aggregate(utils),
+	}, nil
+}

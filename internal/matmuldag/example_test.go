@@ -1,0 +1,27 @@
+package matmuldag_test
+
+import (
+	"fmt"
+
+	"icsched/internal/matmuldag"
+)
+
+// Build the Fig. 17 matrix-multiplication dag and print its IC-optimal
+// phase orders.
+func ExampleNew() {
+	c, err := matmuldag.New()
+	if err != nil {
+		panic(err)
+	}
+	g, _ := c.Dag()
+	linear, _ := c.VerifyLinear()
+	fmt.Println("M:", g)
+	fmt.Println("▷-linear (C₄ ▷ C₄ ▷ Λ ▷ Λ):", linear)
+	fmt.Println("entries:", matmuldag.EntryOrder())
+	fmt.Println("products (Λ-paired):", matmuldag.PairedProductOrder())
+	// Output:
+	// M: dag{nodes:20 arcs:24 sources:8 sinks:4}
+	// ▷-linear (C₄ ▷ C₄ ▷ Λ ▷ Λ): true
+	// entries: [A E C F B G D H]
+	// products (Λ-paired): [AF BH AE BG CE DG CF DH]
+}

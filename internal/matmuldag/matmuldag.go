@@ -1,0 +1,127 @@
+// Package matmuldag implements the 2×2 matrix-multiplication dag M of §7
+// (Fig. 17): the composite of type C₄ ⇑ C₄ ⇑ Λ ⇑ Λ ⇑ Λ ⇑ Λ that computes
+//
+//	( A B )   ( E F )   ( AE+BG  AF+BH )
+//	( C D ) × ( G H ) = ( CE+DG  CF+DH )
+//
+// One cycle-dag computes the products AE, AF, CE, CF (sources in cyclic
+// order A, E, C, F), the other BG, BH, DG, DH (sources B, G, D, H), and
+// four Λ dags sum matching product pairs.  Because (7.1) never invokes
+// commutativity, the same dag drives the recursive n×n block algorithm of
+// package compute/linalg.
+//
+// C₄ ▷ C₄ ▷ Λ ▷ Λ makes M ▷-linear, so the Theorem 2.1 schedule — entry
+// fetches in cycle order, then the products Λ-pair by Λ-pair — is
+// IC-optimal.  Note the paper's closing prose lists the eight products in
+// packet (eligibility) order AE, CE, CF, AF, BG, DG, DH, BH; executing
+// them in that order splits every Λ pair and is NOT IC-optimal, which the
+// test suite verifies against the exact oracle (see EXPERIMENTS.md for the
+// erratum note — the same display contains the CF+BH typo for CF+DH).
+package matmuldag
+
+import (
+	"fmt"
+
+	"icsched/internal/compose"
+	"icsched/internal/dag"
+)
+
+// Entry labels in cycle order for the two cycle-dags.
+var (
+	cycle1Sources = []string{"A", "E", "C", "F"}
+	cycle1Sinks   = []string{"AF", "AE", "CE", "CF"} // sink w <- sources w-1, w
+	cycle2Sources = []string{"B", "G", "D", "H"}
+	cycle2Sinks   = []string{"BH", "BG", "DG", "DH"}
+	// sums[i] pairs cycle1Sinks[i] with cycle2Sinks[i].
+	sums = []string{"AF+BH", "AE+BG", "CE+DG", "CF+DH"}
+)
+
+// New returns the dag M of Fig. 17 as a Composer whose Schedule() is the
+// IC-optimal Theorem 2.1 order.  The built dag has 20 labeled nodes:
+// 8 entry sources, 8 product nodes, 4 sum sinks.
+func New() (*compose.Composer, error) {
+	var c compose.Composer
+	b1 := labeledCycle(cycle1Sources, cycle1Sinks)
+	if err := c.Add(compose.Block{Name: "C4:left", G: b1, Nonsinks: b1.Sources()}, nil); err != nil {
+		return nil, fmt.Errorf("matmuldag: %w", err)
+	}
+	b2 := labeledCycle(cycle2Sources, cycle2Sinks)
+	if err := c.Add(compose.Block{Name: "C4:right", G: b2, Nonsinks: b2.Sources()}, nil); err != nil {
+		return nil, fmt.Errorf("matmuldag: %w", err)
+	}
+	g1 := c.Placed()[0].ToGlobal
+	g2 := c.Placed()[1].ToGlobal
+	for i, sum := range sums {
+		l := labeledLambda(cycle1Sinks[i], cycle2Sinks[i], sum)
+		merges := []compose.Merge{
+			{Source: 0, Sink: g1[dag.NodeID(4+i)]},
+			{Source: 1, Sink: g2[dag.NodeID(4+i)]},
+		}
+		if err := c.Add(compose.Block{Name: "Λ:" + sum, G: l, Nonsinks: l.Sources()}, merges); err != nil {
+			return nil, fmt.Errorf("matmuldag: %w", err)
+		}
+	}
+	return &c, nil
+}
+
+// NodeByLabel returns the node of g carrying the given label.
+func NodeByLabel(g *dag.Dag, label string) (dag.NodeID, error) {
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Label(dag.NodeID(v)) == label {
+			return dag.NodeID(v), nil
+		}
+	}
+	return -1, fmt.Errorf("matmuldag: no node labeled %q", label)
+}
+
+// PaperProductOrder returns the eight product labels in the order the
+// paper's §7 prose lists them: AE, CE, CF, AF, BG, DG, DH, BH.  This is
+// the packet order in which the products become ELIGIBLE, not an
+// IC-optimal execution order (see the package comment).
+func PaperProductOrder() []string {
+	return []string{"AE", "CE", "CF", "AF", "BG", "DG", "DH", "BH"}
+}
+
+// EntryOrder returns the IC-optimal entry execution order: the two
+// cycle-dags' sources in cyclic order.
+func EntryOrder() []string {
+	out := append([]string(nil), cycle1Sources...)
+	return append(out, cycle2Sources...)
+}
+
+// PairedProductOrder returns the IC-optimal product execution order of the
+// Theorem 2.1 schedule: Λ-pair by Λ-pair.
+func PairedProductOrder() []string {
+	var out []string
+	for i := range sums {
+		out = append(out, cycle1Sinks[i], cycle2Sinks[i])
+	}
+	return out
+}
+
+// SumLabels returns the four sum labels.
+func SumLabels() []string { return append([]string(nil), sums...) }
+
+// labeledCycle builds C₄ with the given source and sink labels; source v
+// has arcs to sinks v and (v+1) mod 4, so sink w receives sources w-1, w.
+func labeledCycle(srcs, snks []string) *dag.Dag {
+	b := dag.NewBuilder(8)
+	for v := 0; v < 4; v++ {
+		b.SetLabel(dag.NodeID(v), srcs[v])
+		b.SetLabel(dag.NodeID(4+v), snks[v])
+		b.AddArc(dag.NodeID(v), dag.NodeID(4+v))
+		b.AddArc(dag.NodeID(v), dag.NodeID(4+(v+1)%4))
+	}
+	return b.MustBuild()
+}
+
+// labeledLambda builds Λ with labeled sources and sink.
+func labeledLambda(s0, s1, sink string) *dag.Dag {
+	b := dag.NewBuilder(3)
+	b.SetLabel(0, s0)
+	b.SetLabel(1, s1)
+	b.SetLabel(2, sink)
+	b.AddArc(0, 2)
+	b.AddArc(1, 2)
+	return b.MustBuild()
+}

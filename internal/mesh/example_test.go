@@ -1,0 +1,21 @@
+package mesh_test
+
+import (
+	"fmt"
+
+	"icsched/internal/mesh"
+	"icsched/internal/sched"
+)
+
+// The wavefront schedule executes the out-mesh diagonal by diagonal; the
+// ELIGIBLE pool grows with the wavefront (§4).
+func ExampleOutMeshNonsinks() {
+	levels := 5
+	g := mesh.OutMesh(levels)
+	prof, _ := sched.NonsinkProfile(g, mesh.OutMeshNonsinks(levels))
+	fmt.Println("mesh:", g)
+	fmt.Println("profile:", prof)
+	// Output:
+	// mesh: dag{nodes:15 arcs:20 sources:1 sinks:5}
+	// profile: [1 2 2 3 3 3 4 4 4 4 5]
+}

@@ -1,0 +1,283 @@
+// Package mesh implements the wavefront-related dag families of §4:
+// the out-mesh and in-mesh of Fig. 5 (two-dimensional meshes truncated
+// along their diagonals; the in-mesh is the "pyramid dag" of [Cook74]),
+// their decomposition into W-dags (Fig. 6), and the full rectangular
+// wavefront mesh that underlies dynamic-programming computations such as
+// sequence alignment.
+//
+// Scheduling facts implemented and machine-checked here:
+//
+//   - every out-mesh is the ▷-linear composition W₁ ⇑ W₂ ⇑ … of W-dags
+//     with increasing numbers of sources, so the diagonal-by-diagonal
+//     schedule (each diagonal left to right) is IC-optimal;
+//   - by duality (Theorem 2.2) the reverse-diagonal schedule is IC-optimal
+//     for in-meshes;
+//   - the rectangular mesh is likewise scheduled by anti-diagonals.
+package mesh
+
+import (
+	"fmt"
+
+	"icsched/internal/compose"
+	"icsched/internal/dag"
+)
+
+// OutMesh returns the out-mesh with the given number of diagonal levels
+// (levels ≥ 1): level i (0 ≤ i < levels) holds i+1 nodes, and node (i, j)
+// has arcs to (i+1, j) and (i+1, j+1).  Level 0 is the single source; the
+// last level holds the sinks.
+func OutMesh(levels int) *dag.Dag {
+	if levels < 1 {
+		panic(fmt.Sprintf("mesh: levels %d < 1", levels))
+	}
+	n := levels * (levels + 1) / 2
+	b := dag.NewBuilder(n)
+	for i := 0; i+1 < levels; i++ {
+		for j := 0; j <= i; j++ {
+			u := TriID(i, j)
+			b.AddArc(u, TriID(i+1, j))
+			b.AddArc(u, TriID(i+1, j+1))
+		}
+	}
+	return b.MustBuild()
+}
+
+// InMesh returns the in-mesh (pyramid dag) with the given number of
+// levels: the dual of OutMesh(levels), sharing its node numbering.
+func InMesh(levels int) *dag.Dag { return OutMesh(levels).Dual() }
+
+// TriID returns the node ID of position (level, offset) in the triangular
+// numbering used by OutMesh and InMesh: row-major over the triangle.
+func TriID(level, offset int) dag.NodeID {
+	return dag.NodeID(level*(level+1)/2 + offset)
+}
+
+// OutMeshNonsinks returns the IC-optimal nonsink execution order for
+// OutMesh(levels): diagonal by diagonal, each diagonal left to right —
+// the Theorem 2.1 schedule of the W-dag decomposition of Fig. 6.
+func OutMeshNonsinks(levels int) []dag.NodeID {
+	var order []dag.NodeID
+	for i := 0; i+1 < levels; i++ {
+		for j := 0; j <= i; j++ {
+			order = append(order, TriID(i, j))
+		}
+	}
+	return order
+}
+
+// InMeshNonsinks returns the IC-optimal nonsink execution order for
+// InMesh(levels): diagonals from the widest (the sources) upward, each
+// left to right, excluding the apex sink — a schedule dual (Theorem 2.2)
+// to OutMeshNonsinks.
+func InMeshNonsinks(levels int) []dag.NodeID {
+	var order []dag.NodeID
+	for i := levels - 1; i >= 1; i-- {
+		for j := 0; j <= i; j++ {
+			order = append(order, TriID(i, j))
+		}
+	}
+	return order
+}
+
+// OutMeshAsWComposition expresses OutMesh(levels) as the composition
+// W₁ ⇑ W₂ ⇑ … ⇑ W_{levels-1} of Fig. 6, with each W-dag's sources merged
+// onto the previous level.  The composition is ▷-linear because smaller
+// W-dags have priority over larger ones (§4), so its Schedule() is
+// IC-optimal by Theorem 2.1.
+func OutMeshAsWComposition(levels int) (*compose.Composer, error) {
+	if levels < 2 {
+		return nil, fmt.Errorf("mesh: W composition needs >= 2 levels, got %d", levels)
+	}
+	var c compose.Composer
+	// globalOf[node of the mesh] = composite ID, filled level by level.
+	prevLevel := make([]dag.NodeID, 0, levels) // composite IDs of previous level's nodes
+	for s := 1; s < levels; s++ {
+		w := wDag(s)
+		block := compose.Block{
+			Name:     fmt.Sprintf("W%d", s),
+			G:        w,
+			Nonsinks: w.Sources(),
+		}
+		var merges []compose.Merge
+		if s > 1 {
+			for j := 0; j < s; j++ {
+				merges = append(merges, compose.Merge{Source: dag.NodeID(j), Sink: prevLevel[j]})
+			}
+		}
+		if err := c.Add(block, merges); err != nil {
+			return nil, fmt.Errorf("mesh: level %d: %w", s, err)
+		}
+		placed := c.Placed()
+		toGlobal := placed[len(placed)-1].ToGlobal
+		prevLevel = prevLevel[:0]
+		for j := 0; j <= s; j++ {
+			prevLevel = append(prevLevel, toGlobal[dag.NodeID(s+j)])
+		}
+	}
+	return &c, nil
+}
+
+// wDag duplicates the W-dag construction locally to keep the package
+// dependency graph acyclic (blocks imports compose which tests against
+// mesh shapes).
+func wDag(s int) *dag.Dag {
+	b := dag.NewBuilder(2*s + 1)
+	for v := 0; v < s; v++ {
+		b.AddArc(dag.NodeID(v), dag.NodeID(s+v))
+		b.AddArc(dag.NodeID(v), dag.NodeID(s+v+1))
+	}
+	return b.MustBuild()
+}
+
+// InMeshAsMComposition expresses InMesh(levels) as the dual composition of
+// Fig. 6: M-dags with decreasing numbers of sinks, each placed sources
+// first.  M_s has s+1 sources and s sinks (sink w has parents w and w+1),
+// and M_{s} ▷ M_{t} holds for s ≥ t, so the decreasing composition is
+// ▷-linear and its Theorem 2.1 schedule — the reverse-diagonal wavefront —
+// is IC-optimal.
+func InMeshAsMComposition(levels int) (*compose.Composer, error) {
+	if levels < 2 {
+		return nil, fmt.Errorf("mesh: M composition needs >= 2 levels, got %d", levels)
+	}
+	var c compose.Composer
+	prevLevel := make([]dag.NodeID, 0, levels)
+	for s := levels - 1; s >= 1; s-- {
+		m := mDag(s)
+		block := compose.Block{
+			Name:     fmt.Sprintf("M%d", s),
+			G:        m,
+			Nonsinks: m.Sources(),
+		}
+		var merges []compose.Merge
+		if s < levels-1 {
+			for j := 0; j <= s; j++ {
+				merges = append(merges, compose.Merge{Source: dag.NodeID(j), Sink: prevLevel[j]})
+			}
+		}
+		if err := c.Add(block, merges); err != nil {
+			return nil, fmt.Errorf("mesh: level %d: %w", s, err)
+		}
+		placed := c.Placed()
+		toGlobal := placed[len(placed)-1].ToGlobal
+		prevLevel = prevLevel[:0]
+		for j := 0; j < s; j++ {
+			prevLevel = append(prevLevel, toGlobal[dag.NodeID(s+1+j)])
+		}
+	}
+	return &c, nil
+}
+
+// mDag builds the s-sink M-dag locally: sources 0..s, sinks s+1..2s, sink
+// s+1+w having parents w and w+1.
+func mDag(s int) *dag.Dag {
+	b := dag.NewBuilder(2*s + 1)
+	for w := 0; w < s; w++ {
+		b.AddArc(dag.NodeID(w), dag.NodeID(s+1+w))
+		b.AddArc(dag.NodeID(w+1), dag.NodeID(s+1+w))
+	}
+	return b.MustBuild()
+}
+
+// Grid returns the full rows×cols rectangular wavefront mesh: node (r, c)
+// has arcs to (r+1, c) and (r, c+1).  Node (0,0) is the single source and
+// (rows-1, cols-1) the single sink.  This is the dependency structure of
+// classic dynamic-programming wavefronts (sequence alignment,
+// finite-element sweeps).
+func Grid(rows, cols int) *dag.Dag {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("mesh: grid %dx%d", rows, cols))
+	}
+	b := dag.NewBuilder(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := GridID(r, c, cols)
+			if r+1 < rows {
+				b.AddArc(u, GridID(r+1, c, cols))
+			}
+			if c+1 < cols {
+				b.AddArc(u, GridID(r, c+1, cols))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// GridID returns the node ID of grid position (row, col) under row-major
+// numbering with the given column count.
+func GridID(row, col, cols int) dag.NodeID { return dag.NodeID(row*cols + col) }
+
+// Grid3D returns the three-dimensional wavefront mesh — an extension
+// beyond the paper's two-dimensional §4 (its source [22] treats
+// higher-dimensional meshes): node (x, y, z) has arcs to (x+1, y, z),
+// (x, y+1, z) and (x, y, z+1).
+func Grid3D(nx, ny, nz int) *dag.Dag {
+	if nx < 1 || ny < 1 || nz < 1 {
+		panic(fmt.Sprintf("mesh: grid3d %dx%dx%d", nx, ny, nz))
+	}
+	b := dag.NewBuilder(nx * ny * nz)
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			for z := 0; z < nz; z++ {
+				u := Grid3DID(x, y, z, ny, nz)
+				if x+1 < nx {
+					b.AddArc(u, Grid3DID(x+1, y, z, ny, nz))
+				}
+				if y+1 < ny {
+					b.AddArc(u, Grid3DID(x, y+1, z, ny, nz))
+				}
+				if z+1 < nz {
+					b.AddArc(u, Grid3DID(x, y, z+1, ny, nz))
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Grid3DID returns the node ID of (x, y, z) in Grid3D(nx, ny, nz).
+func Grid3DID(x, y, z, ny, nz int) dag.NodeID { return dag.NodeID((x*ny+y)*nz + z) }
+
+// Grid3DDiagonalNonsinks returns the anti-diagonal-plane execution order
+// of Grid3D, excluding the sink corner: all nodes with x+y+z = k for
+// increasing k.  The test suite checks it is IC-optimal on oracle-sized
+// instances — the 2D wavefront result generalizes.
+func Grid3DDiagonalNonsinks(nx, ny, nz int) []dag.NodeID {
+	var order []dag.NodeID
+	for k := 0; k <= nx+ny+nz-3; k++ {
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				z := k - x - y
+				if z < 0 || z >= nz {
+					continue
+				}
+				if x == nx-1 && y == ny-1 && z == nz-1 {
+					continue // the unique sink
+				}
+				order = append(order, Grid3DID(x, y, z, ny, nz))
+			}
+		}
+	}
+	return order
+}
+
+// GridDiagonalNonsinks returns the anti-diagonal execution order for
+// Grid(rows, cols), excluding the sink corner: all nodes with r+c = k for
+// k = 0, 1, …, each diagonal in increasing row order.  This is the
+// wavefront schedule; the test suite checks it is IC-optimal on small
+// grids against the exact oracle.
+func GridDiagonalNonsinks(rows, cols int) []dag.NodeID {
+	var order []dag.NodeID
+	for k := 0; k <= rows+cols-2; k++ {
+		for r := 0; r < rows; r++ {
+			c := k - r
+			if c < 0 || c >= cols {
+				continue
+			}
+			if r == rows-1 && c == cols-1 {
+				continue // the unique sink
+			}
+			order = append(order, GridID(r, c, cols))
+		}
+	}
+	return order
+}

@@ -1,0 +1,319 @@
+package mesh_test
+
+import (
+	"testing"
+
+	"icsched/internal/dag"
+	"icsched/internal/mesh"
+	"icsched/internal/opt"
+	"icsched/internal/sched"
+)
+
+func checkOptimal(t *testing.T, name string, g *dag.Dag, nonsinks []dag.NodeID) {
+	t.Helper()
+	l, err := opt.Analyze(g)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	ok, step, err := l.IsOptimal(sched.Complete(g, nonsinks))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !ok {
+		t.Fatalf("%s: schedule not IC-optimal at step %d", name, step)
+	}
+}
+
+func TestOutMeshShape(t *testing.T) {
+	for levels := 1; levels <= 6; levels++ {
+		g := mesh.OutMesh(levels)
+		want := levels * (levels + 1) / 2
+		if g.NumNodes() != want {
+			t.Fatalf("outmesh(%d) nodes = %d, want %d", levels, g.NumNodes(), want)
+		}
+		if len(g.Sources()) != 1 {
+			t.Fatalf("outmesh(%d) sources = %v", levels, g.Sources())
+		}
+		if len(g.Sinks()) != levels {
+			t.Fatalf("outmesh(%d) sinks = %d, want %d", levels, len(g.Sinks()), levels)
+		}
+		if levels > 1 && !g.Connected() {
+			t.Fatalf("outmesh(%d) disconnected", levels)
+		}
+	}
+}
+
+func TestOutMeshInteriorDegrees(t *testing.T) {
+	g := mesh.OutMesh(4)
+	// Interior node (2,1) has 2 parents and 2 children.
+	v := mesh.TriID(2, 1)
+	if g.InDegree(v) != 2 || g.OutDegree(v) != 2 {
+		t.Fatalf("interior degrees: in=%d out=%d", g.InDegree(v), g.OutDegree(v))
+	}
+	// Edge node (2,0) has 1 parent.
+	if g.InDegree(mesh.TriID(2, 0)) != 1 {
+		t.Fatal("left-edge node must have 1 parent")
+	}
+}
+
+func TestInMeshIsDualShape(t *testing.T) {
+	g := mesh.InMesh(4)
+	if len(g.Sources()) != 4 || len(g.Sinks()) != 1 {
+		t.Fatalf("inmesh sources/sinks: %d/%d", len(g.Sources()), len(g.Sinks()))
+	}
+}
+
+func TestOutMeshDiagonalScheduleOptimal(t *testing.T) {
+	// §4: out-meshes admit IC-optimal schedules (diagonal by diagonal).
+	for levels := 1; levels <= 6; levels++ {
+		g := mesh.OutMesh(levels)
+		checkOptimal(t, "outmesh", g, mesh.OutMeshNonsinks(levels))
+	}
+}
+
+func TestInMeshReverseDiagonalScheduleOptimal(t *testing.T) {
+	for levels := 1; levels <= 6; levels++ {
+		g := mesh.InMesh(levels)
+		checkOptimal(t, "inmesh", g, mesh.InMeshNonsinks(levels))
+	}
+}
+
+func TestInMeshOrderIsDualOfOutMeshOrder(t *testing.T) {
+	// Theorem 2.2 machinery: a dual order built from the out-mesh schedule
+	// must be IC-optimal for the in-mesh.
+	levels := 5
+	g := mesh.OutMesh(levels)
+	dualOrder, err := sched.DualOrder(g, mesh.OutMeshNonsinks(levels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOptimal(t, "inmesh-dual", g.Dual(), dualOrder)
+}
+
+func TestRowMajorOutMeshScheduleNotOptimal(t *testing.T) {
+	// Executing an entire left column first (depth-first down the left
+	// edge) is not IC-optimal: eligibility grows slower than the wavefront.
+	g := mesh.OutMesh(4)
+	l, err := opt.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Order: (0,0),(1,0),(2,0),(1,1),(2,1),(2,2) then sinks.
+	bad := []dag.NodeID{
+		mesh.TriID(0, 0), mesh.TriID(1, 0), mesh.TriID(2, 0),
+		mesh.TriID(1, 1), mesh.TriID(2, 1), mesh.TriID(2, 2),
+	}
+	ok, _, err := l.IsOptimal(sched.Complete(g, bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("left-edge-first schedule should not be IC-optimal")
+	}
+}
+
+func TestOutMeshAsWComposition(t *testing.T) {
+	// Fig. 6: the out-mesh as a composition of W-dags.
+	for levels := 2; levels <= 5; levels++ {
+		c, err := mesh.OutMeshAsWComposition(levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := c.Dag()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := mesh.OutMesh(levels)
+		if g.NumNodes() != ref.NumNodes() || g.NumArcs() != ref.NumArcs() {
+			t.Fatalf("W-composition shape %v vs %v", g, ref)
+		}
+		// §4: smaller W-dags have ▷-priority over larger ones, so the
+		// increasing composition is ▷-linear.
+		ok, err := c.VerifyLinear()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("W₁⇑…⇑W%d must be ▷-linear", levels-1)
+		}
+		order, err := c.Schedule()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := opt.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		good, step, err := l.IsOptimal(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !good {
+			t.Fatalf("W-composition schedule not optimal at step %d", step)
+		}
+	}
+}
+
+func TestInMeshAsMComposition(t *testing.T) {
+	// The dual of Fig. 6: the in-mesh as a decreasing composition of
+	// M-dags; the Theorem 2.1 schedule is the reverse-diagonal wavefront.
+	for levels := 2; levels <= 5; levels++ {
+		c, err := mesh.InMeshAsMComposition(levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := c.Dag()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := mesh.InMesh(levels)
+		if g.NumNodes() != ref.NumNodes() || g.NumArcs() != ref.NumArcs() {
+			t.Fatalf("M-composition shape %v vs %v", g, ref)
+		}
+		if len(g.Sources()) != levels || len(g.Sinks()) != 1 {
+			t.Fatalf("M-composition sources/sinks: %d/%d", len(g.Sources()), len(g.Sinks()))
+		}
+		ok, err := c.VerifyLinear()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("M_%d ⇑ … ⇑ M_1 must be ▷-linear", levels-1)
+		}
+		order, err := c.Schedule()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := opt.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		good, step, err := l.IsOptimal(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !good {
+			t.Fatalf("in-mesh M-composition schedule not optimal at step %d", step)
+		}
+	}
+}
+
+func TestInMeshMCompositionNeedsTwoLevels(t *testing.T) {
+	if _, err := mesh.InMeshAsMComposition(1); err == nil {
+		t.Fatal("1-level M composition accepted")
+	}
+}
+
+func TestWCompositionNeedsTwoLevels(t *testing.T) {
+	if _, err := mesh.OutMeshAsWComposition(1); err == nil {
+		t.Fatal("1-level W composition accepted")
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g := mesh.Grid(3, 4)
+	if g.NumNodes() != 12 {
+		t.Fatalf("grid nodes = %d", g.NumNodes())
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatal("grid must have unique source and sink")
+	}
+	// Interior degree checks.
+	if g.OutDegree(mesh.GridID(1, 1, 4)) != 2 || g.InDegree(mesh.GridID(1, 1, 4)) != 2 {
+		t.Fatal("interior grid degrees wrong")
+	}
+	// Corner checks.
+	if g.OutDegree(mesh.GridID(2, 3, 4)) != 0 || g.InDegree(mesh.GridID(0, 0, 4)) != 0 {
+		t.Fatal("corner degrees wrong")
+	}
+}
+
+func TestGridDiagonalScheduleOptimal(t *testing.T) {
+	for _, tc := range []struct{ r, c int }{
+		{1, 1}, {1, 5}, {5, 1}, {2, 2}, {2, 3}, {3, 3}, {3, 4}, {4, 4},
+	} {
+		g := mesh.Grid(tc.r, tc.c)
+		checkOptimal(t, "grid", g, mesh.GridDiagonalNonsinks(tc.r, tc.c))
+	}
+}
+
+func TestGridRowMajorNotOptimal(t *testing.T) {
+	g := mesh.Grid(3, 3)
+	l, err := opt.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rowMajor []dag.NodeID
+	for v := 0; v < 8; v++ { // all but the sink (id 8)
+		rowMajor = append(rowMajor, dag.NodeID(v))
+	}
+	ok, _, err := l.IsOptimal(sched.Complete(g, rowMajor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("row-major grid schedule should not be IC-optimal")
+	}
+}
+
+func TestGrid3DShape(t *testing.T) {
+	g := mesh.Grid3D(2, 3, 4)
+	if g.NumNodes() != 24 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatal("3D grid must have unique source and sink")
+	}
+	// Interior node has 3 children and 3 parents.
+	v := mesh.Grid3DID(1, 1, 1, 3, 4)
+	if g.InDegree(v) != 3 {
+		t.Fatalf("interior indegree = %d", g.InDegree(v))
+	}
+}
+
+func TestGrid3DDiagonalScheduleOptimal(t *testing.T) {
+	// The 2D wavefront result generalizes: anti-diagonal planes are
+	// IC-optimal for the 3D mesh (oracle-sized instances).
+	for _, tc := range []struct{ x, y, z int }{
+		{2, 2, 2}, {2, 2, 3}, {2, 3, 3}, {1, 4, 4}, {2, 2, 5},
+	} {
+		g := mesh.Grid3D(tc.x, tc.y, tc.z)
+		checkOptimal(t, "grid3d", g, mesh.Grid3DDiagonalNonsinks(tc.x, tc.y, tc.z))
+	}
+}
+
+func TestGrid3DAxisOrderNotOptimal(t *testing.T) {
+	g := mesh.Grid3D(2, 2, 3)
+	l, err := opt.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var axis []dag.NodeID
+	for v := 0; v+1 < g.NumNodes(); v++ { // ID order = axis-major, sink last
+		axis = append(axis, dag.NodeID(v))
+	}
+	ok, _, err := l.IsOptimal(sched.Complete(g, axis))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("axis-major 3D schedule should not be IC-optimal")
+	}
+}
+
+func TestMeshPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"outmesh0": func() { mesh.OutMesh(0) },
+		"grid0":    func() { mesh.Grid(0, 3) },
+		"gridneg":  func() { mesh.Grid(3, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,69 @@
+package opt
+
+import "math/big"
+
+// Schedule counting over the ideal lattice: CountSchedules counts all
+// legal execution orders (the linear extensions of the dag's precedence
+// order); CountOptimal counts those that are IC-optimal.  Their ratio
+// quantifies how demanding IC optimality is — from "every schedule is
+// optimal" (uniform out-trees, ratio 1) down to 0 for the dags of §8
+// item 2 that admit none.
+
+// CountSchedules returns the number of legal execution orders of the dag.
+func (l *Lattice) CountSchedules() *big.Int {
+	return l.countPaths(func(uint64, int) bool { return true })
+}
+
+// CountOptimal returns the number of IC-optimal schedules of the dag
+// (zero when none exists).
+func (l *Lattice) CountOptimal() *big.Int {
+	return l.countPaths(func(mask uint64, size int) bool {
+		return l.elig[mask] >= l.maxE[size]
+	})
+}
+
+// countPaths counts monotone chains ∅ ⊂ … ⊂ full through the ideals that
+// satisfy keep at every size.
+func (l *Lattice) countPaths(keep func(mask uint64, size int) bool) *big.Int {
+	n := l.g.NumNodes()
+	counts := map[uint64]*big.Int{0: big.NewInt(1)}
+	if !keep(0, 0) {
+		return big.NewInt(0)
+	}
+	for t := 0; t < n; t++ {
+		next := make(map[uint64]*big.Int)
+		for _, mask := range l.ideals[t] {
+			c, ok := counts[mask]
+			if !ok {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				bit := uint64(1) << uint(v)
+				if mask&bit != 0 || l.parentMask[v]&^mask != 0 {
+					continue
+				}
+				succ := mask | bit
+				if !keep(succ, t+1) {
+					continue
+				}
+				if acc, ok := next[succ]; ok {
+					acc.Add(acc, c)
+				} else {
+					next[succ] = new(big.Int).Set(c)
+				}
+			}
+		}
+		counts = next
+		if len(counts) == 0 {
+			return big.NewInt(0)
+		}
+	}
+	full := uint64(0)
+	if n > 0 {
+		full = (uint64(1) << uint(n)) - 1
+	}
+	if c, ok := counts[full]; ok {
+		return c
+	}
+	return big.NewInt(0)
+}

@@ -1,0 +1,43 @@
+package opt_test
+
+import (
+	"fmt"
+
+	"icsched/internal/dag"
+	"icsched/internal/opt"
+)
+
+// Decide whether a dag admits an IC-optimal schedule and synthesize one.
+func ExampleLattice_OptimalSchedule() {
+	// The Lambda dag: every schedule is IC-optimal.
+	b := dag.NewBuilder(3)
+	b.AddArc(0, 2)
+	b.AddArc(1, 2)
+	g := b.MustBuild()
+
+	l, _ := opt.Analyze(g)
+	order, ok := l.OptimalSchedule()
+	fmt.Println("admits IC-optimal schedule:", ok)
+	fmt.Println("one such schedule:", order)
+	fmt.Println("max-eligibility profile:", l.MaxE())
+	// Output:
+	// admits IC-optimal schedule: true
+	// one such schedule: [0 1 2]
+	// max-eligibility profile: [2 1 1 0]
+}
+
+// Some dags admit no IC-optimal schedule at all (§8, item 2).
+func ExampleLattice_Exists() {
+	b := dag.NewBuilder(6) // u,v -> {x,y}; w -> z
+	b.AddArc(0, 3)
+	b.AddArc(0, 4)
+	b.AddArc(1, 3)
+	b.AddArc(1, 4)
+	b.AddArc(2, 5)
+	g := b.MustBuild()
+
+	l, _ := opt.Analyze(g)
+	fmt.Println("admits IC-optimal schedule:", l.Exists())
+	// Output:
+	// admits IC-optimal schedule: false
+}

@@ -1,0 +1,208 @@
+// Package opt is the exact decision procedure for IC optimality (§2.2).
+//
+// After t node-executions the set of executed nodes is exactly an ideal
+// (predecessor-closed subset) of the dag of size t, and the number of
+// ELIGIBLE nodes depends only on that set.  Hence
+//
+//	maxE(t) = max{ |eligible(S)| : S an ideal, |S| = t },
+//
+// and a schedule Σ is IC-optimal iff its prefix ideal attains maxE(t) for
+// every t.  A dag admits an IC-optimal schedule iff there is a chain of
+// ideals ∅ = S₀ ⊂ S₁ ⊂ … ⊂ S_N, |S_t| = t, each attaining maxE(t).  Many
+// dags admit none (§8, item 2), which this package also decides.
+//
+// The procedure enumerates the ideal lattice with bitmask dynamic
+// programming and is exponential in the worst case; it is intended as a
+// ground-truth oracle for dags of up to MaxNodes nodes, against which the
+// paper's closed-form schedules are machine-checked.
+package opt
+
+import (
+	"fmt"
+
+	"icsched/internal/dag"
+)
+
+// MaxNodes bounds the dag size the oracle accepts (the ideal lattice can
+// hold up to 2^n sets).
+const MaxNodes = 26
+
+// Lattice is the enumerated ideal lattice of a dag, with per-size maximum
+// eligibility counts.  Build one with Analyze and reuse it across queries.
+type Lattice struct {
+	g *dag.Dag
+	// ideals[t] lists every ideal of size t as a bitmask.
+	ideals [][]uint64
+	// elig[mask] = |eligible(mask)| for every ideal mask.
+	elig map[uint64]int
+	// maxE[t] = max eligibility over ideals of size t.
+	maxE []int
+	// parentMask[v] = bitmask of parents of v.
+	parentMask []uint64
+}
+
+// Analyze enumerates the ideal lattice of g.  It fails if g has more than
+// MaxNodes nodes.
+func Analyze(g *dag.Dag) (*Lattice, error) {
+	n := g.NumNodes()
+	if n > MaxNodes {
+		return nil, fmt.Errorf("opt: dag has %d nodes, oracle limit is %d", n, MaxNodes)
+	}
+	l := &Lattice{
+		g:          g,
+		ideals:     make([][]uint64, n+1),
+		elig:       make(map[uint64]int),
+		maxE:       make([]int, n+1),
+		parentMask: make([]uint64, n),
+	}
+	for v := 0; v < n; v++ {
+		for _, p := range g.Parents(dag.NodeID(v)) {
+			l.parentMask[v] |= 1 << uint(p)
+		}
+	}
+	// BFS over the ideal lattice by size.
+	l.ideals[0] = []uint64{0}
+	l.elig[0] = l.eligCount(0)
+	l.maxE[0] = l.elig[0]
+	for t := 0; t < n; t++ {
+		seen := make(map[uint64]struct{})
+		for _, mask := range l.ideals[t] {
+			for v := 0; v < n; v++ {
+				bit := uint64(1) << uint(v)
+				if mask&bit != 0 {
+					continue
+				}
+				if l.parentMask[v]&^mask != 0 {
+					continue // some parent unexecuted: v not eligible
+				}
+				next := mask | bit
+				if _, ok := seen[next]; ok {
+					continue
+				}
+				seen[next] = struct{}{}
+				e := l.eligCount(next)
+				l.elig[next] = e
+				l.ideals[t+1] = append(l.ideals[t+1], next)
+				if e > l.maxE[t+1] {
+					l.maxE[t+1] = e
+				}
+			}
+		}
+	}
+	return l, nil
+}
+
+// eligCount counts the nodes eligible with respect to the executed set mask.
+func (l *Lattice) eligCount(mask uint64) int {
+	count := 0
+	for v := 0; v < l.g.NumNodes(); v++ {
+		bit := uint64(1) << uint(v)
+		if mask&bit == 0 && l.parentMask[v]&^mask == 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// MaxE returns the per-step maximum eligibility profile: MaxE()[t] is the
+// largest possible |ELIGIBLE| after t executions.
+func (l *Lattice) MaxE() []int { return append([]int(nil), l.maxE...) }
+
+// NumIdeals returns the total number of ideals of the dag.
+func (l *Lattice) NumIdeals() int { return len(l.elig) }
+
+// IsOptimal reports whether the given full execution order is IC-optimal:
+// legal, and attaining maxE(t) at every step t.  The returned step is the
+// first step at which the schedule falls short (-1 when optimal).
+func (l *Lattice) IsOptimal(order []dag.NodeID) (optimal bool, step int, err error) {
+	n := l.g.NumNodes()
+	if len(order) != n {
+		return false, -1, fmt.Errorf("opt: order has %d nodes, dag has %d", len(order), n)
+	}
+	var mask uint64
+	for t, v := range order {
+		if int(v) < 0 || int(v) >= n {
+			return false, -1, fmt.Errorf("opt: node %d out of range", v)
+		}
+		bit := uint64(1) << uint(v)
+		if mask&bit != 0 {
+			return false, -1, fmt.Errorf("opt: node %s executed twice", l.g.Name(v))
+		}
+		if l.parentMask[v]&^mask != 0 {
+			return false, -1, fmt.Errorf("opt: node %s executed while not ELIGIBLE", l.g.Name(v))
+		}
+		mask |= bit
+		if l.elig[mask] < l.maxE[t+1] {
+			return false, t + 1, nil
+		}
+	}
+	return true, -1, nil
+}
+
+// Exists reports whether the dag admits any IC-optimal schedule, by
+// checking for a single chain of per-step-optimal ideals.
+func (l *Lattice) Exists() bool {
+	_, ok := l.OptimalSchedule()
+	return ok
+}
+
+// OptimalSchedule synthesizes an IC-optimal schedule if one exists.
+// The second result is false when the dag admits no IC-optimal schedule.
+//
+// levels[t] holds the per-step-optimal ideals of size t from which the
+// chain ∅ ⊂ … ⊂ full can still be completed; it is computed backward from
+// t = n, and a schedule is then reconstructed by walking forward.
+func (l *Lattice) OptimalSchedule() ([]dag.NodeID, bool) {
+	n := l.g.NumNodes()
+	full := uint64(0)
+	if n > 0 {
+		full = (uint64(1) << uint(n)) - 1
+	}
+	levels := make([]map[uint64]bool, n+1)
+	levels[n] = map[uint64]bool{full: true}
+	for t := n - 1; t >= 0; t-- {
+		levels[t] = make(map[uint64]bool)
+		for _, mask := range l.ideals[t] {
+			if l.elig[mask] < l.maxE[t] {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				bit := uint64(1) << uint(v)
+				if mask&bit != 0 || l.parentMask[v]&^mask != 0 {
+					continue
+				}
+				if levels[t+1][mask|bit] {
+					levels[t][mask] = true
+					break
+				}
+			}
+		}
+		if len(levels[t]) == 0 {
+			return nil, false
+		}
+	}
+	if !levels[0][0] {
+		return nil, false
+	}
+	order := make([]dag.NodeID, 0, n)
+	mask := uint64(0)
+	for t := 0; t < n; t++ {
+		found := false
+		for v := 0; v < n; v++ {
+			bit := uint64(1) << uint(v)
+			if mask&bit != 0 || l.parentMask[v]&^mask != 0 {
+				continue
+			}
+			if levels[t+1][mask|bit] {
+				order = append(order, dag.NodeID(v))
+				mask |= bit
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false // defensive; cannot happen when levels[0][0]
+		}
+	}
+	return order, true
+}

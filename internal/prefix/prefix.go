@@ -1,0 +1,148 @@
+// Package prefix implements the parallel-prefix (scan) dag family P_n of
+// §6.1 (Fig. 11) and its decomposition into N-dags (Fig. 12).
+//
+// P_n materializes the classic O(log n)-step scan
+//
+//	for j = 0 .. ⌊log₂(n-1)⌋:
+//	    for i = 2^j .. n-1 in parallel: x_i ← x_{i-2^j} * x_i
+//
+// as a dag with L+1 rows of n columns, L = ⌊log₂(n-1)⌋+1: node (j, i) is
+// the value of cell i after stage j, with parents (j-1, i) and — when
+// i ≥ 2^{j-1} — (j-1, i-2^{j-1}).  Row 0 holds the sources, row L the
+// sinks (the scan outputs).
+//
+// Each stage-j transition splits by column residue mod 2^j into N-dags
+// (chains stepping by 2^j), which is exactly the composition of Fig. 12;
+// since N_s ▷ N_t for all s and t, the composition is ▷-linear however the
+// sizes fall, and the stage-major chain-major schedule is IC-optimal with
+// the constant profile E(x) = n.
+package prefix
+
+import (
+	"fmt"
+
+	"icsched/internal/compose"
+	"icsched/internal/dag"
+)
+
+// Levels returns L(n), the number of combining stages of P_n: 0 for n = 1,
+// otherwise ⌊log₂(n-1)⌋ + 1.
+func Levels(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("prefix: n %d < 1", n))
+	}
+	l := 0
+	for (1 << uint(l)) < n {
+		l++
+	}
+	return l
+}
+
+// Network returns the n-input parallel-prefix dag P_n: (L+1)·n nodes.
+func Network(n int) *dag.Dag {
+	L := Levels(n)
+	b := dag.NewBuilder((L + 1) * n)
+	for j := 1; j <= L; j++ {
+		step := 1 << uint(j-1)
+		for i := 0; i < n; i++ {
+			b.AddArc(ID(n, j-1, i), ID(n, j, i))
+			if i >= step {
+				b.AddArc(ID(n, j-1, i-step), ID(n, j, i))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// ID returns the node ID of (stage row, column) in P_n: row-major.
+func ID(n, row, col int) dag.NodeID { return dag.NodeID(row*n + col) }
+
+// Nonsinks returns the IC-optimal nonsink execution order of P_n:
+// stage by stage, and within stage j each residue-class N-dag in full,
+// sources in anchor-first order — i.e. columns r, r+2^j, r+2·2^j, … for
+// r = 0 .. 2^j−1.  This executes the constituent N-dags in nonincreasing
+// size order, which §6.1 identifies as IC-optimal.
+func Nonsinks(n int) []dag.NodeID {
+	L := Levels(n)
+	var order []dag.NodeID
+	for j := 0; j < L; j++ {
+		step := 1 << uint(j)
+		for r := 0; r < step && r < n; r++ {
+			for i := r; i < n; i += step {
+				order = append(order, ID(n, j, i))
+			}
+		}
+	}
+	return order
+}
+
+// Profile returns the closed-form E-profile of P_n under the Nonsinks
+// order: constantly n — every execution renders exactly one node eligible.
+func Profile(n int) []int {
+	L := Levels(n)
+	prof := make([]int, L*n+1)
+	for x := range prof {
+		prof[x] = n
+	}
+	return prof
+}
+
+// AsNComposition expresses P_n as the composition of N-dags of Fig. 12
+// (for n = 8: N₈ ⇑ N₄ ⇑ N₄ ⇑ N₂ ⇑ N₂ ⇑ N₂ ⇑ N₂).  The composition is
+// ▷-linear because N_s ▷ N_t for all s, t, so Schedule() is IC-optimal by
+// Theorem 2.1.
+func AsNComposition(n int) (*compose.Composer, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("prefix: N composition needs n >= 2, got %d", n)
+	}
+	L := Levels(n)
+	var c compose.Composer
+	globalOf := make([]dag.NodeID, n) // composite IDs of the current row
+	nextOf := make([]dag.NodeID, n)
+	for j := 0; j < L; j++ {
+		step := 1 << uint(j)
+		for r := 0; r < step && r < n; r++ {
+			// Columns of this chain.
+			var cols []int
+			for i := r; i < n; i += step {
+				cols = append(cols, i)
+			}
+			s := len(cols)
+			nd := nDag(s)
+			block := compose.Block{
+				Name:     fmt.Sprintf("N%d@j%d,r%d", s, j, r),
+				G:        nd,
+				Nonsinks: nd.Sources(),
+			}
+			var merges []compose.Merge
+			if j > 0 {
+				for v, col := range cols {
+					merges = append(merges, compose.Merge{Source: dag.NodeID(v), Sink: globalOf[col]})
+				}
+			}
+			if err := c.Add(block, merges); err != nil {
+				return nil, fmt.Errorf("prefix: stage %d residue %d: %w", j, r, err)
+			}
+			placed := c.Placed()
+			toGlobal := placed[len(placed)-1].ToGlobal
+			for v, col := range cols {
+				nextOf[col] = toGlobal[dag.NodeID(s+v)]
+			}
+		}
+		copy(globalOf, nextOf)
+	}
+	return &c, nil
+}
+
+// nDag builds the s-source N-dag locally (sources 0..s-1, sinks s..2s-1,
+// source v → sinks s+v and s+v+1 when present).
+func nDag(s int) *dag.Dag {
+	b := dag.NewBuilder(2 * s)
+	for v := 0; v < s; v++ {
+		b.AddArc(dag.NodeID(v), dag.NodeID(s+v))
+		if v+1 < s {
+			b.AddArc(dag.NodeID(v), dag.NodeID(s+v+1))
+		}
+	}
+	return b.MustBuild()
+}

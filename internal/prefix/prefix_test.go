@@ -1,0 +1,216 @@
+package prefix_test
+
+import (
+	"reflect"
+	"testing"
+
+	"icsched/internal/dag"
+	"icsched/internal/opt"
+	"icsched/internal/prefix"
+	"icsched/internal/sched"
+)
+
+func TestLevels(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {16, 4}, {17, 5},
+	} {
+		if got := prefix.Levels(tc.n); got != tc.want {
+			t.Fatalf("Levels(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestNetworkShape(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 16} {
+		g := prefix.Network(n)
+		L := prefix.Levels(n)
+		if g.NumNodes() != (L+1)*n {
+			t.Fatalf("P_%d nodes = %d, want %d", n, g.NumNodes(), (L+1)*n)
+		}
+		if len(g.Sources()) != n || len(g.Sinks()) != n {
+			t.Fatalf("P_%d sources/sinks: %d/%d", n, len(g.Sources()), len(g.Sinks()))
+		}
+	}
+}
+
+func TestP8MatchesPaperFigure(t *testing.T) {
+	// Fig. 11: P_8 has 4 rows of 8; within row j+1, column i has 2 parents
+	// iff i >= 2^j.
+	g := prefix.Network(8)
+	if g.NumNodes() != 32 {
+		t.Fatalf("P_8 nodes = %d, want 32", g.NumNodes())
+	}
+	for j := 1; j <= 3; j++ {
+		step := 1 << uint(j-1)
+		for i := 0; i < 8; i++ {
+			want := 1
+			if i >= step {
+				want = 2
+			}
+			if got := g.InDegree(prefix.ID(8, j, i)); got != want {
+				t.Fatalf("P_8 (%d,%d) indegree = %d, want %d", j, i, got, want)
+			}
+		}
+	}
+}
+
+func TestProfileConstantN(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 6, 7, 8, 12, 16} {
+		g := prefix.Network(n)
+		got, err := sched.NonsinkProfile(g, prefix.Nonsinks(n))
+		if err != nil {
+			t.Fatalf("P_%d: %v", n, err)
+		}
+		want := prefix.Profile(n)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("P_%d profile = %v, want constant %d", n, got, n)
+		}
+	}
+}
+
+func TestNonsinksOptimalByOracle(t *testing.T) {
+	// P_4 (12 nodes) and P_5 (20 nodes) fit the exact oracle.
+	for _, n := range []int{2, 3, 4, 5} {
+		g := prefix.Network(n)
+		l, err := opt.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, step, err := l.IsOptimal(sched.Complete(g, prefix.Nonsinks(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("P_%d schedule not optimal at step %d", n, step)
+		}
+	}
+}
+
+func TestIncreasingNDagOrderNotOptimal(t *testing.T) {
+	// §6.1 requires NONINCREASING N-dag sizes.  Executing a later (small)
+	// stage's reachable part early is impossible topologically, but
+	// executing stage 0 column-interleaved (violating anchor-first
+	// sequential chains) can break optimality: for P_4, execute row 0 as
+	// 0,2,1,3 (splitting the N_4 chain).
+	g := prefix.Network(4)
+	l, err := opt.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []dag.NodeID{
+		prefix.ID(4, 0, 0), prefix.ID(4, 0, 2), prefix.ID(4, 0, 1), prefix.ID(4, 0, 3),
+		// Stage 1 chains: residues 0 and 1 with step 2.
+		prefix.ID(4, 1, 0), prefix.ID(4, 1, 2), prefix.ID(4, 1, 1), prefix.ID(4, 1, 3),
+	}
+	ok, _, err := l.IsOptimal(sched.Complete(g, bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("chain-splitting schedule should not be IC-optimal for P_4")
+	}
+}
+
+func TestAsNCompositionShapesMatchFig12(t *testing.T) {
+	// Fig. 12: P_8 is composite of type N₈ ⇑ N₄ ⇑ N₄ ⇑ N₂ ⇑ N₂ ⇑ N₂ ⇑ N₂.
+	c, err := prefix.AsNComposition(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	for _, p := range c.Placed() {
+		sizes = append(sizes, len(p.Block.G.Sources()))
+	}
+	want := []int{8, 4, 4, 2, 2, 2, 2}
+	if !reflect.DeepEqual(sizes, want) {
+		t.Fatalf("N-dag sizes = %v, want %v", sizes, want)
+	}
+	g, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := prefix.Network(8)
+	if g.NumNodes() != ref.NumNodes() || g.NumArcs() != ref.NumArcs() {
+		t.Fatalf("composition shape %v vs %v", g, ref)
+	}
+}
+
+func TestAsNCompositionLinearAndOptimal(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		c, err := prefix.AsNComposition(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := c.VerifyLinear()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("P_%d N-composition must be ▷-linear (N_s ▷ N_t for all s,t)", n)
+		}
+		g, err := c.Dag()
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, err := c.Schedule()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := opt.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		good, step, err := l.IsOptimal(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !good {
+			t.Fatalf("P_%d composition schedule not optimal at step %d", n, step)
+		}
+	}
+}
+
+func TestAsNCompositionLargeMatchesDirect(t *testing.T) {
+	// For a larger, non-power-of-2 size, the composition must reproduce the
+	// direct construction's shape and the constant-n profile.
+	n := 13
+	c, err := prefix.AsNComposition(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := prefix.Network(n)
+	if g.NumNodes() != ref.NumNodes() || g.NumArcs() != ref.NumArcs() {
+		t.Fatalf("composition shape %v vs %v", g, ref)
+	}
+	order, err := c.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := sched.Profile(g, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x <= len(prefix.Nonsinks(n)); x++ {
+		if prof[x] != n {
+			t.Fatalf("composition profile[%d] = %d, want %d", x, prof[x], n)
+		}
+	}
+}
+
+func TestPrefixPanicsAndErrors(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Levels(0) did not panic")
+			}
+		}()
+		prefix.Levels(0)
+	}()
+	if _, err := prefix.AsNComposition(1); err == nil {
+		t.Fatal("AsNComposition(1) accepted")
+	}
+}

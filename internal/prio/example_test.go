@@ -1,0 +1,24 @@
+package prio_test
+
+import (
+	"fmt"
+
+	"icsched/internal/blocks"
+	"icsched/internal/prio"
+)
+
+// Check the §3.1 facts V ▷ Λ (holds) and Λ ▷ V (fails) through
+// inequality (2.1).
+func ExampleHolds() {
+	v, l := blocks.Vee(), blocks.Lambda()
+	vOrder := blocks.SourcesLeftToRight(v)
+	lOrder := blocks.SourcesLeftToRight(l)
+
+	vl, _ := prio.Holds(v, vOrder, l, lOrder)
+	lv, _ := prio.Holds(l, lOrder, v, vOrder)
+	fmt.Println("V ▷ Λ:", vl)
+	fmt.Println("Λ ▷ V:", lv)
+	// Output:
+	// V ▷ Λ: true
+	// Λ ▷ V: false
+}

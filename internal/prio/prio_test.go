@@ -1,0 +1,251 @@
+package prio_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icsched/internal/blocks"
+	"icsched/internal/dag"
+	"icsched/internal/opt"
+	"icsched/internal/prio"
+	"icsched/internal/sched"
+)
+
+// holds decides G1 ▷ G2 using each dag's left-to-right source order (the
+// IC-optimal order for all bipartite blocks).
+func holds(t *testing.T, g1, g2 *dag.Dag) bool {
+	t.Helper()
+	ok, err := prio.Holds(g1, blocks.SourcesLeftToRight(g1), g2, blocks.SourcesLeftToRight(g2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok
+}
+
+// Every ▷ fact the paper uses, as stated:
+
+func TestVeeHasPriorityOverVee(t *testing.T) {
+	// §3.1: "a trivial computation using (2.1) shows that V ▷ V".
+	if !holds(t, blocks.Vee(), blocks.Vee()) {
+		t.Fatal("V ▷ V must hold")
+	}
+}
+
+func TestVeeHasPriorityOverLambda(t *testing.T) {
+	// §3.1: "a trivial computation involving (2.1) shows that V ▷ Λ".
+	if !holds(t, blocks.Vee(), blocks.Lambda()) {
+		t.Fatal("V ▷ Λ must hold")
+	}
+}
+
+func TestLambdaHasPriorityOverLambda(t *testing.T) {
+	// §6.2.1 fact (3): Λ ▷ Λ.
+	if !holds(t, blocks.Lambda(), blocks.Lambda()) {
+		t.Fatal("Λ ▷ Λ must hold")
+	}
+}
+
+func TestLambdaDoesNotHavePriorityOverVee(t *testing.T) {
+	// §3.1: "although T ▷ T' for any out-tree T and in-tree T', the
+	// converse does not hold" — at the block level, Λ ▷ V fails.
+	if holds(t, blocks.Lambda(), blocks.Vee()) {
+		t.Fatal("Λ ▷ V must fail")
+	}
+}
+
+func TestSmallerWHasPriorityOverLarger(t *testing.T) {
+	// §4: "smaller W-dags have ▷-priority over larger ones".
+	for s := 1; s <= 5; s++ {
+		for u := s; u <= 6; u++ {
+			if !holds(t, blocks.W(s), blocks.W(u)) {
+				t.Fatalf("W(%d) ▷ W(%d) must hold", s, u)
+			}
+		}
+	}
+	// ... and strictly larger W-dags do NOT have priority over smaller.
+	for s := 2; s <= 6; s++ {
+		if holds(t, blocks.W(s), blocks.W(s-1)) {
+			t.Fatalf("W(%d) ▷ W(%d) must fail", s, s-1)
+		}
+	}
+}
+
+func TestNDagPriorityUniversal(t *testing.T) {
+	// §6.1 fact (a)/(b) and §6.2.1 fact (1): N_s ▷ N_t for ALL s and t.
+	for s := 1; s <= 6; s++ {
+		for u := 1; u <= 6; u++ {
+			if !holds(t, blocks.N(s), blocks.N(u)) {
+				t.Fatalf("N(%d) ▷ N(%d) must hold", s, u)
+			}
+		}
+	}
+}
+
+func TestNDagHasPriorityOverLambda(t *testing.T) {
+	// §6.2.1 fact (2): N_s ▷ Λ for all s.
+	for s := 1; s <= 6; s++ {
+		if !holds(t, blocks.N(s), blocks.Lambda()) {
+			t.Fatalf("N(%d) ▷ Λ must hold", s)
+		}
+	}
+}
+
+func TestButterflyHasPriorityOverItself(t *testing.T) {
+	// §5.1: "A trivial computation using (2.1) shows that B ▷ B."
+	if !holds(t, blocks.Butterfly(), blocks.Butterfly()) {
+		t.Fatal("B ▷ B must hold")
+	}
+}
+
+func TestCycleChain(t *testing.T) {
+	// §7: "A simple calculation using (2.1) verifies that C₄ ▷ C₄ ▷ Λ ▷ Λ."
+	c4 := blocks.Cycle(4)
+	l := blocks.Lambda()
+	if !holds(t, c4, c4) {
+		t.Fatal("C₄ ▷ C₄ must hold")
+	}
+	if !holds(t, c4, l) {
+		t.Fatal("C₄ ▷ Λ must hold")
+	}
+	if !holds(t, l, l) {
+		t.Fatal("Λ ▷ Λ must hold")
+	}
+	ok, err := prio.Chain(
+		[]*dag.Dag{c4, c4, l, l, l, l},
+		[][]dag.NodeID{
+			blocks.SourcesLeftToRight(c4), blocks.SourcesLeftToRight(c4),
+			blocks.SourcesLeftToRight(l), blocks.SourcesLeftToRight(l),
+			blocks.SourcesLeftToRight(l), blocks.SourcesLeftToRight(l),
+		})
+	if err != nil || !ok {
+		t.Fatalf("C₄ ▷ C₄ ▷ Λ ▷ Λ ▷ Λ ▷ Λ chain: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestVee3Chain(t *testing.T) {
+	// §6.2.1: "One validates easily the chain V₃ ▷ V₃ ▷ Λ ▷ Λ."
+	v3 := blocks.VeeD(3)
+	l := blocks.Lambda()
+	if !holds(t, v3, v3) {
+		t.Fatal("V₃ ▷ V₃ must hold")
+	}
+	if !holds(t, v3, l) {
+		t.Fatal("V₃ ▷ Λ must hold")
+	}
+}
+
+func TestExplainProducesWitness(t *testing.T) {
+	ok, w, err := prio.Explain(
+		blocks.Lambda(), blocks.SourcesLeftToRight(blocks.Lambda()),
+		blocks.Vee(), blocks.SourcesLeftToRight(blocks.Vee()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || w == nil {
+		t.Fatal("Λ ▷ V must fail with a witness")
+	}
+	if w.LHS <= w.RHS {
+		t.Fatalf("witness not violating: %v", w)
+	}
+	if w.String() == "" {
+		t.Fatal("witness must print")
+	}
+}
+
+func TestHoldsRejectsBadSchedules(t *testing.T) {
+	v := blocks.Vee()
+	if _, err := prio.Holds(v, []dag.NodeID{1}, v, blocks.SourcesLeftToRight(v)); err == nil {
+		t.Fatal("sink-executing schedule accepted for G1")
+	}
+	if _, err := prio.Holds(v, blocks.SourcesLeftToRight(v), v, []dag.NodeID{2}); err == nil {
+		t.Fatal("sink-executing schedule accepted for G2")
+	}
+}
+
+func TestChainLengthMismatch(t *testing.T) {
+	v := blocks.Vee()
+	if _, err := prio.Chain([]*dag.Dag{v, v}, [][]dag.NodeID{blocks.SourcesLeftToRight(v)}); err == nil {
+		t.Fatal("mismatched chain accepted")
+	}
+}
+
+func TestPriorityDualityTheorem23OnBlocks(t *testing.T) {
+	// Theorem 2.3: G1 ▷ G2 iff G̃2 ▷ G̃1 — checked operationally via
+	// Theorem 2.2 dual schedules on every ordered pair of blocks.
+	blocksList := []*dag.Dag{
+		blocks.Vee(), blocks.Lambda(), blocks.VeeD(3), blocks.LambdaD(3),
+		blocks.W(2), blocks.W(3), blocks.M(2), blocks.N(3), blocks.Cycle(4),
+		blocks.Butterfly(),
+	}
+	for i, g1 := range blocksList {
+		for j, g2 := range blocksList {
+			s1 := blocks.SourcesLeftToRight(g1)
+			s2 := blocks.SourcesLeftToRight(g2)
+			direct, err := prio.Holds(g1, s1, g2, s2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaDual, err := prio.DualHolds(g1, s1, g2, s2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if direct != viaDual {
+				t.Fatalf("Theorem 2.3 violated for pair (%d,%d): direct=%v dual=%v", i, j, direct, viaDual)
+			}
+		}
+	}
+}
+
+func TestPriorityDualityTheorem23OnRandomDags(t *testing.T) {
+	// Theorem 2.3 on random dags that admit IC-optimal schedules, with
+	// oracle-synthesized schedules.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g1 := dag.Random(r, 2+r.Intn(7), 0.4)
+		g2 := dag.Random(r, 2+r.Intn(7), 0.4)
+		l1, err := opt.Analyze(g1)
+		if err != nil {
+			return false
+		}
+		l2, err := opt.Analyze(g2)
+		if err != nil {
+			return false
+		}
+		o1, ok1 := l1.OptimalSchedule()
+		o2, ok2 := l2.OptimalSchedule()
+		if !ok1 || !ok2 {
+			return true // ▷ is defined only for dags admitting IC-optimal schedules
+		}
+		s1 := sched.NonsinkPrefix(g1, o1)
+		s2 := sched.NonsinkPrefix(g2, o2)
+		// The synthesized order may interleave sinks; rebuild a nonsink-only
+		// order and require it to still be legal.
+		if _, err := sched.NonsinkProfile(g1, s1); err != nil {
+			return true // interleaved-sink optimal order: skip this sample
+		}
+		if _, err := sched.NonsinkProfile(g2, s2); err != nil {
+			return true
+		}
+		direct, err := prio.Holds(g1, s1, g2, s2)
+		if err != nil {
+			return false
+		}
+		viaDual, err := prio.DualHolds(g1, s1, g2, s2)
+		if err != nil {
+			return false
+		}
+		return direct == viaDual
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHoldsProfilesReflexiveOnConstantProfiles(t *testing.T) {
+	// Any dag with a constant E-profile has priority over itself.
+	e := []int{4, 4, 4, 4}
+	if ok, w := prio.HoldsProfiles(e, e); !ok {
+		t.Fatalf("constant profile self-priority failed: %v", w)
+	}
+}

@@ -1,0 +1,72 @@
+package sched
+
+import "icsched/internal/dag"
+
+// Quality helpers over eligibility profiles: the aggregate measures used
+// by the experiment harness and the assessment-style comparisons.
+
+// Area returns the sum of the profile — the area under the E(t) curve.
+// Since an IC-optimal schedule attains the per-step maximum, its area
+// dominates every other schedule's.
+func Area(profile []int) int {
+	total := 0
+	for _, e := range profile {
+		total += e
+	}
+	return total
+}
+
+// Mean returns the average eligibility of the profile.
+func Mean(profile []int) float64 {
+	if len(profile) == 0 {
+		return 0
+	}
+	return float64(Area(profile)) / float64(len(profile))
+}
+
+// Dominates reports whether profile a is pointwise ≥ b.  Both must have
+// equal length (profiles of schedules of the same dag always do).
+func Dominates(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WorstStepRatio returns the minimum over steps of a[t]/b[t] (treating
+// 0/0 as 1), quantifying how far schedule a falls below reference b at its
+// worst step.  Used with b = the IC-optimal profile.
+func WorstStepRatio(a, b []int) float64 {
+	worst := 1.0
+	for i := range a {
+		if i >= len(b) {
+			break
+		}
+		switch {
+		case b[i] == 0:
+			// Both are forced to zero only at the very end; skip.
+		case float64(a[i])/float64(b[i]) < worst:
+			worst = float64(a[i]) / float64(b[i])
+		}
+	}
+	return worst
+}
+
+// CompareSchedules executes both orders on g and reports their profiles
+// plus whether the first pointwise dominates the second.
+func CompareSchedules(g *dag.Dag, a, b []dag.NodeID) (profA, profB []int, dominates bool, err error) {
+	profA, err = Profile(g, a)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	profB, err = Profile(g, b)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return profA, profB, Dominates(profA, profB), nil
+}

@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icsched/internal/dag"
+)
+
+func TestAreaAndMean(t *testing.T) {
+	if Area([]int{1, 2, 3}) != 6 {
+		t.Fatal("area wrong")
+	}
+	if Mean([]int{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 || Area(nil) != 0 {
+		t.Fatal("empty profile wrong")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	if !Dominates([]int{3, 2, 1}, []int{3, 1, 1}) {
+		t.Fatal("dominance missed")
+	}
+	if Dominates([]int{3, 1}, []int{3, 2}) {
+		t.Fatal("false dominance")
+	}
+	if Dominates([]int{3}, []int{3, 2}) {
+		t.Fatal("length mismatch must not dominate")
+	}
+	if !Dominates([]int{2, 2}, []int{2, 2}) {
+		t.Fatal("equal profiles dominate")
+	}
+}
+
+func TestWorstStepRatio(t *testing.T) {
+	r := WorstStepRatio([]int{2, 1, 0}, []int{4, 2, 0})
+	if r != 0.5 {
+		t.Fatalf("ratio = %g, want 0.5", r)
+	}
+	if WorstStepRatio([]int{3, 3}, []int{3, 3}) != 1 {
+		t.Fatal("identical profiles ratio 1")
+	}
+}
+
+func TestCompareSchedules(t *testing.T) {
+	b := dag.NewBuilder(3)
+	b.AddArc(0, 1)
+	b.AddArc(0, 2)
+	g := b.MustBuild()
+	pa, pb, dom, err := CompareSchedules(g, []dag.NodeID{0, 1, 2}, []dag.NodeID{0, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dom || len(pa) != len(pb) {
+		t.Fatal("symmetric V schedules must tie")
+	}
+	if _, _, _, err := CompareSchedules(g, []dag.NodeID{1}, []dag.NodeID{0, 1, 2}); err == nil {
+		t.Fatal("bad schedule accepted")
+	}
+	if _, _, _, err := CompareSchedules(g, []dag.NodeID{0, 1, 2}, []dag.NodeID{2}); err == nil {
+		t.Fatal("bad second schedule accepted")
+	}
+}
+
+func TestSelfDominanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := dag.Random(r, 1+r.Intn(15), 0.3)
+		order := Complete(g, AnyTopoNonsinks(g))
+		pa, pb, dom, err := CompareSchedules(g, order, order)
+		if err != nil {
+			return false
+		}
+		return dom && Area(pa) == Area(pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package sched implements the quality model of IC-Scheduling Theory
+// (§2.2 of the paper): executions of computation-dags, ELIGIBLE-node
+// tracking, eligibility profiles E_Σ(t), schedule validation, and the
+// packet/duality machinery of Theorem 2.2.
+//
+// Time is event-driven: t counts the number of nodes executed so far.  A
+// node is ELIGIBLE when it is unexecuted and all of its parents have been
+// executed; executing a node removes its eligibility permanently (no
+// recomputation).
+package sched
+
+import (
+	"fmt"
+
+	"icsched/internal/dag"
+)
+
+// State tracks an in-progress execution of a dag.  It is the substrate for
+// profiles, heuristic schedulers, the IC simulator and the parallel
+// executor.  States are not safe for concurrent use.
+type State struct {
+	g         *dag.Dag
+	remaining []int32 // unexecuted parents per node
+	executed  []bool
+	eligible  []bool
+	numElig   int
+	numExec   int
+}
+
+// NewState returns the initial execution state of g: nothing executed,
+// exactly the sources eligible.
+func NewState(g *dag.Dag) *State {
+	n := g.NumNodes()
+	s := &State{
+		g:         g,
+		remaining: make([]int32, n),
+		executed:  make([]bool, n),
+		eligible:  make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		s.remaining[v] = int32(g.InDegree(dag.NodeID(v)))
+		if s.remaining[v] == 0 {
+			s.eligible[v] = true
+			s.numElig++
+		}
+	}
+	return s
+}
+
+// Dag returns the dag being executed.
+func (s *State) Dag() *dag.Dag { return s.g }
+
+// NumEligible returns |ELIGIBLE| — the quality measure of §2.2.
+func (s *State) NumEligible() int { return s.numElig }
+
+// NumExecuted returns the event-driven time t (nodes executed so far).
+func (s *State) NumExecuted() int { return s.numExec }
+
+// Done reports whether every node has been executed.
+func (s *State) Done() bool { return s.numExec == s.g.NumNodes() }
+
+// IsEligible reports whether v is currently ELIGIBLE.
+func (s *State) IsEligible(v dag.NodeID) bool { return s.eligible[v] }
+
+// IsExecuted reports whether v has been executed.
+func (s *State) IsExecuted(v dag.NodeID) bool { return s.executed[v] }
+
+// Eligible returns the currently ELIGIBLE nodes in increasing ID order.
+func (s *State) Eligible() []dag.NodeID {
+	out := make([]dag.NodeID, 0, s.numElig)
+	for v := 0; v < s.g.NumNodes(); v++ {
+		if s.eligible[v] {
+			out = append(out, dag.NodeID(v))
+		}
+	}
+	return out
+}
+
+// Execute executes v and returns the packet of nodes newly rendered
+// ELIGIBLE by this execution (possibly empty), in increasing ID order.  It
+// fails if v is not currently ELIGIBLE.
+func (s *State) Execute(v dag.NodeID) ([]dag.NodeID, error) {
+	if int(v) < 0 || int(v) >= s.g.NumNodes() {
+		return nil, fmt.Errorf("sched: node %d out of range", v)
+	}
+	if s.executed[v] {
+		return nil, fmt.Errorf("sched: node %s executed twice", s.g.Name(v))
+	}
+	if !s.eligible[v] {
+		return nil, fmt.Errorf("sched: node %s executed while not ELIGIBLE", s.g.Name(v))
+	}
+	s.executed[v] = true
+	s.eligible[v] = false
+	s.numElig--
+	s.numExec++
+	var packet []dag.NodeID
+	for _, c := range s.g.Children(v) {
+		s.remaining[c]--
+		if s.remaining[c] == 0 {
+			s.eligible[c] = true
+			s.numElig++
+			packet = append(packet, c)
+		}
+	}
+	return packet, nil
+}
+
+// Clone returns an independent copy of the state.
+func (s *State) Clone() *State {
+	c := &State{
+		g:         s.g,
+		remaining: append([]int32(nil), s.remaining...),
+		executed:  append([]bool(nil), s.executed...),
+		eligible:  append([]bool(nil), s.eligible...),
+		numElig:   s.numElig,
+		numExec:   s.numExec,
+	}
+	return c
+}
+
+// Validate checks that order is a legal schedule for g: a permutation of
+// all nodes in which every node is ELIGIBLE at the moment it is executed.
+func Validate(g *dag.Dag, order []dag.NodeID) error {
+	if len(order) != g.NumNodes() {
+		return fmt.Errorf("sched: order has %d nodes, dag has %d", len(order), g.NumNodes())
+	}
+	s := NewState(g)
+	for i, v := range order {
+		if _, err := s.Execute(v); err != nil {
+			return fmt.Errorf("sched: step %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Profile returns the eligibility profile of the full execution order:
+// Profile[t] = |ELIGIBLE| after t executions, for t in [0, len(order)].
+// It fails if the order is not a legal schedule.
+func Profile(g *dag.Dag, order []dag.NodeID) ([]int, error) {
+	s := NewState(g)
+	prof := make([]int, 0, len(order)+1)
+	prof = append(prof, s.NumEligible())
+	for i, v := range order {
+		if _, err := s.Execute(v); err != nil {
+			return nil, fmt.Errorf("sched: step %d: %w", i, err)
+		}
+		prof = append(prof, s.NumEligible())
+	}
+	if !s.Done() {
+		return nil, fmt.Errorf("sched: order executes %d of %d nodes", s.NumExecuted(), g.NumNodes())
+	}
+	return prof, nil
+}
+
+// NonsinkProfile returns the E_Σ profile in the convention of [MRY06] used
+// by the priority relation (2.1): E[x] = |ELIGIBLE| after executing the
+// first x entries of nonsinks, where nonsinks must be a legal execution
+// order of exactly the nonsinks of g (sinks are never executed, so they
+// accumulate in the ELIGIBLE count).
+func NonsinkProfile(g *dag.Dag, nonsinks []dag.NodeID) ([]int, error) {
+	want := len(g.NonSinks())
+	if len(nonsinks) != want {
+		return nil, fmt.Errorf("sched: nonsink order has %d nodes, dag has %d nonsinks", len(nonsinks), want)
+	}
+	s := NewState(g)
+	prof := make([]int, 0, len(nonsinks)+1)
+	prof = append(prof, s.NumEligible())
+	for i, v := range nonsinks {
+		if g.IsSink(v) {
+			return nil, fmt.Errorf("sched: step %d executes sink %s", i, g.Name(v))
+		}
+		if _, err := s.Execute(v); err != nil {
+			return nil, fmt.Errorf("sched: step %d: %w", i, err)
+		}
+		prof = append(prof, s.NumEligible())
+	}
+	return prof, nil
+}
+
+// Complete extends a nonsink execution order to a full schedule by
+// appending the sinks of g in increasing ID order (per Theorem 2.1 the
+// sinks may be executed in any order).
+func Complete(g *dag.Dag, nonsinks []dag.NodeID) []dag.NodeID {
+	order := make([]dag.NodeID, 0, g.NumNodes())
+	order = append(order, nonsinks...)
+	order = append(order, g.Sinks()...)
+	return order
+}
+
+// NonsinkPrefix extracts, in order, the nonsinks of g from a full schedule.
+func NonsinkPrefix(g *dag.Dag, order []dag.NodeID) []dag.NodeID {
+	var out []dag.NodeID
+	for _, v := range order {
+		if !g.IsSink(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Packets returns the packet sequence of Theorem 2.2: Packets[j] is the
+// set of nonsources rendered ELIGIBLE by the execution of the j-th nonsink
+// in the given order (possibly empty), in increasing ID order.
+func Packets(g *dag.Dag, nonsinks []dag.NodeID) ([][]dag.NodeID, error) {
+	s := NewState(g)
+	packets := make([][]dag.NodeID, 0, len(nonsinks))
+	for i, v := range nonsinks {
+		p, err := s.Execute(v)
+		if err != nil {
+			return nil, fmt.Errorf("sched: step %d: %w", i, err)
+		}
+		packets = append(packets, p)
+	}
+	return packets, nil
+}
+
+// DualOrder constructs, per Theorem 2.2, a nonsink execution order for the
+// dual dag g̃ from an execution order of g's nonsinks: it emits the packet
+// sequence of Σ in reverse packet order (keeping each packet's internal
+// order as produced).  Node IDs are shared between g and g.Dual().
+//
+// The result executes exactly the nonsources of g, which are the nonsinks
+// of g̃.
+func DualOrder(g *dag.Dag, nonsinks []dag.NodeID) ([]dag.NodeID, error) {
+	packets, err := Packets(g, nonsinks)
+	if err != nil {
+		return nil, err
+	}
+	var out []dag.NodeID
+	for j := len(packets) - 1; j >= 0; j-- {
+		out = append(out, packets[j]...)
+	}
+	return out, nil
+}
+
+// AnyTopoNonsinks returns the nonsinks of g in (deterministic) topological
+// order — a legal nonsink execution order for any dag.
+func AnyTopoNonsinks(g *dag.Dag) []dag.NodeID {
+	var out []dag.NodeID
+	for _, v := range g.TopoOrder() {
+		if !g.IsSink(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

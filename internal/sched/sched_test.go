@@ -1,0 +1,289 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icsched/internal/dag"
+)
+
+// buildVee returns the Vee dag of Fig. 1: w -> x0, w -> x1.
+func buildVee() *dag.Dag {
+	b := dag.NewBuilder(3)
+	b.AddArc(0, 1)
+	b.AddArc(0, 2)
+	return b.MustBuild()
+}
+
+// buildLambda returns the Lambda dag of Fig. 1: y0 -> z, y1 -> z.
+func buildLambda() *dag.Dag {
+	b := dag.NewBuilder(3)
+	b.AddArc(0, 2)
+	b.AddArc(1, 2)
+	return b.MustBuild()
+}
+
+func TestInitialStateEligibleIsSources(t *testing.T) {
+	g := buildLambda()
+	s := NewState(g)
+	if s.NumEligible() != 2 {
+		t.Fatalf("initial eligible = %d, want 2", s.NumEligible())
+	}
+	el := s.Eligible()
+	if len(el) != 2 || el[0] != 0 || el[1] != 1 {
+		t.Fatalf("eligible = %v", el)
+	}
+	if s.NumExecuted() != 0 || s.Done() {
+		t.Fatal("fresh state wrong")
+	}
+}
+
+func TestStateAccessors(t *testing.T) {
+	g := buildVee()
+	s := NewState(g)
+	if s.Dag() != g {
+		t.Fatal("Dag accessor wrong")
+	}
+	if !s.IsEligible(0) || s.IsEligible(1) || s.IsExecuted(0) {
+		t.Fatal("initial flags wrong")
+	}
+	if _, err := s.Execute(0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsExecuted(0) || s.IsEligible(0) || !s.IsEligible(1) {
+		t.Fatal("post-execution flags wrong")
+	}
+}
+
+func TestExecutePacket(t *testing.T) {
+	g := buildVee()
+	s := NewState(g)
+	packet, err := s.Execute(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packet) != 2 || packet[0] != 1 || packet[1] != 2 {
+		t.Fatalf("packet = %v, want [1 2]", packet)
+	}
+	if s.NumEligible() != 2 {
+		t.Fatalf("eligible after root = %d", s.NumEligible())
+	}
+}
+
+func TestExecuteIneligibleFails(t *testing.T) {
+	g := buildVee()
+	s := NewState(g)
+	if _, err := s.Execute(1); err == nil {
+		t.Fatal("executing ineligible node must fail")
+	}
+}
+
+func TestExecuteTwiceFails(t *testing.T) {
+	g := buildVee()
+	s := NewState(g)
+	if _, err := s.Execute(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute(0); err == nil {
+		t.Fatal("double execution must fail")
+	}
+}
+
+func TestExecuteOutOfRangeFails(t *testing.T) {
+	s := NewState(buildVee())
+	if _, err := s.Execute(42); err == nil {
+		t.Fatal("out-of-range execution must fail")
+	}
+	if _, err := s.Execute(-1); err == nil {
+		t.Fatal("negative execution must fail")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	g := buildVee()
+	s := NewState(g)
+	c := s.Clone()
+	if _, err := s.Execute(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumExecuted() != 0 || c.NumEligible() != 1 {
+		t.Fatal("clone mutated by original")
+	}
+	if _, err := c.Execute(0); err != nil {
+		t.Fatal("clone must still allow execution")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := buildVee()
+	if err := Validate(g, []dag.NodeID{0, 1, 2}); err != nil {
+		t.Fatalf("valid order rejected: %v", err)
+	}
+	if err := Validate(g, []dag.NodeID{1, 0, 2}); err == nil {
+		t.Fatal("invalid order accepted")
+	}
+	if err := Validate(g, []dag.NodeID{0, 1}); err == nil {
+		t.Fatal("short order accepted")
+	}
+	if err := Validate(g, []dag.NodeID{0, 1, 1}); err == nil {
+		t.Fatal("repeated node accepted")
+	}
+}
+
+func TestProfileVee(t *testing.T) {
+	g := buildVee()
+	prof, err := Profile(g, []dag.NodeID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 1, 0}
+	for i := range want {
+		if prof[i] != want[i] {
+			t.Fatalf("profile = %v, want %v", prof, want)
+		}
+	}
+}
+
+func TestProfileLambda(t *testing.T) {
+	g := buildLambda()
+	prof, err := Profile(g, []dag.NodeID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 1, 1, 0}
+	for i := range want {
+		if prof[i] != want[i] {
+			t.Fatalf("profile = %v, want %v", prof, want)
+		}
+	}
+}
+
+func TestNonsinkProfileMatchesPaperBlocks(t *testing.T) {
+	// E_V = (1, 2); E_Λ = (2, 1, 1) — the profiles used throughout §2.3.
+	v := buildVee()
+	prof, err := NonsinkProfile(v, []dag.NodeID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof[0] != 1 || prof[1] != 2 {
+		t.Fatalf("E_V = %v, want [1 2]", prof)
+	}
+	l := buildLambda()
+	prof, err = NonsinkProfile(l, []dag.NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof[0] != 2 || prof[1] != 1 || prof[2] != 1 {
+		t.Fatalf("E_Λ = %v, want [2 1 1]", prof)
+	}
+}
+
+func TestNonsinkProfileRejectsSink(t *testing.T) {
+	g := buildVee()
+	if _, err := NonsinkProfile(g, []dag.NodeID{1}); err == nil {
+		t.Fatal("sink in nonsink order accepted")
+	}
+}
+
+func TestCompleteAndNonsinkPrefixRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := dag.Random(r, 1+r.Intn(14), 0.3)
+		nonsinks := AnyTopoNonsinks(g)
+		full := Complete(g, nonsinks)
+		if err := Validate(g, full); err != nil {
+			return false
+		}
+		back := NonsinkPrefix(g, full)
+		if len(back) != len(nonsinks) {
+			return false
+		}
+		for i := range back {
+			if back[i] != nonsinks[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketsPartitionNonsources(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := dag.Random(r, 1+r.Intn(14), 0.35)
+		packets, err := Packets(g, AnyTopoNonsinks(g))
+		if err != nil {
+			return false
+		}
+		seen := map[dag.NodeID]bool{}
+		total := 0
+		for _, p := range packets {
+			for _, v := range p {
+				if seen[v] || g.IsSource(v) {
+					return false
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		return total == len(g.NonSources())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDualOrderIsLegalForDual(t *testing.T) {
+	// Theorem 2.2 precondition: the dual order must be a legal nonsink
+	// execution order of the dual dag.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := dag.Random(r, 1+r.Intn(12), 0.35)
+		dual := g.Dual()
+		dord, err := DualOrder(g, AnyTopoNonsinks(g))
+		if err != nil {
+			return false
+		}
+		if len(dord) != len(dual.NonSinks()) {
+			return false
+		}
+		_, err = NonsinkProfile(dual, dord)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileEndsAtZero(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := dag.Random(r, 1+r.Intn(15), 0.3)
+		order := Complete(g, AnyTopoNonsinks(g))
+		prof, err := Profile(g, order)
+		if err != nil {
+			return false
+		}
+		return prof[len(prof)-1] == 0 && prof[0] == len(g.Sources())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnyTopoNonsinksExactlyNonsinks(t *testing.T) {
+	g := buildLambda()
+	ns := AnyTopoNonsinks(g)
+	if len(ns) != 2 {
+		t.Fatalf("nonsinks = %v", ns)
+	}
+	for _, v := range ns {
+		if g.IsSink(v) {
+			t.Fatalf("sink %d in nonsink order", v)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package trees_test
+
+import (
+	"fmt"
+
+	"icsched/internal/trees"
+)
+
+// Compose a diamond dag (Fig. 2) from an out-tree and its mirror in-tree
+// and obtain the Theorem 2.1 schedule.
+func ExampleDiamond() {
+	out := trees.CompleteOutTree(2, 2)
+	comp, err := trees.Diamond(out)
+	if err != nil {
+		panic(err)
+	}
+	g, _ := comp.Dag()
+	order, _ := comp.Schedule()
+	fmt.Println("diamond:", g)
+	fmt.Println("schedule length:", len(order))
+	// Output:
+	// diamond: dag{nodes:10 arcs:12 sources:1 sinks:1}
+	// schedule length: 10
+}

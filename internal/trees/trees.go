@@ -1,0 +1,432 @@
+// Package trees implements the expansion-reduction dag families of §3:
+// out-trees ("expansive" computations, e.g. the divide phase of
+// divide-and-conquer), in-trees ("reductive" accumulations), diamond dags
+// (out-tree ⇑ in-tree, Fig. 2), and the alternating compositions of
+// Fig. 4 / Table 1.
+//
+// Scheduling facts implemented and machine-checked here:
+//
+//   - every schedule for an out-tree is IC-optimal (§3.1);
+//   - a schedule for an in-tree is IC-optimal iff it executes the sources
+//     of each Λ copy in consecutive steps (§3.1, from [RY05]);
+//   - every diamond dag, and every alternating composition of the three
+//     types in Table 1, admits an IC-optimal schedule, emitted here via
+//     the Theorem 2.1 machinery of package compose.
+package trees
+
+import (
+	"fmt"
+	"math/rand"
+
+	"icsched/internal/compose"
+	"icsched/internal/dag"
+	"icsched/internal/sched"
+)
+
+// CompleteOutTree returns the complete out-tree of the given arity with
+// `height` edge-levels (height 0 is a single node).  Nodes use heap
+// numbering: the children of node i are arity*i+1 .. arity*i+arity.
+func CompleteOutTree(arity, height int) *dag.Dag {
+	if arity < 1 {
+		panic(fmt.Sprintf("trees: arity %d < 1", arity))
+	}
+	if height < 0 {
+		panic(fmt.Sprintf("trees: height %d < 0", height))
+	}
+	n := 1
+	levelSize := 1
+	for l := 0; l < height; l++ {
+		levelSize *= arity
+		n += levelSize
+	}
+	b := dag.NewBuilder(n)
+	for i := 0; ; i++ {
+		first := arity*i + 1
+		if first >= n {
+			break
+		}
+		for c := 0; c < arity; c++ {
+			b.AddArc(dag.NodeID(i), dag.NodeID(first+c))
+		}
+	}
+	return b.MustBuild()
+}
+
+// CompleteInTree returns the complete in-tree of the given arity and
+// height: the dual of CompleteOutTree (leaves are sources, the root is the
+// single sink).  Node IDs match the out-tree's heap numbering.
+func CompleteInTree(arity, height int) *dag.Dag {
+	return CompleteOutTree(arity, height).Dual()
+}
+
+// RandomOutTree returns a random *proper* out-tree of the given arity
+// with `internals` internal nodes: starting from a single leaf (the root),
+// it repeatedly expands a uniformly random leaf into an internal node with
+// exactly `arity` children.  The result has internals*arity + 1 nodes and
+// models the irregular-but-proper out-trees produced by adaptive
+// computations such as §3.2's numerical integration, where a task either
+// becomes a leaf or spawns exactly d subtasks.
+//
+// Properness (every internal node has the same out-degree) matters: the
+// theory's guarantee that every out-tree admits an IC-optimal schedule is
+// for iterated compositions of a fixed-degree Vee dag (footnote 7).
+// Out-trees with mixed internal out-degrees can admit NO IC-optimal
+// schedule — see NonUniformCounterexample.
+func RandomOutTree(rng *rand.Rand, internals, arity int) *dag.Dag {
+	if internals < 0 {
+		panic(fmt.Sprintf("trees: internals %d < 0", internals))
+	}
+	if arity < 1 {
+		panic(fmt.Sprintf("trees: arity %d < 1", arity))
+	}
+	n := internals*arity + 1
+	b := dag.NewBuilder(n)
+	leaves := []dag.NodeID{0}
+	next := dag.NodeID(1)
+	for i := 0; i < internals; i++ {
+		k := rng.Intn(len(leaves))
+		p := leaves[k]
+		leaves[k] = leaves[len(leaves)-1]
+		leaves = leaves[:len(leaves)-1]
+		for c := 0; c < arity; c++ {
+			b.AddArc(p, next)
+			leaves = append(leaves, next)
+			next++
+		}
+	}
+	return b.MustBuild()
+}
+
+// ProperArity reports whether every internal node of g has the same
+// out-degree and, if so, returns that arity.  Dags with no internal nodes
+// report (0, true).
+func ProperArity(g *dag.Dag) (int, bool) {
+	arity := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		d := g.OutDegree(dag.NodeID(v))
+		if d == 0 {
+			continue
+		}
+		if arity == 0 {
+			arity = d
+		} else if d != arity {
+			return 0, false
+		}
+	}
+	return arity, true
+}
+
+// NonUniformCounterexample returns an out-tree with mixed internal
+// out-degrees that admits NO IC-optimal schedule, witnessing why the
+// theory fixes the Vee degree: r -> {a, b}; a -> 3 leaves; b -> c;
+// c -> 4 leaves.  maxE(2) is attained only by the ideal {r, a} while
+// maxE(3) is attained only by {r, b, c}, and no execution chain passes
+// through both.
+func NonUniformCounterexample() *dag.Dag {
+	b := dag.NewBuilder(11) // 0=r 1=a 2=b 3=c 4..6 leaves of a, 7..10 leaves of c
+	b.AddArc(0, 1)
+	b.AddArc(0, 2)
+	for l := 4; l <= 6; l++ {
+		b.AddArc(1, dag.NodeID(l))
+	}
+	b.AddArc(2, 3)
+	for l := 7; l <= 10; l++ {
+		b.AddArc(3, dag.NodeID(l))
+	}
+	return b.MustBuild()
+}
+
+// IsOutTree reports whether g is a connected out-tree: one source, every
+// other node having exactly one parent.
+func IsOutTree(g *dag.Dag) bool {
+	if g.NumNodes() == 0 {
+		return false
+	}
+	sources := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		switch g.InDegree(dag.NodeID(v)) {
+		case 0:
+			sources++
+		case 1:
+			// interior or leaf
+		default:
+			return false
+		}
+	}
+	return sources == 1 && g.Connected()
+}
+
+// IsInTree reports whether g is a connected in-tree: one sink, every other
+// node having exactly one child.
+func IsInTree(g *dag.Dag) bool {
+	if g.NumNodes() == 0 {
+		return false
+	}
+	sinks := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		switch g.OutDegree(dag.NodeID(v)) {
+		case 0:
+			sinks++
+		case 1:
+		default:
+			return false
+		}
+	}
+	return sinks == 1 && g.Connected()
+}
+
+// Leaves returns the sinks of an out-tree (or the sources of an in-tree's
+// dual) in increasing ID order.
+func Leaves(g *dag.Dag) []dag.NodeID { return g.Sinks() }
+
+// OutTreeNonsinks returns an IC-optimal nonsink execution order for an
+// out-tree.  Per §3.1 every schedule for an out-tree is IC-optimal, so a
+// deterministic topological order is used.
+func OutTreeNonsinks(g *dag.Dag) []dag.NodeID { return sched.AnyTopoNonsinks(g) }
+
+// InTreeNonsinks returns an IC-optimal nonsink execution order for an
+// in-tree: it processes the non-source nodes in topological order,
+// emitting each node's parents in consecutive steps — exactly the
+// "execute the two sources of each copy of Λ in consecutive steps" rule of
+// §3.1.  It fails if g is not an in-tree.
+func InTreeNonsinks(g *dag.Dag) ([]dag.NodeID, error) {
+	if !IsInTree(g) {
+		return nil, fmt.Errorf("trees: dag %v is not an in-tree", g)
+	}
+	var order []dag.NodeID
+	for _, x := range g.TopoOrder() {
+		order = append(order, g.Parents(x)...)
+	}
+	return order, nil
+}
+
+// Part is one stage of an alternating expansion-reduction composition:
+// exactly one of Out or In must be set.
+type Part struct {
+	Out *dag.Dag // an out-tree
+	In  *dag.Dag // an in-tree
+}
+
+// OutPart wraps an out-tree as a composition stage.
+func OutPart(g *dag.Dag) Part { return Part{Out: g} }
+
+// InPart wraps an in-tree as a composition stage.
+func InPart(g *dag.Dag) Part { return Part{In: g} }
+
+// Alternating assembles an alternating composition of out-trees and
+// in-trees per Fig. 4 / Table 1, using package compose so the Theorem 2.1
+// schedule is available.  Merging rules:
+//
+//   - an in-tree following an out-tree merges its first k sources with the
+//     composite's first k open sinks, k = min(#sources, #open sinks) —
+//     the paper notes leaf counts need not match (Fig. 4, rightmost dag);
+//   - an out-tree following an in-tree merges its root with the in-tree's
+//     root (the composite's most recent sink), per the leftmost dag of
+//     Fig. 4.
+//
+// The parts must alternate in kind (out, in, out, …) but may start and end
+// with either kind, covering all three rows of Table 1.
+func Alternating(parts []Part) (*compose.Composer, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("trees: empty alternation")
+	}
+	var c compose.Composer
+	var lastPlaced compose.Placed
+	for i, p := range parts {
+		if (p.Out == nil) == (p.In == nil) {
+			return nil, fmt.Errorf("trees: part %d must be exactly one of out/in", i)
+		}
+		if i > 0 {
+			prevOut := parts[i-1].Out != nil
+			if prevOut == (p.Out != nil) {
+				return nil, fmt.Errorf("trees: parts %d and %d do not alternate", i-1, i)
+			}
+		}
+		var block compose.Block
+		var merges []compose.Merge
+		switch {
+		case p.Out != nil:
+			if !IsOutTree(p.Out) {
+				return nil, fmt.Errorf("trees: part %d is not an out-tree", i)
+			}
+			block = compose.Block{
+				Name:     fmt.Sprintf("T%d(out)", i),
+				G:        p.Out,
+				Nonsinks: OutTreeNonsinks(p.Out),
+			}
+			if i > 0 {
+				// Merge the out-tree's root with the preceding in-tree's
+				// root (its single sink, now a sink of the composite).
+				prevIn := lastPlaced
+				inRoot := prevIn.ToGlobal[prevIn.Block.G.Sinks()[0]]
+				merges = []compose.Merge{{Source: p.Out.Sources()[0], Sink: inRoot}}
+			}
+		default:
+			if !IsInTree(p.In) {
+				return nil, fmt.Errorf("trees: part %d is not an in-tree", i)
+			}
+			ns, err := InTreeNonsinks(p.In)
+			if err != nil {
+				return nil, fmt.Errorf("trees: part %d: %w", i, err)
+			}
+			block = compose.Block{
+				Name:     fmt.Sprintf("T%d(in)", i),
+				G:        p.In,
+				Nonsinks: ns,
+			}
+			if i > 0 {
+				// Merge in-tree sources with the preceding out-tree's
+				// leaves (global sinks introduced by the last block).
+				prevOut := lastPlaced
+				var openSinks []dag.NodeID
+				for _, local := range prevOut.Block.G.Sinks() {
+					openSinks = append(openSinks, prevOut.ToGlobal[local])
+				}
+				srcs := p.In.Sources()
+				k := len(srcs)
+				if len(openSinks) < k {
+					k = len(openSinks)
+				}
+				for j := 0; j < k; j++ {
+					merges = append(merges, compose.Merge{Source: srcs[j], Sink: openSinks[j]})
+				}
+			}
+		}
+		if err := c.Add(block, merges); err != nil {
+			return nil, fmt.Errorf("trees: part %d: %w", i, err)
+		}
+		placed := c.Placed()
+		lastPlaced = placed[len(placed)-1]
+	}
+	return &c, nil
+}
+
+// Diamond returns the diamond dag of Fig. 2 built from the given out-tree:
+// the composition T ⇑ T̃ that merges every leaf of T with the matching
+// source of its dual in-tree T̃.
+func Diamond(out *dag.Dag) (*compose.Composer, error) {
+	if !IsOutTree(out) {
+		return nil, fmt.Errorf("trees: Diamond needs an out-tree, got %v", out)
+	}
+	return Alternating([]Part{OutPart(out), InPart(out.Dual())})
+}
+
+// DiamondChain returns the Table 1 row-1 composition
+// D₀ ⇑ D₁ ⇑ … ⇑ D_{n-1}, each Dᵢ the diamond of outs[i].
+func DiamondChain(outs []*dag.Dag) (*compose.Composer, error) {
+	var parts []Part
+	for _, o := range outs {
+		if !IsOutTree(o) {
+			return nil, fmt.Errorf("trees: DiamondChain element is not an out-tree")
+		}
+		parts = append(parts, OutPart(o), InPart(o.Dual()))
+	}
+	return Alternating(parts)
+}
+
+// OutTreeAsVeeComposition decomposes an out-tree into its constituent
+// VeeD building blocks (§3.1: "every out-tree is an iterated composition
+// of the Vee dag"), returning a Composer whose Theorem 2.1 schedule and
+// ▷-linearity can be inspected.  The first block is the root's star; each
+// further internal node's star merges at that node's position.
+func OutTreeAsVeeComposition(g *dag.Dag) (*compose.Composer, error) {
+	if !IsOutTree(g) {
+		return nil, fmt.Errorf("trees: not an out-tree: %v", g)
+	}
+	var c compose.Composer
+	// globalOf[v] = composite ID holding tree node v, filled as blocks land.
+	globalOf := make([]dag.NodeID, g.NumNodes())
+	for i := range globalOf {
+		globalOf[i] = -1
+	}
+	root := g.Sources()[0]
+	for _, u := range g.TopoOrder() {
+		kids := g.Children(u)
+		if len(kids) == 0 {
+			continue
+		}
+		star := starOf(len(kids))
+		block := compose.Block{
+			Name:     fmt.Sprintf("V%d@%d", len(kids), u),
+			G:        star,
+			Nonsinks: []dag.NodeID{0},
+		}
+		var merges []compose.Merge
+		if u != root {
+			merges = []compose.Merge{{Source: 0, Sink: globalOf[u]}}
+		}
+		if err := c.Add(block, merges); err != nil {
+			return nil, fmt.Errorf("trees: at node %d: %w", u, err)
+		}
+		placed := c.Placed()
+		toGlobal := placed[len(placed)-1].ToGlobal
+		globalOf[u] = toGlobal[0]
+		for i, k := range kids {
+			globalOf[k] = toGlobal[1+i]
+		}
+	}
+	return &c, nil
+}
+
+// DiamondTruncationPartition returns the Fig. 3 coarsening of the diamond
+// dag built by Diamond(out): for each node v in `at`, the out-subtree
+// rooted at v is clustered into a single coarse task together with its
+// mated (mirror) portion of the in-tree; every other node stays a
+// singleton cluster.  The nodes in `at` must root disjoint subtrees.
+//
+// It returns the partition over the diamond's global node IDs and the
+// cluster count, for use with package coarsen.
+func DiamondTruncationPartition(out *dag.Dag, c *compose.Composer, at []dag.NodeID) ([]int, int, error) {
+	placed := c.Placed()
+	if len(placed) != 2 {
+		return nil, 0, fmt.Errorf("trees: composer is not a Diamond (has %d blocks)", len(placed))
+	}
+	outGlobal := placed[0].ToGlobal
+	inGlobal := placed[1].ToGlobal
+	total := c.NumNodes()
+	part := make([]int, total)
+	for i := range part {
+		part[i] = -1
+	}
+	// Disjointness check and cluster assignment.
+	claimed := make([]bool, out.NumNodes())
+	count := 0
+	for _, v := range at {
+		if int(v) < 0 || int(v) >= out.NumNodes() {
+			return nil, 0, fmt.Errorf("trees: truncation node %d out of range", v)
+		}
+		reach := out.Reachable(v)
+		sub := []dag.NodeID{v}
+		for u := 0; u < out.NumNodes(); u++ {
+			if reach[u] {
+				sub = append(sub, dag.NodeID(u))
+			}
+		}
+		for _, u := range sub {
+			if claimed[u] {
+				return nil, 0, fmt.Errorf("trees: truncation subtrees overlap at node %d", u)
+			}
+			claimed[u] = true
+			part[outGlobal[u]] = count
+			part[inGlobal[u]] = count // leaves map to the same global node
+		}
+		count++
+	}
+	for i := range part {
+		if part[i] == -1 {
+			part[i] = count
+			count++
+		}
+	}
+	return part, count, nil
+}
+
+// starOf returns the degree-d out-star (VeeD) without importing blocks, to
+// keep the package dependency graph acyclic.
+func starOf(d int) *dag.Dag {
+	b := dag.NewBuilder(1 + d)
+	for i := 0; i < d; i++ {
+		b.AddArc(0, dag.NodeID(1+i))
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,531 @@
+package trees_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"icsched/internal/compose"
+	"icsched/internal/dag"
+	"icsched/internal/opt"
+	"icsched/internal/sched"
+	"icsched/internal/trees"
+)
+
+func checkComposerOptimal(t *testing.T, name string, c *compose.Composer) {
+	t.Helper()
+	g, err := c.Dag()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	order, err := c.Schedule()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	l, err := opt.Analyze(g)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	ok, step, err := l.IsOptimal(order)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !ok {
+		t.Fatalf("%s: Theorem 2.1 schedule not IC-optimal at step %d", name, step)
+	}
+}
+
+func TestCompleteOutTreeShape(t *testing.T) {
+	for _, tc := range []struct {
+		arity, height, nodes, leaves int
+	}{
+		{2, 0, 1, 1},
+		{2, 1, 3, 2},
+		{2, 2, 7, 4},
+		{2, 3, 15, 8},
+		{3, 1, 4, 3},
+		{3, 2, 13, 9},
+		{1, 4, 5, 1},
+	} {
+		g := trees.CompleteOutTree(tc.arity, tc.height)
+		if g.NumNodes() != tc.nodes {
+			t.Fatalf("T(%d,%d) nodes = %d, want %d", tc.arity, tc.height, g.NumNodes(), tc.nodes)
+		}
+		if len(trees.Leaves(g)) != tc.leaves {
+			t.Fatalf("T(%d,%d) leaves = %d, want %d", tc.arity, tc.height, len(trees.Leaves(g)), tc.leaves)
+		}
+		if !trees.IsOutTree(g) {
+			t.Fatalf("T(%d,%d) not recognized as out-tree", tc.arity, tc.height)
+		}
+	}
+}
+
+func TestCompleteInTreeIsDual(t *testing.T) {
+	g := trees.CompleteInTree(2, 2)
+	if !trees.IsInTree(g) {
+		t.Fatal("complete in-tree not recognized")
+	}
+	if len(g.Sources()) != 4 || len(g.Sinks()) != 1 {
+		t.Fatalf("in-tree sources/sinks: %d/%d", len(g.Sources()), len(g.Sinks()))
+	}
+}
+
+func TestRandomOutTreeIsProperOutTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		k := rng.Intn(12)
+		a := 1 + rng.Intn(4)
+		g := trees.RandomOutTree(rng, k, a)
+		if !trees.IsOutTree(g) {
+			t.Fatalf("random tree (k=%d, a=%d) not an out-tree", k, a)
+		}
+		if g.NumNodes() != k*a+1 {
+			t.Fatalf("random tree has %d nodes, want %d", g.NumNodes(), k*a+1)
+		}
+		if got, ok := trees.ProperArity(g); !ok || (k > 0 && got != a) {
+			t.Fatalf("random tree not proper arity %d: got %d ok=%v", a, got, ok)
+		}
+	}
+}
+
+func TestIsOutTreeRejects(t *testing.T) {
+	// Two sources.
+	b := dag.NewBuilder(3)
+	b.AddArc(0, 2)
+	b.AddArc(1, 2)
+	if trees.IsOutTree(b.MustBuild()) {
+		t.Fatal("Λ accepted as out-tree")
+	}
+	// Disconnected forest.
+	if trees.IsOutTree(dag.NewBuilder(2).MustBuild()) {
+		t.Fatal("forest accepted as out-tree")
+	}
+	// Empty.
+	if trees.IsOutTree(dag.NewBuilder(0).MustBuild()) {
+		t.Fatal("empty dag accepted as out-tree")
+	}
+}
+
+func TestEveryOutTreeScheduleIsOptimal(t *testing.T) {
+	// §3.1: "easily, every schedule for an out-tree is IC optimal!" — for
+	// proper (fixed-degree) out-trees, with sinks deferred to the end.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		g := trees.RandomOutTree(rng, 1+rng.Intn(5), 2+rng.Intn(2))
+		if g.NumNodes() > 16 {
+			continue
+		}
+		l, err := opt.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random legal nonsink order, then sinks.
+		s := sched.NewState(g)
+		var nonsinks []dag.NodeID
+		for len(nonsinks) < len(g.NonSinks()) {
+			var choices []dag.NodeID
+			for _, v := range s.Eligible() {
+				if !g.IsSink(v) {
+					choices = append(choices, v)
+				}
+			}
+			v := choices[rng.Intn(len(choices))]
+			if _, err := s.Execute(v); err != nil {
+				t.Fatal(err)
+			}
+			nonsinks = append(nonsinks, v)
+		}
+		ok, step, err := l.IsOptimal(sched.Complete(g, nonsinks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("random proper out-tree schedule not optimal at step %d", step)
+		}
+	}
+}
+
+func TestNonUniformOutTreeAdmitsNoOptimalSchedule(t *testing.T) {
+	// Footnote 7 fixes the Vee degree for a reason: with mixed internal
+	// out-degrees, the per-step-optimal ideals need not chain, and no
+	// IC-optimal schedule exists at all.
+	g := trees.NonUniformCounterexample()
+	if !trees.IsOutTree(g) {
+		t.Fatal("counterexample must be an out-tree")
+	}
+	if _, ok := trees.ProperArity(g); ok {
+		t.Fatal("counterexample must have mixed arities")
+	}
+	l, err := opt.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Exists() {
+		t.Fatal("mixed-arity out-tree unexpectedly admits an IC-optimal schedule")
+	}
+}
+
+func TestInTreeNonsinksIsOptimal(t *testing.T) {
+	for _, h := range []int{0, 1, 2, 3} {
+		g := trees.CompleteInTree(2, h)
+		ns, err := trees.InTreeNonsinks(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := opt.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, step, err := l.IsOptimal(sched.Complete(g, ns))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("in-tree height %d schedule not optimal at step %d", h, step)
+		}
+	}
+}
+
+func TestInTreeSiblingSplittingNotOptimal(t *testing.T) {
+	// §3.1 (from [RY05]): an in-tree schedule is IC-optimal IFF it executes
+	// the two sources of each Λ copy consecutively.  Splitting a sibling
+	// pair must lose optimality.
+	g := trees.CompleteInTree(2, 2) // leaves 3,4,5,6; internals 1,2; root 0
+	l, err := opt.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave the two sibling pairs: 3,5,4,6 ...
+	bad := []dag.NodeID{3, 5, 4, 6, 1, 2, 0}
+	ok, _, err := l.IsOptimal(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("sibling-splitting in-tree schedule should not be IC-optimal")
+	}
+}
+
+func TestTernaryInTreeSiblingRule(t *testing.T) {
+	// Footnote 7 again: for a ternary in-tree, optimality requires the
+	// THREE sources of each Λ₃ copy in consecutive steps.
+	g := trees.CompleteInTree(3, 1) // leaves 1,2,3 -> root 0
+	ns, err := trees.InTreeNonsinks(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := opt.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err := l.IsOptimal(sched.Complete(g, ns))
+	if err != nil || !ok {
+		t.Fatalf("ternary in-tree schedule not optimal: %v", err)
+	}
+	// Two levels: splitting one triple must fail.
+	g2 := trees.CompleteInTree(3, 2) // 13 nodes
+	l2, err := opt.Analyze(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaves of internal node 1 are 4,5,6; of node 2 are 7,8,9; of node 3
+	// are 10,11,12.  Interleave the first two triples.
+	bad := []dag.NodeID{4, 7, 5, 8, 6, 9, 10, 11, 12, 1, 2, 3}
+	ok, _, err = l2.IsOptimal(sched.Complete(g2, bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("triple-splitting ternary in-tree schedule should not be optimal")
+	}
+}
+
+func TestInTreeNonsinksRejectsNonInTree(t *testing.T) {
+	if _, err := trees.InTreeNonsinks(trees.CompleteOutTree(2, 2)); err == nil {
+		t.Fatal("out-tree accepted by InTreeNonsinks")
+	}
+}
+
+func TestInTreeNonsinksRandomShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		out := trees.RandomOutTree(rng, 1+rng.Intn(5), 2)
+		g := out.Dual()
+		ns, err := trees.InTreeNonsinks(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := opt.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, step, err := l.IsOptimal(sched.Complete(g, ns))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("random in-tree schedule not optimal at step %d\n%s", step, g.DOT("t"))
+		}
+	}
+}
+
+func TestDiamondShapeAndOptimality(t *testing.T) {
+	// Fig. 2: the diamond dag from a height-2 binary out-tree.
+	out := trees.CompleteOutTree(2, 2)
+	c, err := trees.Diamond(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 + 7 - 4 shared leaves = 10 nodes.
+	if g.NumNodes() != 10 {
+		t.Fatalf("diamond nodes = %d, want 10", g.NumNodes())
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatalf("diamond sources/sinks: %v/%v", g.Sources(), g.Sinks())
+	}
+	checkComposerOptimal(t, "diamond(2,2)", c)
+}
+
+func TestDiamondOnRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		out := trees.RandomOutTree(rng, 1+rng.Intn(4), 2)
+		c, err := trees.Diamond(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkComposerOptimal(t, "random diamond", c)
+	}
+}
+
+func TestTernaryDiamond(t *testing.T) {
+	// Footnote 7: "any fixed degree works" — the diamond over a ternary
+	// out-tree admits an IC-optimal schedule too.
+	out := trees.CompleteOutTree(3, 1) // 4 nodes, 3 leaves
+	c, err := trees.Diamond(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 5 { // 4 + 4 - 3 shared leaves
+		t.Fatalf("ternary diamond nodes = %d", g.NumNodes())
+	}
+	checkComposerOptimal(t, "ternary diamond", c)
+
+	// Two levels deep as well (13 + 13 - 9 = 17 nodes).
+	out2 := trees.CompleteOutTree(3, 2)
+	c2, err := trees.Diamond(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComposerOptimal(t, "ternary diamond h=2", c2)
+}
+
+func TestRandomTernaryDiamond(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 6; trial++ {
+		out := trees.RandomOutTree(rng, 1+rng.Intn(3), 3)
+		c, err := trees.Diamond(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkComposerOptimal(t, "random ternary diamond", c)
+	}
+}
+
+func TestDiamondIsLinearAtTreeLevel(t *testing.T) {
+	// §3.1: T ▷ T' for any out-tree T and in-tree T'.
+	out := trees.CompleteOutTree(2, 2)
+	c, err := trees.Diamond(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.VerifyLinear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("out-tree ⇑ in-tree must be ▷-linear")
+	}
+}
+
+func TestDiamondRejectsNonOutTree(t *testing.T) {
+	if _, err := trees.Diamond(trees.CompleteInTree(2, 1)); err == nil {
+		t.Fatal("in-tree accepted by Diamond")
+	}
+}
+
+func TestDiamondChainTable1Row1(t *testing.T) {
+	// Table 1, row 1: D₀ ⇑ D₁ ⇑ … — chained diamonds.
+	outs := []*dag.Dag{trees.CompleteOutTree(2, 1), trees.CompleteOutTree(2, 1)}
+	c, err := trees.DiamondChain(outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each diamond has 4 nodes (3+3-2); chaining merges one node: 7 total.
+	if g.NumNodes() != 7 {
+		t.Fatalf("chain nodes = %d, want 7", g.NumNodes())
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatal("chain must have single source and sink")
+	}
+	checkComposerOptimal(t, "D0⇑D1", c)
+}
+
+func TestTable1Row2InTreeFirst(t *testing.T) {
+	// Table 1, row 2: T₀(in) ⇑ D₁ — an in-tree, then a diamond.
+	in := trees.CompleteInTree(2, 1)
+	out := trees.CompleteOutTree(2, 1)
+	c, err := trees.Alternating([]trees.Part{
+		trees.InPart(in), trees.OutPart(out), trees.InPart(out.Dual()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Sources()) != 2 || len(g.Sinks()) != 1 {
+		t.Fatalf("row-2 sources/sinks: %v/%v", g.Sources(), g.Sinks())
+	}
+	checkComposerOptimal(t, "T0(in)⇑D1", c)
+}
+
+func TestTable1Row3OutTreeLast(t *testing.T) {
+	// Table 1, row 3: D₁ ⇑ T₀(out) — a diamond, then an out-tree.
+	out := trees.CompleteOutTree(2, 1)
+	c, err := trees.Alternating([]trees.Part{
+		trees.OutPart(out), trees.InPart(out.Dual()), trees.OutPart(trees.CompleteOutTree(2, 2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 4 {
+		t.Fatalf("row-3 sources/sinks: %v/%v", g.Sources(), g.Sinks())
+	}
+	checkComposerOptimal(t, "D1⇑T0(out)", c)
+}
+
+func TestMismatchedLeafCounts(t *testing.T) {
+	// Fig. 4, rightmost: "the numbers of leaves of composed out-trees and
+	// in-trees need not match."  Out-tree with 2 leaves, in-tree with 4
+	// sources: only 2 sources merge, 2 remain composite sources.
+	out := trees.CompleteOutTree(2, 1) // 2 leaves
+	in := trees.CompleteInTree(2, 2)   // 4 sources
+	c, err := trees.Alternating([]trees.Part{trees.OutPart(out), trees.InPart(in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Sources()) != 3 { // out-root + 2 unmerged in-leaves
+		t.Fatalf("sources = %v, want 3", g.Sources())
+	}
+	checkComposerOptimal(t, "mismatched", c)
+}
+
+func TestAlternatingValidation(t *testing.T) {
+	out := trees.CompleteOutTree(2, 1)
+	in := out.Dual()
+	if _, err := trees.Alternating(nil); err == nil {
+		t.Fatal("empty alternation accepted")
+	}
+	if _, err := trees.Alternating([]trees.Part{{}}); err == nil {
+		t.Fatal("empty part accepted")
+	}
+	if _, err := trees.Alternating([]trees.Part{{Out: out, In: in}}); err == nil {
+		t.Fatal("double part accepted")
+	}
+	if _, err := trees.Alternating([]trees.Part{trees.OutPart(out), trees.OutPart(out)}); err == nil {
+		t.Fatal("non-alternating parts accepted")
+	}
+	if _, err := trees.Alternating([]trees.Part{trees.OutPart(in)}); err == nil {
+		t.Fatal("in-tree as out part accepted")
+	}
+	if _, err := trees.Alternating([]trees.Part{trees.InPart(out)}); err == nil {
+		t.Fatal("out-tree as in part accepted")
+	}
+}
+
+func TestOutTreeAsVeeComposition(t *testing.T) {
+	g := trees.CompleteOutTree(2, 3)
+	c, err := trees.OutTreeAsVeeComposition(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.NumNodes() != g.NumNodes() || built.NumArcs() != g.NumArcs() {
+		t.Fatalf("V-composition shape: %v vs %v", built, g)
+	}
+	if !trees.IsOutTree(built) {
+		t.Fatal("V-composition is not an out-tree")
+	}
+	// §3.1: V ▷ V makes every (uniform-arity) out-tree ▷-linear.
+	ok, err := c.VerifyLinear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("binary out-tree V-composition must be ▷-linear")
+	}
+	// And the Theorem 2.1 schedule is IC-optimal.
+	order, err := c.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := opt.Analyze(built)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, step, err := l.IsOptimal(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !good {
+		t.Fatalf("V-composition schedule not optimal at step %d", step)
+	}
+}
+
+func TestOutTreeAsVeeCompositionRejects(t *testing.T) {
+	if _, err := trees.OutTreeAsVeeComposition(trees.CompleteInTree(2, 1)); err == nil {
+		t.Fatal("in-tree accepted")
+	}
+}
+
+func TestTreePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"arity0":    func() { trees.CompleteOutTree(0, 2) },
+		"height-1":  func() { trees.CompleteOutTree(2, -1) },
+		"randNeg":   func() { trees.RandomOutTree(rand.New(rand.NewSource(1)), -1, 2) },
+		"randArity": func() { trees.RandomOutTree(rand.New(rand.NewSource(1)), 3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,159 @@
+// Package workflows generates synthetic scientific-workflow dags.  The
+// assessment study the paper cites ([19]) evaluated IC scheduling against
+// DAGMan's FIFO on four real scientific dags; those traces are not
+// public, so these generators produce the same structural archetypes —
+// fork-join phases, map-reduce funnels, and Montage-style mosaic
+// pipelines — for the scheduler-comparison experiments (see DESIGN.md,
+// substitutions table).
+package workflows
+
+import (
+	"fmt"
+
+	"icsched/internal/dag"
+)
+
+// ForkJoin returns a dag of `stages` fork-join phases of the given width:
+// each phase is a fork node, `width` parallel workers, and a join node;
+// the join feeds the next phase's fork.
+func ForkJoin(stages, width int) *dag.Dag {
+	if stages < 1 || width < 1 {
+		panic(fmt.Sprintf("workflows: ForkJoin(%d, %d)", stages, width))
+	}
+	b := &dag.Builder{}
+	var prevJoin dag.NodeID = -1
+	for s := 0; s < stages; s++ {
+		fork := b.AddLabeledNode(fmt.Sprintf("fork%d", s))
+		if prevJoin >= 0 {
+			b.AddArc(prevJoin, fork)
+		}
+		join := dag.NodeID(-1)
+		workers := make([]dag.NodeID, width)
+		for w := 0; w < width; w++ {
+			workers[w] = b.AddLabeledNode(fmt.Sprintf("work%d.%d", s, w))
+			b.AddArc(fork, workers[w])
+		}
+		join = b.AddLabeledNode(fmt.Sprintf("join%d", s))
+		for _, w := range workers {
+			b.AddArc(w, join)
+		}
+		prevJoin = join
+	}
+	return b.MustBuild()
+}
+
+// MapReduce returns a dag with `mappers` source tasks, `reducers` middle
+// tasks each depending on every mapper (the shuffle), and a single final
+// collect task.
+func MapReduce(mappers, reducers int) *dag.Dag {
+	if mappers < 1 || reducers < 1 {
+		panic(fmt.Sprintf("workflows: MapReduce(%d, %d)", mappers, reducers))
+	}
+	b := dag.NewBuilder(mappers + reducers + 1)
+	collect := dag.NodeID(mappers + reducers)
+	for r := 0; r < reducers; r++ {
+		red := dag.NodeID(mappers + r)
+		for m := 0; m < mappers; m++ {
+			b.AddArc(dag.NodeID(m), red)
+		}
+		b.AddArc(red, collect)
+	}
+	return b.MustBuild()
+}
+
+// Epigenomics returns an Epigenomics-style lane pipeline: `lanes`
+// independent chains of `stages` per-lane processing steps (split, filter,
+// map, merge-per-lane), all feeding a global merge and a final index
+// task.  The shape is long parallel chains with one late join — the
+// opposite stress case from Montage's early fan-in.
+func Epigenomics(lanes, stages int) *dag.Dag {
+	if lanes < 1 || stages < 1 {
+		panic(fmt.Sprintf("workflows: Epigenomics(%d, %d)", lanes, stages))
+	}
+	b := &dag.Builder{}
+	split := b.AddLabeledNode("split")
+	merge := dag.NodeID(-1)
+	laneEnds := make([]dag.NodeID, lanes)
+	for l := 0; l < lanes; l++ {
+		prev := split
+		for s := 0; s < stages; s++ {
+			n := b.AddLabeledNode(fmt.Sprintf("lane%d.s%d", l, s))
+			b.AddArc(prev, n)
+			prev = n
+		}
+		laneEnds[l] = prev
+	}
+	merge = b.AddLabeledNode("merge")
+	for _, e := range laneEnds {
+		b.AddArc(e, merge)
+	}
+	index := b.AddLabeledNode("index")
+	b.AddArc(merge, index)
+	return b.MustBuild()
+}
+
+// CyberShake returns a CyberShake-style workflow: two preprocessing
+// tasks feed `sites` pairs of (seismogram, peak-value) tasks, whose
+// outputs aggregate into a single hazard curve — a wide, shallow bipartite
+// burst.
+func CyberShake(sites int) *dag.Dag {
+	if sites < 1 {
+		panic(fmt.Sprintf("workflows: CyberShake(%d)", sites))
+	}
+	b := &dag.Builder{}
+	preSGT := b.AddLabeledNode("preSGT")
+	preMesh := b.AddLabeledNode("preMesh")
+	curve := dag.NodeID(-1)
+	peaks := make([]dag.NodeID, sites)
+	for s := 0; s < sites; s++ {
+		seis := b.AddLabeledNode(fmt.Sprintf("seis%d", s))
+		b.AddArc(preSGT, seis)
+		b.AddArc(preMesh, seis)
+		peak := b.AddLabeledNode(fmt.Sprintf("peak%d", s))
+		b.AddArc(seis, peak)
+		peaks[s] = peak
+	}
+	curve = b.AddLabeledNode("hazard")
+	for _, p := range peaks {
+		b.AddArc(p, curve)
+	}
+	return b.MustBuild()
+}
+
+// Montage returns a Montage-style mosaic pipeline over n input images:
+// n projection tasks; n-1 overlap-difference tasks each depending on two
+// adjacent projections; one fit task depending on all differences; n
+// background-correction tasks depending on the fit and their projection;
+// and one final co-addition task.
+func Montage(n int) *dag.Dag {
+	if n < 2 {
+		panic(fmt.Sprintf("workflows: Montage(%d)", n))
+	}
+	b := &dag.Builder{}
+	proj := make([]dag.NodeID, n)
+	for i := range proj {
+		proj[i] = b.AddLabeledNode(fmt.Sprintf("project%d", i))
+	}
+	diff := make([]dag.NodeID, n-1)
+	for i := range diff {
+		diff[i] = b.AddLabeledNode(fmt.Sprintf("diff%d", i))
+		b.AddArc(proj[i], diff[i])
+		b.AddArc(proj[i+1], diff[i])
+	}
+	fit := b.AddLabeledNode("fit")
+	for _, d := range diff {
+		b.AddArc(d, fit)
+	}
+	add := dag.NodeID(-1)
+	bg := make([]dag.NodeID, n)
+	for i := range bg {
+		bg[i] = b.AddLabeledNode(fmt.Sprintf("bg%d", i))
+		b.AddArc(fit, bg[i])
+		b.AddArc(proj[i], bg[i])
+	}
+	add = b.AddLabeledNode("coadd")
+	for _, x := range bg {
+		b.AddArc(x, add)
+	}
+	return b.MustBuild()
+}

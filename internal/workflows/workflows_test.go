@@ -1,0 +1,134 @@
+package workflows_test
+
+import (
+	"testing"
+
+	"icsched/internal/dag"
+	"icsched/internal/heur"
+	"icsched/internal/icsim"
+	"icsched/internal/sched"
+	"icsched/internal/workflows"
+)
+
+func TestForkJoinShape(t *testing.T) {
+	g := workflows.ForkJoin(3, 4)
+	// 3 phases × (1 fork + 4 workers + 1 join) = 18 nodes.
+	if g.NumNodes() != 18 {
+		t.Fatalf("nodes = %d, want 18", g.NumNodes())
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatal("fork-join must have one source and one sink")
+	}
+	if g.CriticalPathLen() != 9 {
+		t.Fatalf("critical path = %d, want 9", g.CriticalPathLen())
+	}
+}
+
+func TestMapReduceShape(t *testing.T) {
+	g := workflows.MapReduce(5, 3)
+	if g.NumNodes() != 9 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if len(g.Sources()) != 5 || len(g.Sinks()) != 1 {
+		t.Fatal("map-reduce shape wrong")
+	}
+	// Each reducer depends on every mapper.
+	for r := 5; r < 8; r++ {
+		if g.InDegree(dag.NodeID(r)) != 5 {
+			t.Fatalf("reducer %d indegree %d", r, g.InDegree(dag.NodeID(r)))
+		}
+	}
+}
+
+func TestMontageShape(t *testing.T) {
+	n := 6
+	g := workflows.Montage(n)
+	// n proj + (n-1) diff + fit + n bg + coadd.
+	want := n + (n - 1) + 1 + n + 1
+	if g.NumNodes() != want {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), want)
+	}
+	if len(g.Sources()) != n || len(g.Sinks()) != 1 {
+		t.Fatal("montage shape wrong")
+	}
+	if !g.Connected() {
+		t.Fatal("montage must be connected")
+	}
+}
+
+func TestEpigenomicsShape(t *testing.T) {
+	g := workflows.Epigenomics(4, 3)
+	// split + 4·3 lane tasks + merge + index.
+	if g.NumNodes() != 1+12+2 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatal("epigenomics must have one source and one sink")
+	}
+	if g.CriticalPathLen() != 6 { // split, 3 stages, merge, index
+		t.Fatalf("critical path = %d", g.CriticalPathLen())
+	}
+}
+
+func TestCyberShakeShape(t *testing.T) {
+	g := workflows.CyberShake(5)
+	// 2 pre + 5·2 site tasks + hazard.
+	if g.NumNodes() != 2+10+1 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if len(g.Sources()) != 2 || len(g.Sinks()) != 1 {
+		t.Fatal("cybershake shape wrong")
+	}
+	// Every seismogram depends on both preprocessing tasks.
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Label(dag.NodeID(v)) == "seis0" && g.InDegree(dag.NodeID(v)) != 2 {
+			t.Fatal("seismogram indegree wrong")
+		}
+	}
+}
+
+func TestWorkflowsScheduleAndSimulate(t *testing.T) {
+	for name, g := range map[string]*dag.Dag{
+		"forkjoin":    workflows.ForkJoin(4, 6),
+		"mapreduce":   workflows.MapReduce(8, 4),
+		"montage":     workflows.Montage(10),
+		"epigenomics": workflows.Epigenomics(6, 4),
+		"cybershake":  workflows.CyberShake(12),
+	} {
+		for _, p := range heur.Standard(3) {
+			order, err := heur.RunOrder(g, p)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, p.Name(), err)
+			}
+			if err := sched.Validate(g, order); err != nil {
+				t.Fatalf("%s/%s: %v", name, p.Name(), err)
+			}
+		}
+		res, err := icsim.Run(g, heur.FIFO(), icsim.Config{Clients: 4, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Completed != g.NumNodes() {
+			t.Fatalf("%s: incomplete", name)
+		}
+	}
+}
+
+func TestWorkflowPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"forkjoin":    func() { workflows.ForkJoin(0, 1) },
+		"mapreduce":   func() { workflows.MapReduce(1, 0) },
+		"montage":     func() { workflows.Montage(1) },
+		"epigenomics": func() { workflows.Epigenomics(0, 1) },
+		"cybershake":  func() { workflows.CyberShake(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,97 @@
+// Large-instance checks: the closed-form eligibility profiles hold far
+// beyond oracle sizes, so the families' IC-optimal schedules scale.
+package icsched_test
+
+import (
+	"testing"
+
+	"icsched/internal/butterfly"
+	"icsched/internal/dltdag"
+	"icsched/internal/mesh"
+	"icsched/internal/prefix"
+	"icsched/internal/sched"
+)
+
+func TestLargeButterflyProfileIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	d := 10 // 11·1024 = 11264 nodes
+	g := butterfly.Network(d)
+	prof, err := sched.NonsinkProfile(g, butterfly.Nonsinks(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := butterfly.Profile(d)
+	for x := range want {
+		if prof[x] != want[x] {
+			t.Fatalf("B_%d profile diverges at %d: %d vs %d", d, x, prof[x], want[x])
+		}
+	}
+}
+
+func TestLargePrefixProfileIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	n := 4096 // 13·4096 nodes
+	g := prefix.Network(n)
+	prof, err := sched.NonsinkProfile(g, prefix.Nonsinks(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x, e := range prof {
+		if e != n {
+			t.Fatalf("P_%d profile not constant at step %d: %d", n, x, e)
+		}
+	}
+}
+
+func TestLargeMeshWavefrontProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	levels := 256 // 32896 nodes
+	g := mesh.OutMesh(levels)
+	prof, err := sched.NonsinkProfile(g, mesh.OutMeshNonsinks(levels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagonal-by-diagonal: while executing diagonal i (0-based), the
+	// eligible count stays i+1 until the diagonal's last node completes
+	// two children, bumping it to i+2.  Check the per-diagonal maxima.
+	x := 0
+	for i := 0; i+1 < levels; i++ {
+		for j := 0; j <= i; j++ {
+			x++
+			want := i + 1
+			if j == i {
+				want = i + 2
+			}
+			if prof[x] != want {
+				t.Fatalf("mesh profile at diag %d offset %d: %d, want %d", i, j, prof[x], want)
+			}
+		}
+	}
+}
+
+func TestLargeDLTSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	c, err := dltdag.L(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := c.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, order); err != nil {
+		t.Fatalf("L_1024 schedule invalid: %v", err)
+	}
+}
