@@ -62,6 +62,8 @@ func run(args []string) error {
 		return cmdFigures(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "chaos":
+		return cmdChaos(args[1:])
 	case "experiments":
 		return cmdExperiments()
 	case "help", "-h", "--help":
@@ -89,6 +91,7 @@ commands:
   batch <family> [size] [w]   plan batched allocation ([20]-style), greedy vs exact
   figures [dir]               write every paper figure as a DOT file (default ./figures)
   serve <family> [size] [addr] run the HTTP task server (default :8080)
+  chaos [seed]                fault-injection proof: all workloads under chaos, bit-checked
   experiments                 regenerate the EXPERIMENTS.md tables`)
 }
 

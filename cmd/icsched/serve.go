@@ -1,8 +1,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"icsched/internal/heur"
@@ -12,7 +17,10 @@ import (
 
 // cmdServe runs the Internet-computing task server for a family on the
 // given address, allocating in IC-optimal order.  Clients follow the
-// protocol in internal/icserver (POST /task, POST /done, GET /status).
+// protocol in internal/icserver (POST /task, POST /done, POST /failed,
+// GET /status, GET /healthz).  On SIGINT/SIGTERM the server drains:
+// /task refuses new work while in-flight leases get up to one lease
+// period to report, then the listener shuts down.
 func cmdServe(args []string) error {
 	f, size, err := parseFamily(args)
 	if err != nil {
@@ -26,10 +34,37 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	lease := time.Minute
 	order := sched.Complete(g, nonsinks)
 	srv := icserver.New(g, heur.Static("IC-OPTIMAL", order),
-		icserver.WithLease(time.Minute))
+		icserver.WithLease(lease))
 	fmt.Printf("serving %s (size %d, %d tasks) on %s\n", f.name, size, g.NumNodes(), addr)
-	fmt.Println("protocol: POST /task | POST /done {\"task\": id} | GET /status")
-	return http.ListenAndServe(addr, srv.Handler())
+	fmt.Println("protocol: POST /task | POST /done {\"task\": id} | POST /failed {\"task\": id} | GET /status | GET /healthz")
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("\n%s: draining in-flight leases (up to %v)...\n", sig, lease)
+		drainCtx, cancel := context.WithTimeout(context.Background(), lease)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			fmt.Println(err)
+		}
+		closeCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
+		if err := httpSrv.Shutdown(closeCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		st := srv.Status()
+		fmt.Printf("stopped: %d/%d tasks completed, %d reissues, %d quarantined\n",
+			st.Completed, st.Total, st.Reissues, st.Quarantined)
+		return nil
+	}
 }

@@ -1,0 +1,73 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"icsched/internal/chaos"
+	"icsched/internal/faults"
+)
+
+// TestChaosEndToEnd is the headline recovery proof: every workload family
+// (Pascal wavefront, FFT convolution, parallel prefix) executed through
+// the real HTTP server under a seeded fault plan — ≥10% of allocations
+// crash the client, plus compute errors, dropped responses, injected
+// 500s, and latency spikes — completes with answers bit-identical to the
+// fault-free execution, zero quarantined (lost) tasks, and no hang.
+func TestChaosEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	cfg := chaos.Config{Seed: 7}
+	reports, err := chaos.RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashes, reissues := 0, 0
+	for _, r := range reports {
+		t.Log(r)
+		if r.Completed != r.Tasks {
+			t.Errorf("%s: completed %d of %d tasks", r.Workload, r.Completed, r.Tasks)
+		}
+		if r.Quarantined != 0 {
+			t.Errorf("%s: %d tasks lost to quarantine", r.Workload, r.Quarantined)
+		}
+		crashes += r.Crashes
+		reissues += r.Reissues
+	}
+	// The plan must have produced real chaos, and the server real
+	// recovery — otherwise this test proves nothing.
+	if crashes == 0 {
+		t.Error("no client crashes at a 10% crash rate")
+	}
+	if reissues == 0 {
+		t.Error("no reissues despite crashes")
+	}
+}
+
+// TestChaosHighFaultPressure pushes the combined fault probability near
+// 30% on the wavefront alone and still demands exactness.
+func TestChaosHighFaultPressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	rep, err := chaos.Wavefront(chaos.Config{
+		Seed: 99,
+		Rates: faults.Rates{
+			Crash:        0.15,
+			ComputeError: 0.15,
+			DropResponse: 0.08,
+			HTTPError:    0.08,
+			Latency:      0.05,
+		},
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.Quarantined != 0 || rep.Completed != rep.Tasks {
+		t.Fatalf("high-pressure run lost tasks: %s", rep)
+	}
+	if rep.Crashes == 0 || rep.HandBacks == 0 {
+		t.Fatalf("high-pressure run injected no faults: %s", rep)
+	}
+}

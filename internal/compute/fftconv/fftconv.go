@@ -55,7 +55,7 @@ func transform(xs []complex128, workers int, inverse bool) ([]complex128, error)
 	vals := make([]complex128, g.NumNodes())
 	// Decimation-in-time: inputs land in bit-reversed positions.
 	for r := 0; r < n; r++ {
-		v := xs[bitrev(r, d)]
+		v := xs[Bitrev(r, d)]
 		if inverse {
 			v = cmplx.Conj(v)
 		}
@@ -64,24 +64,7 @@ func transform(xs []complex128, workers int, inverse bool) ([]complex128, error)
 	order := sched.Complete(g, butterfly.Nonsinks(d))
 	rank := exec.RankFromOrder(g, order)
 	_, err := exec.Run(g, rank, workers, func(v dag.NodeID) error {
-		level := int(v) >> uint(d)
-		if level == 0 {
-			return nil
-		}
-		l := level - 1 // the stage feeding this node
-		r := int(v) & (n - 1)
-		bit := 1 << uint(l)
-		base := r &^ bit
-		a := vals[butterfly.ID(d, l, base)]
-		b := vals[butterfly.ID(d, l, base|bit)]
-		j := r & (bit - 1)
-		w := cmplx.Exp(complex(0, -2*math.Pi*float64(j)/float64(2*bit)))
-		t := w * b
-		if r&bit == 0 {
-			vals[v] = a + t // y0 = x0 + ω·x1
-		} else {
-			vals[v] = a - t // y1 = x0 − ω·x1
-		}
+		Step(d, vals, v)
 		return nil
 	})
 	if err != nil {
@@ -98,8 +81,37 @@ func transform(xs []complex128, workers int, inverse bool) ([]complex128, error)
 	return out, nil
 }
 
-// bitrev reverses the low d bits of r.
-func bitrev(r, d int) int {
+// Step computes one butterfly-dag node of B_d in place over the per-node
+// value array — the (5.2) transformation y0 = x0 + ω·x1, y1 = x0 − ω·x1.
+// Level-0 nodes are pre-loaded inputs.  The kernel depends only on the
+// node's parents, so re-executing a node (e.g. a reissued task on an IC
+// server) is idempotent; it is exported so distributed executors can run
+// exactly the arithmetic the in-process executor runs.
+func Step(d int, vals []complex128, v dag.NodeID) {
+	n := 1 << uint(d)
+	level := int(v) >> uint(d)
+	if level == 0 {
+		return
+	}
+	l := level - 1 // the stage feeding this node
+	r := int(v) & (n - 1)
+	bit := 1 << uint(l)
+	base := r &^ bit
+	a := vals[butterfly.ID(d, l, base)]
+	b := vals[butterfly.ID(d, l, base|bit)]
+	j := r & (bit - 1)
+	w := cmplx.Exp(complex(0, -2*math.Pi*float64(j)/float64(2*bit)))
+	t := w * b
+	if r&bit == 0 {
+		vals[v] = a + t // y0 = x0 + ω·x1
+	} else {
+		vals[v] = a - t // y1 = x0 − ω·x1
+	}
+}
+
+// Bitrev reverses the low d bits of r — the decimation-in-time input
+// permutation, exported for distributed executors.
+func Bitrev(r, d int) int {
 	out := 0
 	for i := 0; i < d; i++ {
 		out = out<<1 | (r>>uint(i))&1

@@ -52,7 +52,25 @@ func Parallel[T any](op Op[T], xs []T, workers int) ([]T, error) {
 	}
 	order := sched.Complete(g, prefix.Nonsinks(n))
 	rank := exec.RankFromOrder(g, order)
-	_, err := exec.Run(g, rank, workers, func(v dag.NodeID) error {
+	_, err := exec.Run(g, rank, workers, StepFunc(op, n, vals))
+	if err != nil {
+		return nil, fmt.Errorf("scan: %w", err)
+	}
+	out := make([]T, n)
+	for i := range out {
+		out[i] = vals[prefix.ID(n, L, i)]
+	}
+	return out, nil
+}
+
+// StepFunc returns the per-node kernel of the prefix dag P_n over the
+// value array vals — node (row, col) combines row-1's values per system
+// (6.4).  Each node depends only on its parents, so re-executing a node
+// (e.g. a reissued task on an IC server) is idempotent; it is exported so
+// distributed executors can run exactly the arithmetic the in-process
+// executor runs.
+func StepFunc[T any](op Op[T], n int, vals []T) func(dag.NodeID) error {
+	return func(v dag.NodeID) error {
 		row := int(v) / n
 		col := int(v) % n
 		if row == 0 {
@@ -66,15 +84,7 @@ func Parallel[T any](op Op[T], xs []T, workers int) ([]T, error) {
 			vals[v] = below
 		}
 		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("scan: %w", err)
 	}
-	out := make([]T, n)
-	for i := range out {
-		out[i] = vals[prefix.ID(n, L, i)]
-	}
-	return out, nil
 }
 
 // IntPowers returns ⟨N, N², …, N^n⟩ via the ×-scan of ⟨N, N, …⟩ (§6.1).

@@ -30,16 +30,50 @@ func RankFromOrder(g *dag.Dag, order []dag.NodeID) []int {
 	return rank
 }
 
+// TaskError is the typed failure RunRetry (and Run) report when a task
+// exhausts its attempts: it carries the failing node, its label, how many
+// times it was tried, and wraps the last underlying error.
+type TaskError struct {
+	Task     dag.NodeID
+	Name     string
+	Attempts int
+	Err      error
+}
+
+func (e *TaskError) Error() string {
+	if e.Attempts > 1 {
+		return fmt.Sprintf("exec: task %s failed after %d attempts: %v", e.Name, e.Attempts, e.Err)
+	}
+	return fmt.Sprintf("exec: task %s: %v", e.Name, e.Err)
+}
+
+func (e *TaskError) Unwrap() error { return e.Err }
+
 // Run executes every node of g with the given number of worker goroutines
 // (≥ 1).  task(v) is called exactly once per node, only after all of v's
 // parents' calls returned.  Among simultaneously ELIGIBLE nodes, workers
 // take the one with the smallest rank.  The first task error aborts the
 // run (in-flight tasks finish; unstarted ones never start) and is
-// returned.  It also returns the order in which tasks were started.
+// returned as a *TaskError.  It also returns the order in which tasks
+// were started.
 func Run(g *dag.Dag, rank []int, workers int, task func(dag.NodeID) error) ([]dag.NodeID, error) {
+	return RunRetry(g, rank, workers, 1, task)
+}
+
+// RunRetry is Run with bounded per-task retries, the executor-level
+// analogue of the IC server's lease-reissue recovery: a task whose
+// function fails is put back in the ready pool and retried (possibly by
+// another worker) until it succeeds or has been attempted maxAttempts
+// times, at which point the run aborts with a *TaskError.  Dependents
+// only ever see a successful attempt.  Retried starts appear again in
+// the returned start order.
+func RunRetry(g *dag.Dag, rank []int, workers, maxAttempts int, task func(dag.NodeID) error) ([]dag.NodeID, error) {
 	n := g.NumNodes()
 	if workers < 1 {
 		return nil, fmt.Errorf("exec: %d workers", workers)
+	}
+	if maxAttempts < 1 {
+		return nil, fmt.Errorf("exec: %d attempts per task", maxAttempts)
 	}
 	if len(rank) != n {
 		return nil, fmt.Errorf("exec: rank covers %d of %d nodes", len(rank), n)
@@ -49,6 +83,7 @@ func Run(g *dag.Dag, rank []int, workers int, task func(dag.NodeID) error) ([]da
 		mu        sync.Mutex
 		cond      = sync.NewCond(&mu)
 		remaining = make([]int32, n)
+		attempts  = make([]int, n)
 		ready     = rankHeap{rank: rank}
 		started   = make([]dag.NodeID, 0, n)
 		completed int
@@ -79,6 +114,7 @@ func Run(g *dag.Dag, rank []int, workers int, task func(dag.NodeID) error) ([]da
 				}
 				v := heap.Pop(&ready).(dag.NodeID)
 				started = append(started, v)
+				attempts[v]++
 				inFlight++
 				mu.Unlock()
 
@@ -86,16 +122,23 @@ func Run(g *dag.Dag, rank []int, workers int, task func(dag.NodeID) error) ([]da
 
 				mu.Lock()
 				inFlight--
-				completed++
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("exec: task %s: %w", g.Name(v), err)
-				}
-				if firstErr == nil {
-					for _, c := range g.Children(v) {
-						remaining[c]--
-						if remaining[c] == 0 {
-							heap.Push(&ready, c)
+				switch {
+				case err == nil:
+					completed++
+					if firstErr == nil {
+						for _, c := range g.Children(v) {
+							remaining[c]--
+							if remaining[c] == 0 {
+								heap.Push(&ready, c)
+							}
 						}
+					}
+				case attempts[v] < maxAttempts:
+					heap.Push(&ready, v) // retry: back in the pool
+				default:
+					completed++ // exhausted; count it so the run drains
+					if firstErr == nil {
+						firstErr = &TaskError{Task: v, Name: g.Name(v), Attempts: attempts[v], Err: err}
 					}
 				}
 				mu.Unlock()

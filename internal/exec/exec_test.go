@@ -152,3 +152,82 @@ func TestParallelSpeedupSurface(t *testing.T) {
 		t.Fatalf("sum = %d", sum)
 	}
 }
+
+func TestRunRetryRecoversTransientFailures(t *testing.T) {
+	// Every task fails twice before succeeding; with 3 attempts allowed
+	// the run must complete, with dependents seeing only successes.
+	levels := 6
+	g := mesh.OutMesh(levels)
+	rank := exec.RankFromOrder(g, g.TopoOrder())
+	var mu sync.Mutex
+	fails := make(map[dag.NodeID]int)
+	succeeded := make(map[dag.NodeID]bool)
+	started, err := exec.RunRetry(g, rank, 4, 3, func(v dag.NodeID) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, p := range g.Parents(v) {
+			if !succeeded[p] {
+				return errors.New("dependency violated: parent attempt not successful")
+			}
+		}
+		if fails[v] < 2 {
+			fails[v]++
+			return errors.New("transient")
+		}
+		succeeded[v] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * g.NumNodes(); len(started) != want {
+		t.Fatalf("%d starts recorded, want %d (2 retries per task)", len(started), want)
+	}
+}
+
+func TestRunRetryExhaustionYieldsTaskError(t *testing.T) {
+	b := dag.NewBuilder(3)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	g := b.MustBuild()
+	rank := exec.RankFromOrder(g, g.TopoOrder())
+	boom := errors.New("boom")
+	var tries int32
+	_, err := exec.RunRetry(g, rank, 2, 4, func(v dag.NodeID) error {
+		if v == 1 {
+			atomic.AddInt32(&tries, 1)
+			return boom
+		}
+		return nil
+	})
+	var te *exec.TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TaskError", err)
+	}
+	if te.Task != 1 || te.Attempts != 4 {
+		t.Fatalf("TaskError = %+v, want task 1 after 4 attempts", te)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err chain %v does not wrap boom", err)
+	}
+	if tries != 4 {
+		t.Fatalf("task 1 tried %d times, want 4", tries)
+	}
+}
+
+func TestRunReportsTypedTaskError(t *testing.T) {
+	g := dag.NewBuilder(1).MustBuild()
+	boom := errors.New("boom")
+	_, err := exec.Run(g, []int{0}, 1, func(dag.NodeID) error { return boom })
+	var te *exec.TaskError
+	if !errors.As(err, &te) || te.Attempts != 1 {
+		t.Fatalf("Run error = %v, want single-attempt *TaskError", err)
+	}
+}
+
+func TestRunRetryValidation(t *testing.T) {
+	g := dag.NewBuilder(1).MustBuild()
+	if _, err := exec.RunRetry(g, []int{0}, 1, 0, func(dag.NodeID) error { return nil }); err == nil {
+		t.Fatal("0 attempts accepted")
+	}
+}

@@ -1,0 +1,188 @@
+// Package faults is a deterministic fault-injection plan for the
+// Internet-computing stack.  IC-Scheduling exists because remote clients
+// are temporally unpredictable (§1–§2): they slow down, vanish mid-task,
+// return errors, and lose messages.  A Plan decides, reproducibly from a
+// seed, when each of those faults fires, so the same chaos scenario can
+// drive the discrete-event simulator (package icsim), the real HTTP wire
+// protocol (via Transport), and a client's compute function — and be
+// replayed exactly for debugging.
+//
+// Decisions are made per fault Kind against a per-kind decision counter:
+// the nth decision of a kind is a pure function of (seed, kind, n), so a
+// run injects the same fault multiset regardless of wall-clock timing.
+// (Under concurrent clients the *interleaving* of decisions still varies —
+// that is the point of chaos — but the decision sequence per kind does
+// not.)  Faults can be injected by rate (Rates) or forced at explicit
+// decision indices (Schedule), or both.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// Crash: the client vanishes mid-task without reporting (lease-expiry
+	// recovery path).
+	Crash Kind = iota
+	// ComputeError: the task function fails (client hands the task back).
+	ComputeError
+	// DropResponse: the HTTP response is lost after the server processed
+	// the request (retry + idempotency path).
+	DropResponse
+	// HTTPError: the request fails with a synthetic 500 before reaching
+	// the handler (plain transient-retry path).
+	HTTPError
+	// Latency: a latency spike delays the request.
+	Latency
+
+	numKinds
+)
+
+// String names the kind in reports.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case ComputeError:
+		return "compute-error"
+	case DropResponse:
+		return "drop-response"
+	case HTTPError:
+		return "http-error"
+	case Latency:
+		return "latency"
+	}
+	return fmt.Sprintf("faults.Kind(%d)", int(k))
+}
+
+// ErrInjected is the sentinel wrapped by every fault this package
+// manufactures, so recovery code and tests can tell injected faults from
+// organic ones with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// Rates gives each fault kind an independent injection probability in
+// [0, 1]; zero disables the kind.
+type Rates struct {
+	Crash        float64
+	ComputeError float64
+	DropResponse float64
+	HTTPError    float64
+	Latency      float64
+}
+
+func (r Rates) of(k Kind) float64 {
+	switch k {
+	case Crash:
+		return r.Crash
+	case ComputeError:
+		return r.ComputeError
+	case DropResponse:
+		return r.DropResponse
+	case HTTPError:
+		return r.HTTPError
+	case Latency:
+		return r.Latency
+	}
+	return 0
+}
+
+// Plan decides fault injections deterministically from a seed.  Safe for
+// concurrent use.
+type Plan struct {
+	seed    int64
+	rates   Rates
+	latency time.Duration // Latency-fault delay; see WithLatency
+
+	mu        sync.Mutex
+	decisions [numKinds]uint64          // next decision index per kind
+	injected  [numKinds]int             // how many decisions fired
+	forced    [numKinds]map[uint64]bool // explicit schedule: fire at these indices
+}
+
+// NewPlan builds a plan injecting by rate; use Schedule to add explicit
+// fault times on top (or alone, with zero Rates).
+func NewPlan(seed int64, rates Rates) *Plan {
+	return &Plan{seed: seed, rates: rates}
+}
+
+// Schedule forces the plan's nth decision of kind k (0-based) to inject,
+// regardless of rate — the "explicit schedule" mode.
+func (p *Plan) Schedule(k Kind, nth uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.forced[k] == nil {
+		p.forced[k] = make(map[uint64]bool)
+	}
+	p.forced[k][nth] = true
+}
+
+// Decide consumes one decision of kind k and reports whether the fault
+// fires.  The outcome of the nth decision is a pure function of the
+// seed, k, n, the rate, and any Schedule entries.
+func (p *Plan) Decide(k Kind) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.decisions[k]
+	p.decisions[k]++
+	fire := p.forced[k][n]
+	if !fire {
+		if rate := p.rates.of(k); rate > 0 {
+			fire = unit(p.seed, k, n) < rate
+		}
+	}
+	if fire {
+		p.injected[k]++
+	}
+	return fire
+}
+
+// Injected reports how many faults of kind k have fired so far.
+func (p *Plan) Injected(k Kind) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected[k]
+}
+
+// Decisions reports how many decisions of kind k have been consumed.
+func (p *Plan) Decisions(k Kind) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int(p.decisions[k])
+}
+
+// Summary formats the injected-fault counts for reports.
+func (p *Plan) Summary() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := ""
+	for k := Kind(0); k < numKinds; k++ {
+		if p.decisions[k] == 0 {
+			continue
+		}
+		if s != "" {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s %d/%d", k, p.injected[k], p.decisions[k])
+	}
+	if s == "" {
+		return "no decisions"
+	}
+	return s
+}
+
+// unit hashes (seed, kind, n) to a uniform float64 in [0, 1) via
+// splitmix64 — the per-decision randomness source.
+func unit(seed int64, k Kind, n uint64) float64 {
+	x := uint64(seed) ^ (uint64(k)+1)*0x9e3779b97f4a7c15 ^ n*0xbf58476d1ce4e5b9
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,152 @@
+package faults_test
+
+import (
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"icsched/internal/faults"
+)
+
+func TestDecisionSequenceIsReproducible(t *testing.T) {
+	rates := faults.Rates{Crash: 0.3, ComputeError: 0.2, HTTPError: 0.1}
+	a := faults.NewPlan(7, rates)
+	b := faults.NewPlan(7, rates)
+	for i := 0; i < 1000; i++ {
+		for _, k := range []faults.Kind{faults.Crash, faults.ComputeError, faults.HTTPError} {
+			if a.Decide(k) != b.Decide(k) {
+				t.Fatalf("decision %d of %s diverged between same-seed plans", i, k)
+			}
+		}
+	}
+	if a.Summary() != b.Summary() {
+		t.Fatalf("summaries diverged: %q vs %q", a.Summary(), b.Summary())
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := faults.NewPlan(1, faults.Rates{Crash: 0.5})
+	b := faults.NewPlan(2, faults.Rates{Crash: 0.5})
+	same := true
+	for i := 0; i < 200; i++ {
+		if a.Decide(faults.Crash) != b.Decide(faults.Crash) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("200 decisions identical across different seeds")
+	}
+}
+
+func TestRateIsHonoredApproximately(t *testing.T) {
+	const n, rate = 20000, 0.15
+	p := faults.NewPlan(42, faults.Rates{ComputeError: rate})
+	for i := 0; i < n; i++ {
+		p.Decide(faults.ComputeError)
+	}
+	got := float64(p.Injected(faults.ComputeError)) / n
+	if math.Abs(got-rate) > 0.02 {
+		t.Fatalf("injected fraction %.3f, want ≈%.2f", got, rate)
+	}
+}
+
+func TestZeroRateNeverFires(t *testing.T) {
+	p := faults.NewPlan(9, faults.Rates{})
+	for i := 0; i < 500; i++ {
+		if p.Decide(faults.Crash) {
+			t.Fatal("zero-rate plan injected a fault")
+		}
+	}
+}
+
+func TestExplicitSchedule(t *testing.T) {
+	p := faults.NewPlan(0, faults.Rates{})
+	p.Schedule(faults.Crash, 2)
+	p.Schedule(faults.Crash, 5)
+	var fired []int
+	for i := 0; i < 8; i++ {
+		if p.Decide(faults.Crash) {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 5 {
+		t.Fatalf("scheduled faults fired at %v, want [2 5]", fired)
+	}
+}
+
+func TestTransportInjectsHTTPError(t *testing.T) {
+	var handled int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handled++
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	p := faults.NewPlan(0, faults.Rates{})
+	p.Schedule(faults.HTTPError, 0)
+	client := &http.Client{Transport: p.Transport(nil)}
+
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("injected error -> %d, want 500", resp.StatusCode)
+	}
+	if handled != 0 {
+		t.Fatal("HTTPError fault must not reach the handler")
+	}
+	// Next request passes through.
+	resp, err = client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" || handled != 1 {
+		t.Fatalf("clean request: body %q, handled %d", body, handled)
+	}
+}
+
+func TestTransportDropsResponseAfterDelivery(t *testing.T) {
+	var handled int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handled++
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	p := faults.NewPlan(0, faults.Rates{})
+	p.Schedule(faults.DropResponse, 0)
+	client := &http.Client{Transport: p.Transport(nil)}
+
+	_, err := client.Post(ts.URL, "text/plain", strings.NewReader("x"))
+	if err == nil {
+		t.Fatal("dropped response returned no error")
+	}
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected in chain", err)
+	}
+	if handled != 1 {
+		t.Fatalf("handler ran %d times, want 1 (request delivered, response dropped)", handled)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[faults.Kind]string{
+		faults.Crash:        "crash",
+		faults.ComputeError: "compute-error",
+		faults.DropResponse: "drop-response",
+		faults.HTTPError:    "http-error",
+		faults.Latency:      "latency",
+	} {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

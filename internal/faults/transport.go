@@ -1,0 +1,85 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Transport wraps an http.RoundTripper so the plan drives faults on the
+// real wire protocol:
+//
+//   - Latency: sleeps p.LatencySpike (default 2ms) before the request;
+//   - HTTPError: the request is lost before reaching the server and a
+//     synthetic 500 comes back (the handler never ran);
+//   - DropResponse: the request IS delivered and processed, but the
+//     response is dropped on the way back (the nasty case: the client
+//     must retry an operation the server already performed, exercising
+//     idempotency).
+//
+// base nil means http.DefaultTransport.
+func (p *Plan) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{plan: p, base: base}
+}
+
+// LatencySpike is the delay a Latency fault injects (default 2ms).  Set
+// before use; not synchronized.
+func (p *Plan) WithLatency(d time.Duration) *Plan {
+	p.latency = d
+	return p
+}
+
+type transport struct {
+	plan *Plan
+	base http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	p := t.plan
+	if p.Decide(Latency) {
+		d := p.latency
+		if d <= 0 {
+			d = 2 * time.Millisecond
+		}
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if p.Decide(HTTPError) {
+		// The request never reaches the handler; consume the body so the
+		// connection stays reusable and synthesize a 500.
+		if req.Body != nil {
+			_, _ = io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return &http.Response{
+			Status:     "500 Internal Server Error (injected)",
+			StatusCode: http.StatusInternalServerError,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     http.Header{"Content-Type": []string{"text/plain"}},
+			Body:       io.NopCloser(strings.NewReader("injected server error\n")),
+			Request:    req,
+		}, nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if p.Decide(DropResponse) {
+		// The server processed the request; lose the reply.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("faults: response to %s %s dropped: %w",
+			req.Method, req.URL.Path, ErrInjected)
+	}
+	return resp, nil
+}

@@ -4,52 +4,138 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"time"
 
 	"icsched/internal/dag"
 )
 
+// ErrCrash, when returned by a Compute function, makes the client vanish
+// immediately without reporting anything to the server — simulating a
+// crashed client, whose task the server recovers via lease expiry.  Used
+// by fault-injection harnesses.
+var ErrCrash = errors.New("icserver: client crashed")
+
 // Client is a remote IC client: it polls the server for work, runs the
 // task function, and reports completions, until the server says the
 // computation is finished.
+//
+// The client survives the transient failures of a real network: /task and
+// /done requests that fail in transit or return 5xx are retried with
+// exponential backoff and jitter — crucially, a failed /done is retried
+// for the same task (resuming the in-flight task) rather than abandoning
+// it, and the server's idempotent completion absorbs duplicates when only
+// the response was lost.  A Compute error hands the task back to the
+// server via POST /failed and the client moves on to other work.
 type Client struct {
 	// BaseURL of the server (e.g. an httptest.Server URL).
 	BaseURL string
 	// HTTP is the transport (defaults to http.DefaultClient).
 	HTTP *http.Client
-	// Compute executes one task; its error aborts the client.
+	// Compute executes one task.  A plain error hands the task back via
+	// /failed; ErrCrash makes the client vanish without reporting.
 	Compute func(task dag.NodeID, name string) error
-	// IdleWait is how long to sleep when the server has nothing eligible
-	// (defaults to 5ms).
+	// IdleWait is the initial sleep when the server has nothing eligible
+	// (default 2ms).  Consecutive idle polls back off exponentially with
+	// jitter up to IdleWaitMax, so large idle fleets neither busy-poll
+	// nor synchronize-hammer the server.
 	IdleWait time.Duration
+	// IdleWaitMax caps the idle backoff (default 250ms).
+	IdleWaitMax time.Duration
+	// RetryWait is the initial backoff after a transient request failure
+	// (default 5ms), growing exponentially with jitter up to RetryWaitMax.
+	RetryWait time.Duration
+	// RetryWaitMax caps the retry backoff (default 500ms).
+	RetryWaitMax time.Duration
+	// MaxAttempts bounds tries per request, first included (default 8);
+	// when exhausted Run returns the last error.
+	MaxAttempts int
+
+	rng *rand.Rand // lazily seeded jitter source
 }
 
 // Stats reports one client's activity.
 type Stats struct {
+	// Completed counts tasks this client computed and reported done.
 	Completed int
+	// IdlePolls counts /task polls that found nothing eligible.
 	IdlePolls int
+	// Retries counts transient request failures that were retried.
+	Retries int
+	// Failed counts tasks handed back via /failed after a Compute error.
+	Failed int
 }
 
-// Run loops until the computation finishes, the context is cancelled, or
-// a task fails.
-func (c *Client) Run(ctx context.Context) (Stats, error) {
-	httpc := c.HTTP
+func (c *Client) defaults() (idle, idleMax, retry, retryMax time.Duration, attempts int, httpc *http.Client) {
+	idle, idleMax, retry, retryMax = c.IdleWait, c.IdleWaitMax, c.RetryWait, c.RetryWaitMax
+	if idle <= 0 {
+		idle = 2 * time.Millisecond
+	}
+	if idleMax <= 0 {
+		idleMax = 250 * time.Millisecond
+	}
+	if idleMax < idle {
+		idleMax = idle
+	}
+	if retry <= 0 {
+		retry = 5 * time.Millisecond
+	}
+	if retryMax <= 0 {
+		retryMax = 500 * time.Millisecond
+	}
+	if retryMax < retry {
+		retryMax = retry
+	}
+	attempts = c.MaxAttempts
+	if attempts <= 0 {
+		attempts = 8
+	}
+	httpc = c.HTTP
 	if httpc == nil {
 		httpc = http.DefaultClient
 	}
-	idle := c.IdleWait
-	if idle <= 0 {
-		idle = 5 * time.Millisecond
+	return
+}
+
+// jitter picks a uniform duration in [d/2, d) — "equal jitter", which
+// decorrelates a fleet of clients that went idle at the same moment.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(rand.Int63()))
 	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(c.rng.Int63n(int64(half)))
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Run loops until the computation finishes, the context is cancelled,
+// retries are exhausted, or Compute crashes.
+func (c *Client) Run(ctx context.Context) (Stats, error) {
+	idleBase, idleMax, retryBase, retryMax, maxAttempts, httpc := c.defaults()
 	var stats Stats
+	idle := idleBase
 	for {
 		if err := ctx.Err(); err != nil {
 			return stats, err
 		}
-		code, body, err := post(ctx, httpc, c.BaseURL+"/task", nil)
+		code, body, err := c.postRetry(ctx, httpc, "/task", nil, retryBase, retryMax, maxAttempts, &stats)
 		if err != nil {
 			return stats, err
 		}
@@ -58,14 +144,15 @@ func (c *Client) Run(ctx context.Context) (Stats, error) {
 			return stats, nil
 		case http.StatusNoContent:
 			stats.IdlePolls++
-			select {
-			case <-time.After(idle):
-			case <-ctx.Done():
-				return stats, ctx.Err()
+			if err := sleepCtx(ctx, c.jitter(idle)); err != nil {
+				return stats, err
+			}
+			if idle *= 2; idle > idleMax {
+				idle = idleMax
 			}
 			continue
 		case http.StatusOK:
-			// fall through
+			idle = idleBase // got work: reset the idle backoff
 		default:
 			return stats, fmt.Errorf("icserver client: /task returned %d: %s", code, body)
 		}
@@ -75,14 +162,31 @@ func (c *Client) Run(ctx context.Context) (Stats, error) {
 		}
 		if c.Compute != nil {
 			if err := c.Compute(task.Task, task.Name); err != nil {
-				return stats, fmt.Errorf("icserver client: task %s: %w", task.Name, err)
+				if errors.Is(err, ErrCrash) {
+					return stats, err // vanish: no report, lease expiry recovers
+				}
+				// Hand the task back early so the server requeues it now
+				// instead of waiting out the lease.
+				payload, merr := json.Marshal(doneRequest{Task: task.Task})
+				if merr != nil {
+					return stats, merr
+				}
+				code, body, rerr := c.postRetry(ctx, httpc, "/failed", payload, retryBase, retryMax, maxAttempts, &stats)
+				if rerr != nil {
+					return stats, rerr
+				}
+				if code != http.StatusOK {
+					return stats, fmt.Errorf("icserver client: /failed returned %d: %s", code, body)
+				}
+				stats.Failed++
+				continue
 			}
 		}
 		payload, err := json.Marshal(doneRequest{Task: task.Task})
 		if err != nil {
 			return stats, err
 		}
-		code, body, err = post(ctx, httpc, c.BaseURL+"/done", payload)
+		code, body, err = c.postRetry(ctx, httpc, "/done", payload, retryBase, retryMax, maxAttempts, &stats)
 		if err != nil {
 			return stats, err
 		}
@@ -91,6 +195,39 @@ func (c *Client) Run(ctx context.Context) (Stats, error) {
 		}
 		stats.Completed++
 	}
+}
+
+// postRetry POSTs path, retrying transport errors and 5xx responses with
+// capped exponential backoff + jitter.  It returns the first conclusive
+// status, or the last failure once attempts are exhausted.
+func (c *Client) postRetry(ctx context.Context, httpc *http.Client, path string, body []byte,
+	base, max time.Duration, attempts int, stats *Stats) (int, []byte, error) {
+	wait := base
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			stats.Retries++
+			if err := sleepCtx(ctx, c.jitter(wait)); err != nil {
+				return 0, nil, err
+			}
+			if wait *= 2; wait > max {
+				wait = max
+			}
+		}
+		code, respBody, err := post(ctx, httpc, c.BaseURL+path, body)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return 0, nil, ctx.Err()
+			}
+			lastErr = err // transport failure (includes dropped responses)
+		case code >= 500:
+			lastErr = fmt.Errorf("icserver client: %s returned %d: %s", path, code, respBody)
+		default:
+			return code, respBody, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("icserver client: %s failed after %d attempts: %w", path, attempts, lastErr)
 }
 
 // FetchStatus reads the server's progress snapshot.
@@ -112,6 +249,28 @@ func FetchStatus(ctx context.Context, httpc *http.Client, baseURL string) (Statu
 		return Status{}, err
 	}
 	return st, nil
+}
+
+// FetchHealth reads the server's /healthz state, reporting the HTTP
+// status code alongside the payload (503 while draining).
+func FetchHealth(ctx context.Context, httpc *http.Client, baseURL string) (status string, code int, err error) {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/healthz", nil)
+	if err != nil {
+		return "", 0, err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return "", resp.StatusCode, err
+	}
+	return h.Status, resp.StatusCode, nil
 }
 
 func post(ctx context.Context, httpc *http.Client, url string, body []byte) (int, []byte, error) {

@@ -6,22 +6,43 @@
 //
 // The quality model's idealization — tasks are executed in allocation
 // order — cannot be enforced over a real network, so the server adds the
-// one mechanism real IC systems use against slow or vanished clients
-// (cf. the monitoring prescriptions the paper cites): an allocation
-// lease.  A task not reported complete within the lease is re-offered to
-// other clients; completions are idempotent, so a late original client
-// causes no harm.
+// mechanisms real IC systems use against slow, vanished, or failing
+// clients (cf. the monitoring prescriptions the paper cites):
+//
+//   - an allocation lease: a task not reported complete within the lease
+//     is re-offered to other clients (expiry tracked in a min-heap, so
+//     allocation stays O(log n) under many outstanding leases);
+//   - early hand-back: a client whose computation fails POSTs /failed and
+//     the task is requeued ahead of the policy;
+//   - quarantine: a task that has been handed out MaxAttempts times
+//     without completing is quarantined rather than reissued forever, and
+//     the computation degrades gracefully to "finished with a quarantined
+//     set" instead of hanging;
+//   - idempotent completion: late or duplicate /done reports (including
+//     from clients whose lease expired, or for quarantined tasks, which
+//     are then rescued) cause no harm.
 //
 // Wire protocol (JSON):
 //
-//	POST /task          -> 200 {"task": id, "name": label}  |  204 (none eligible)  |  410 (done)
-//	POST /done {"task"} -> 200 {"newlyEligible": k}
-//	GET  /status        -> 200 {"total", "completed", "eligible", "allocated", "stalls", "reissues"}
+//	POST /task            -> 200 {"task": id, "name": label}  |  204 (none eligible)
+//	                         |  410 (finished)  |  503 (draining)
+//	POST /done   {"task"} -> 200 {"newlyEligible": k}
+//	POST /failed {"task"} -> 200 {"requeued": b, "quarantined": b}
+//	GET  /status          -> 200 {"total", "completed", "eligible", "allocated",
+//	                              "stalls", "reissues", "failed", "quarantined"}
+//	GET  /healthz         -> 200/503 {"status", "uptimeSeconds", "completed", "total"}
+//
+// Request bodies are bounded (64 KiB); oversized, empty, or malformed
+// bodies get 400.
 package icserver
 
 import (
+	"container/heap"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -31,19 +52,31 @@ import (
 	"icsched/internal/sched"
 )
 
+// maxBodyBytes bounds /done and /failed request bodies.
+const maxBodyBytes = 64 << 10
+
 // Server allocates the tasks of one dag execution.  Create with New and
 // mount via Handler (or use httptest / http.Server directly).
 type Server struct {
-	mu       sync.Mutex
-	g        *dag.Dag
-	st       *sched.State
-	inst     heur.Instance
-	lease    time.Duration
-	now      func() time.Time // injectable clock for tests
-	leases   map[dag.NodeID]time.Time
-	done     map[dag.NodeID]bool
-	stalls   int
-	reissues int
+	mu          sync.Mutex
+	g           *dag.Dag
+	st          *sched.State
+	inst        heur.Instance
+	lease       time.Duration
+	maxAttempts int
+	now         func() time.Time // injectable clock for tests
+	start       time.Time
+	leases      map[dag.NodeID]time.Time // task -> lease grant time
+	expiry      leaseHeap                // grant-time-ordered, lazily invalidated
+	attempts    map[dag.NodeID]int       // task -> times handed out
+	returned    []dag.NodeID             // tasks handed back via /failed, FIFO
+	quarantined map[dag.NodeID]bool
+	done        map[dag.NodeID]bool
+	stalls      int
+	reissues    int
+	failed      int // /failed reports accepted
+	draining    bool
+	degraded    bool // terminal with a non-empty quarantined set
 }
 
 // Option configures a Server.
@@ -55,6 +88,13 @@ func WithLease(d time.Duration) Option {
 	return func(s *Server) { s.lease = d }
 }
 
+// WithMaxAttempts sets how many times a task may be handed out (initial
+// allocation + reissues after expiry or /failed) before it is quarantined
+// (default 5; 0 disables quarantine).
+func WithMaxAttempts(n int) Option {
+	return func(s *Server) { s.maxAttempts = n }
+}
+
 // WithClock injects a time source (tests).
 func WithClock(now func() time.Time) Option {
 	return func(s *Server) { s.now = now }
@@ -63,17 +103,21 @@ func WithClock(now func() time.Time) Option {
 // New builds a server for one execution of g under the policy.
 func New(g *dag.Dag, policy heur.Policy, opts ...Option) *Server {
 	s := &Server{
-		g:      g,
-		st:     sched.NewState(g),
-		inst:   policy.Start(g),
-		lease:  30 * time.Second,
-		now:    time.Now,
-		leases: make(map[dag.NodeID]time.Time),
-		done:   make(map[dag.NodeID]bool),
+		g:           g,
+		st:          sched.NewState(g),
+		inst:        policy.Start(g),
+		lease:       30 * time.Second,
+		maxAttempts: 5,
+		now:         time.Now,
+		leases:      make(map[dag.NodeID]time.Time),
+		attempts:    make(map[dag.NodeID]int),
+		quarantined: make(map[dag.NodeID]bool),
+		done:        make(map[dag.NodeID]bool),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.start = s.now()
 	s.inst.Offer(s.st.Eligible())
 	return s
 }
@@ -83,7 +127,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /task", s.handleTask)
 	mux.HandleFunc("POST /done", s.handleDone)
+	mux.HandleFunc("POST /failed", s.handleFailed)
 	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
 
@@ -93,7 +139,7 @@ type taskResponse struct {
 	Name string     `json:"name"`
 }
 
-// doneRequest is the /done payload.
+// doneRequest is the /done and /failed payload.
 type doneRequest struct {
 	Task dag.NodeID `json:"task"`
 }
@@ -103,17 +149,40 @@ type doneResponse struct {
 	NewlyEligible int `json:"newlyEligible"`
 }
 
+// failedResponse reports what became of a handed-back task.
+type failedResponse struct {
+	Requeued    bool `json:"requeued"`
+	Quarantined bool `json:"quarantined"`
+}
+
+// healthResponse is the /healthz payload.
+type healthResponse struct {
+	Status        string  `json:"status"` // "ok" or "draining"
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Completed     int     `json:"completed"`
+	Total         int     `json:"total"`
+}
+
 // Status is the /status payload.
 type Status struct {
-	Total     int `json:"total"`
-	Completed int `json:"completed"`
-	Eligible  int `json:"eligible"`
-	Allocated int `json:"allocated"`
-	Stalls    int `json:"stalls"`
-	Reissues  int `json:"reissues"`
+	Total       int `json:"total"`
+	Completed   int `json:"completed"`
+	Eligible    int `json:"eligible"`
+	Allocated   int `json:"allocated"`
+	Stalls      int `json:"stalls"`
+	Reissues    int `json:"reissues"`
+	Failed      int `json:"failed"`
+	Quarantined int `json:"quarantined"`
 }
 
 func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "icserver: draining", http.StatusServiceUnavailable)
+		return
+	}
 	v, state := s.Allocate()
 	switch state {
 	case AllocOK:
@@ -125,13 +194,35 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
+// decodeTask reads a bounded {"task": id} body, distinguishing empty and
+// oversized bodies from malformed JSON only in the error text.
+func decodeTask(w http.ResponseWriter, r *http.Request) (dag.NodeID, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req doneRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	err := json.NewDecoder(r.Body).Decode(&req)
+	switch {
+	case err == nil:
+		return req.Task, true
+	case errors.Is(err, io.EOF):
+		http.Error(w, "icserver: empty request body", http.StatusBadRequest)
+	default:
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("icserver: request body exceeds %d bytes", tooLarge.Limit),
+				http.StatusBadRequest)
+		} else {
+			http.Error(w, "icserver: malformed request body: "+err.Error(), http.StatusBadRequest)
+		}
+	}
+	return 0, false
+}
+
+func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
+	v, ok := decodeTask(w, r)
+	if !ok {
 		return
 	}
-	k, err := s.Complete(req.Task)
+	k, err := s.Complete(v)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
@@ -139,8 +230,41 @@ func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, doneResponse{NewlyEligible: k})
 }
 
+func (s *Server) handleFailed(w http.ResponseWriter, r *http.Request) {
+	v, ok := decodeTask(w, r)
+	if !ok {
+		return
+	}
+	requeued, quarantined, err := s.Fail(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, failedResponse{Requeued: requeued, Quarantined: quarantined})
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := healthResponse{
+		Status:        "ok",
+		UptimeSeconds: s.now().Sub(s.start).Seconds(),
+		Completed:     s.st.NumExecuted(),
+		Total:         s.g.NumNodes(),
+	}
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		h.Status = "draining"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(h)
+		return
+	}
+	writeJSON(w, h)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -156,13 +280,14 @@ const (
 	AllocOK AllocState = iota
 	// AllocEmpty: nothing is currently ELIGIBLE and unallocated.
 	AllocEmpty
-	// AllocFinished: the whole computation has completed.
+	// AllocFinished: the computation is over — every task completed, or
+	// every remaining task is quarantined (or blocked behind one).
 	AllocFinished
 )
 
 // Allocate hands out the next task per the policy, reissuing expired
-// leases first.  Exposed for in-process use (the simulator-free examples
-// and tests drive it directly).
+// leases and handed-back tasks first.  Exposed for in-process use (the
+// simulator-free examples and tests drive it directly).
 func (s *Server) Allocate() (dag.NodeID, AllocState) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -170,34 +295,73 @@ func (s *Server) Allocate() (dag.NodeID, AllocState) {
 		return 0, AllocFinished
 	}
 	now := s.now()
-	// Reissue expired leases: hand the longest-expired task back out
-	// without consulting the policy (it has already been prioritized).
+	// Reissue expired leases in expiry order.  Heap entries are lazily
+	// invalidated: an entry is live only while the lease map still holds
+	// the grant time it was pushed with.
 	if s.lease > 0 {
-		var expired dag.NodeID = -1
-		var oldest time.Time
-		for v, t := range s.leases {
-			if now.Sub(t) >= s.lease && (expired == -1 || t.Before(oldest)) {
-				expired, oldest = v, t
+		for s.expiry.Len() > 0 {
+			top := s.expiry[0]
+			granted, held := s.leases[top.v]
+			if !held || !granted.Equal(top.granted) {
+				heap.Pop(&s.expiry) // stale: completed, failed, or re-leased
+				continue
 			}
-		}
-		if expired >= 0 {
-			s.leases[expired] = now
+			if now.Sub(granted) < s.lease {
+				break // earliest lease not yet expired
+			}
+			heap.Pop(&s.expiry)
+			if s.maxAttempts > 0 && s.attempts[top.v] >= s.maxAttempts {
+				delete(s.leases, top.v)
+				s.quarantined[top.v] = true
+				continue
+			}
+			s.grantLocked(top.v, now)
 			s.reissues++
-			return expired, AllocOK
+			return top.v, AllocOK
 		}
+	}
+	// Tasks handed back via /failed go out before new policy picks.
+	for len(s.returned) > 0 {
+		v := s.returned[0]
+		s.returned = s.returned[1:]
+		if s.done[v] || s.quarantined[v] {
+			continue
+		}
+		if _, held := s.leases[v]; held {
+			continue // duplicate hand-back; already re-leased
+		}
+		s.grantLocked(v, now)
+		s.reissues++
+		return v, AllocOK
 	}
 	v, ok := s.inst.Next()
 	if !ok {
+		if len(s.leases) == 0 && len(s.quarantined) > 0 {
+			// Nothing in flight and nothing allocatable: every remaining
+			// task is quarantined or blocked behind one.  Terminal.
+			s.degraded = true
+			return 0, AllocFinished
+		}
 		s.stalls++
 		return 0, AllocEmpty
 	}
-	s.leases[v] = now
+	s.grantLocked(v, now)
 	return v, AllocOK
+}
+
+// grantLocked records a lease grant (caller holds s.mu).
+func (s *Server) grantLocked(v dag.NodeID, now time.Time) {
+	s.attempts[v]++
+	s.leases[v] = now
+	if s.lease > 0 {
+		heap.Push(&s.expiry, leaseEntry{v: v, granted: now})
+	}
 }
 
 // Complete records a finished task, returning how many tasks became
 // newly ELIGIBLE.  Duplicate completions (late lease-holders) are
-// idempotent no-ops.
+// idempotent no-ops; a late completion of a quarantined task rescues it
+// from the quarantined set.
 func (s *Server) Complete(v dag.NodeID) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -207,7 +371,7 @@ func (s *Server) Complete(v dag.NodeID) (int, error) {
 	if s.done[v] {
 		return 0, nil // idempotent
 	}
-	if _, ok := s.leases[v]; !ok {
+	if s.attempts[v] == 0 {
 		return 0, fmt.Errorf("icserver: task %s was never allocated", s.g.Name(v))
 	}
 	packet, err := s.st.Execute(v)
@@ -216,8 +380,62 @@ func (s *Server) Complete(v dag.NodeID) (int, error) {
 	}
 	s.done[v] = true
 	delete(s.leases, v)
+	delete(s.quarantined, v) // a late result rescues a quarantined task
 	s.inst.Offer(packet)
 	return len(packet), nil
+}
+
+// Fail hands a task back early (the client's computation failed).  The
+// task is requeued ahead of the policy, or quarantined once it has been
+// handed out MaxAttempts times.  Failing a completed task is an
+// idempotent no-op.
+func (s *Server) Fail(v dag.NodeID) (requeued, quarantined bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(v) < 0 || int(v) >= s.g.NumNodes() {
+		return false, false, fmt.Errorf("icserver: task %d out of range", v)
+	}
+	if s.done[v] {
+		return false, false, nil // completed elsewhere; nothing to do
+	}
+	if s.attempts[v] == 0 {
+		return false, false, fmt.Errorf("icserver: task %s was never allocated", s.g.Name(v))
+	}
+	s.failed++
+	delete(s.leases, v)
+	if s.quarantined[v] {
+		return false, true, nil
+	}
+	if s.maxAttempts > 0 && s.attempts[v] >= s.maxAttempts {
+		s.quarantined[v] = true
+		return false, true, nil
+	}
+	s.returned = append(s.returned, v)
+	return true, false, nil
+}
+
+// Shutdown drains the server gracefully: new /task requests get 503 while
+// in-flight leases may still complete (or fail).  It returns once no
+// lease is outstanding, or with an error when ctx expires first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		n := len(s.leases)
+		s.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("icserver: shutdown with %d leases in flight: %w", n, ctx.Err())
+		case <-tick.C:
+		}
+	}
 }
 
 // Status snapshots the execution.
@@ -225,18 +443,41 @@ func (s *Server) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Status{
-		Total:     s.g.NumNodes(),
-		Completed: s.st.NumExecuted(),
-		Eligible:  s.st.NumEligible(),
-		Allocated: len(s.leases),
-		Stalls:    s.stalls,
-		Reissues:  s.reissues,
+		Total:       s.g.NumNodes(),
+		Completed:   s.st.NumExecuted(),
+		Eligible:    s.st.NumEligible(),
+		Allocated:   len(s.leases),
+		Stalls:      s.stalls,
+		Reissues:    s.reissues,
+		Failed:      s.failed,
+		Quarantined: len(s.quarantined),
 	}
 }
 
-// Finished reports whether every task completed.
+// Finished reports whether the execution is terminal: every task
+// completed, or no further progress is possible (the remaining tasks are
+// quarantined or blocked behind quarantined ones, with nothing in
+// flight).  Use Status().Completed == Status().Total to distinguish full
+// completion from graceful degradation.
 func (s *Server) Finished() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.st.Done()
+	return s.st.Done() || s.degraded
 }
+
+// leaseEntry is one grant in the expiry heap; it is live only while the
+// lease map still records the same grant time for the task.
+type leaseEntry struct {
+	v       dag.NodeID
+	granted time.Time
+}
+
+// leaseHeap is a min-heap of lease grants ordered by grant time (with a
+// fixed lease duration, grant order is expiry order).
+type leaseHeap []leaseEntry
+
+func (h leaseHeap) Len() int           { return len(h) }
+func (h leaseHeap) Less(i, j int) bool { return h[i].granted.Before(h[j].granted) }
+func (h leaseHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *leaseHeap) Push(x any)        { *h = append(*h, x.(leaseEntry)) }
+func (h *leaseHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }

@@ -1,0 +1,178 @@
+package icsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"icsched/internal/faults"
+	"icsched/internal/heur"
+	"icsched/internal/icsim"
+	"icsched/internal/mesh"
+	"icsched/internal/sched"
+)
+
+func meshPolicy(levels int) heur.Policy {
+	g := mesh.OutMesh(levels)
+	return heur.Static("IC-OPTIMAL", sched.Complete(g, mesh.OutMeshNonsinks(levels)))
+}
+
+func TestChurnCrashRecoversInFlightTask(t *testing.T) {
+	levels := 10
+	g := mesh.OutMesh(levels)
+	res, err := icsim.Run(g, meshPolicy(levels), icsim.Config{
+		Clients: 4,
+		Seed:    1,
+		Churn: []icsim.ChurnEvent{
+			{Time: 2.0, Client: 0},
+			{Time: 5.0, Client: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != g.NumNodes() {
+		t.Fatalf("completed %d of %d", res.Completed, g.NumNodes())
+	}
+	if res.Crashes != 2 {
+		t.Fatalf("crashes = %d, want 2", res.Crashes)
+	}
+	// Both crashed clients were mid-task at their crash instants (the mesh
+	// keeps 4 clients busy early), so their tasks must have been reissued.
+	if res.Reissues == 0 {
+		t.Fatal("no reissues recorded after mid-task crashes")
+	}
+}
+
+func TestChurnJoinAddsCapacity(t *testing.T) {
+	levels := 12
+	g := mesh.OutMesh(levels)
+	base, err := icsim.Run(g, meshPolicy(levels), icsim.Config{Clients: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := icsim.Run(g, meshPolicy(levels), icsim.Config{
+		Clients: 2,
+		Seed:    3,
+		Churn: []icsim.ChurnEvent{
+			{Time: 1.0, Join: true},
+			{Time: 1.0, Join: true, Speed: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Joins != 2 {
+		t.Fatalf("joins = %d, want 2", grown.Joins)
+	}
+	if grown.Completed != g.NumNodes() {
+		t.Fatalf("completed %d of %d", grown.Completed, g.NumNodes())
+	}
+	if grown.Makespan >= base.Makespan {
+		t.Fatalf("joining clients did not help: makespan %g -> %g", base.Makespan, grown.Makespan)
+	}
+}
+
+func TestAllClientsCrashingIsReported(t *testing.T) {
+	levels := 8
+	g := mesh.OutMesh(levels)
+	_, err := icsim.Run(g, meshPolicy(levels), icsim.Config{
+		Clients: 2,
+		Seed:    1,
+		Churn: []icsim.ChurnEvent{
+			{Time: 1.0, Client: 0},
+			{Time: 1.5, Client: 1},
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "all 2 clients crashed") {
+		t.Fatalf("err = %v, want all-clients-crashed report", err)
+	}
+}
+
+func TestCrashingUnknownClientErrors(t *testing.T) {
+	g := mesh.OutMesh(6)
+	_, err := icsim.Run(g, meshPolicy(6), icsim.Config{
+		Clients: 2,
+		Seed:    1,
+		Churn:   []icsim.ChurnEvent{{Time: 0.5, Client: 9}},
+	})
+	if err == nil {
+		t.Fatal("crash of unknown client accepted")
+	}
+}
+
+func TestInjectedTaskFailuresAreReissued(t *testing.T) {
+	levels := 12
+	g := mesh.OutMesh(levels)
+	res, err := icsim.Run(g, meshPolicy(levels), icsim.Config{
+		Clients: 4,
+		Seed:    7,
+		Faults:  faults.NewPlan(11, faults.Rates{ComputeError: 0.2}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != g.NumNodes() {
+		t.Fatalf("completed %d of %d under failures", res.Completed, g.NumNodes())
+	}
+	if res.TaskFailures == 0 {
+		t.Fatal("0 task failures injected at 20% rate")
+	}
+	if res.Reissues < res.TaskFailures {
+		t.Fatalf("reissues %d < failures %d: failed tasks not all recovered",
+			res.Reissues, res.TaskFailures)
+	}
+}
+
+func TestInjectedCrashesWithJoinReplacement(t *testing.T) {
+	levels := 10
+	g := mesh.OutMesh(levels)
+	// Rate-driven crashes plus scheduled replacement joins: the fleet
+	// shrinks and regrows, the computation still completes.
+	res, err := icsim.Run(g, meshPolicy(levels), icsim.Config{
+		Clients: 6,
+		Seed:    5,
+		Faults:  faults.NewPlan(13, faults.Rates{Crash: 0.05}),
+		Churn: []icsim.ChurnEvent{
+			{Time: 3, Join: true},
+			{Time: 6, Join: true},
+			{Time: 9, Join: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != g.NumNodes() {
+		t.Fatalf("completed %d of %d", res.Completed, g.NumNodes())
+	}
+	if res.Crashes == 0 {
+		t.Fatal("no crashes fired at 5% rate over the whole mesh")
+	}
+	if res.Reissues < res.Crashes {
+		t.Fatalf("reissues %d < crashes %d: crashed clients' tasks not recovered",
+			res.Reissues, res.Crashes)
+	}
+}
+
+func TestFaultyRunsAreReproducibleFromSeed(t *testing.T) {
+	levels := 9
+	g := mesh.OutMesh(levels)
+	cfg := func() icsim.Config {
+		return icsim.Config{
+			Clients: 5,
+			Seed:    21,
+			Faults:  faults.NewPlan(8, faults.Rates{ComputeError: 0.15, Crash: 0.02}),
+			Churn:   []icsim.ChurnEvent{{Time: 2, Join: true}},
+		}
+	}
+	a, err := icsim.Run(g, meshPolicy(levels), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := icsim.Run(g, meshPolicy(levels), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same-seed faulty runs diverged:\n%+v\n%+v", a, b)
+	}
+}

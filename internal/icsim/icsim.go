@@ -16,6 +16,15 @@
 // but across clients completions interleave by speed, so the simulation
 // also exercises schedules outside the theory's executed-in-allocation-
 // order idealization.
+//
+// Because IC clients are temporally unpredictable (§1), the simulator
+// also models churn and faults: clients may crash mid-task or join at
+// scheduled times (Churn), and a faults.Plan may kill clients or fail
+// task executions by rate or explicit schedule.  A crashed client's
+// in-flight task, like a failed execution, is returned to the pool and
+// reissued to a surviving client, and the run reports the recovery
+// traffic (Reissues, TaskFailures, Crashes, Joins) so the §2.2 stall
+// experiments can be re-run under fault pressure.
 package icsim
 
 import (
@@ -24,9 +33,23 @@ import (
 	"math/rand"
 
 	"icsched/internal/dag"
+	"icsched/internal/faults"
 	"icsched/internal/heur"
 	"icsched/internal/sched"
 )
+
+// ChurnEvent schedules a client crash or join at a simulated time.
+type ChurnEvent struct {
+	// Time is the simulated instant the event fires.
+	Time float64
+	// Client is the index of the client to crash (ignored for joins —
+	// a join always creates a fresh client with the next free index).
+	Client int
+	// Join makes this a join instead of a crash.
+	Join bool
+	// Speed is the joining client's speed factor (default 1).
+	Speed float64
+}
 
 // Config parameterizes one simulation run.
 type Config struct {
@@ -47,6 +70,15 @@ type Config struct {
 	CommLatency float64
 	// Seed drives the task-time randomness.
 	Seed int64
+	// Churn optionally schedules client crashes and joins at simulated
+	// times.
+	Churn []ChurnEvent
+	// Faults optionally injects faults by rate or explicit schedule: a
+	// faults.Crash decision is consumed per allocation (the client dies
+	// partway through the task), a faults.ComputeError decision per
+	// would-be completion (the execution fails and the task is returned
+	// for reissue).  The same Plan type drives the real wire protocol.
+	Faults *faults.Plan
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -76,6 +108,17 @@ func (c Config) withDefaults() (Config, error) {
 			return c, fmt.Errorf("icsim: client %d speed %g", i, s)
 		}
 	}
+	for i, ev := range c.Churn {
+		if ev.Time < 0 {
+			return c, fmt.Errorf("icsim: churn event %d at negative time %g", i, ev.Time)
+		}
+		if ev.Join && ev.Speed < 0 {
+			return c, fmt.Errorf("icsim: churn event %d join speed %g", i, ev.Speed)
+		}
+		if !ev.Join && ev.Client < 0 {
+			return c, fmt.Errorf("icsim: churn event %d crashes client %d", i, ev.Client)
+		}
+	}
 	return c, nil
 }
 
@@ -99,15 +142,35 @@ type Result struct {
 	// Completed is the number of tasks executed (equals the dag size on a
 	// successful run).
 	Completed int
+	// Reissues counts re-allocations of tasks recovered from crashed
+	// clients or failed executions.
+	Reissues int
+	// TaskFailures counts injected execution failures.
+	TaskFailures int
+	// Crashes and Joins count churn that actually happened.
+	Crashes int
+	// Joins counts clients that joined mid-run.
+	Joins int
 }
 
-// event is a client becoming free (requesting work) or a task completing.
+// event kinds.
+const (
+	evRequest = iota // a client asks for work
+	evDone           // a task execution ends (possibly failing or crashing)
+	evCrash          // scheduled churn: a client dies
+	evJoin           // scheduled churn: a client joins
+)
+
+// event is one simulated occurrence.
 type event struct {
-	time   float64
-	client int
-	task   dag.NodeID
-	isDone bool // completion event; otherwise a work request
-	seq    int  // tiebreaker for determinism
+	time    float64
+	kind    int
+	client  int
+	task    dag.NodeID
+	fails   bool    // evDone: the execution fails instead of completing
+	crashes bool    // evDone: the client dies at this instant, task unreported
+	speed   float64 // evJoin: the joining client's speed
+	seq     int     // tiebreaker for determinism
 }
 
 type eventQueue []event
@@ -148,10 +211,36 @@ func Run(g *dag.Dag, p heur.Policy, cfg Config) (Result, error) {
 		heap.Push(&q, e)
 	}
 	for c := 0; c < cfg.Clients; c++ {
-		push(event{time: 0, client: c})
+		push(event{time: 0, kind: evRequest, client: c})
 	}
+	for _, ev := range cfg.Churn {
+		if ev.Join {
+			speed := ev.Speed
+			if speed == 0 {
+				speed = 1
+			}
+			push(event{time: ev.Time, kind: evJoin, speed: speed})
+		} else {
+			push(event{time: ev.Time, kind: evCrash, client: ev.Client})
+		}
+	}
+
+	// Per-client state; the slices grow as clients join.
+	speeds := append([]float64(nil), cfg.Speeds...)
 	idleSince := make([]float64, cfg.Clients)
 	idle := make([]bool, cfg.Clients)
+	alive := make([]bool, cfg.Clients)
+	hasTask := make([]bool, cfg.Clients)
+	taskOf := make([]dag.NodeID, cfg.Clients)
+	bornAt := make([]float64, cfg.Clients)
+	diedAt := make([]float64, cfg.Clients)
+	for c := range alive {
+		alive[c] = true
+	}
+	// Tasks recovered from crashes and failed executions, reissued ahead
+	// of the policy (each was already Offered once; the policy contract
+	// forbids a second Offer).
+	var returned []dag.NodeID
 
 	taskTime := func(client int, task dag.NodeID) float64 {
 		base := cfg.MinTaskTime + rng.Float64()*(cfg.MaxTaskTime-cfg.MinTaskTime)
@@ -159,14 +248,70 @@ func Run(g *dag.Dag, p heur.Policy, cfg Config) (Result, error) {
 			base *= cfg.Weight(task)
 		}
 		base += cfg.CommLatency * float64(g.InDegree(task))
-		return base / cfg.Speeds[client]
+		return base / speeds[client]
 	}
 
 	now := 0.0
+	// wakeIdle re-requests on behalf of every idle client — called
+	// whenever the allocatable pool grows (completion packet, recovered
+	// task).
+	wakeIdle := func() {
+		for c := range idle {
+			if idle[c] && alive[c] {
+				idle[c] = false
+				res.StallTime += now - idleSince[c]
+				push(event{time: now, kind: evRequest, client: c})
+			}
+		}
+	}
+	// recover returns a crashed/failed client's task to the pool.
+	recover := func(v dag.NodeID) {
+		returned = append(returned, v)
+		available++
+		wakeIdle()
+	}
+	kill := func(c int) {
+		alive[c] = false
+		diedAt[c] = now
+		res.Crashes++
+		if idle[c] {
+			idle[c] = false
+			res.StallTime += now - idleSince[c]
+		}
+		if hasTask[c] {
+			hasTask[c] = false
+			recover(taskOf[c])
+		}
+	}
+
 	for q.Len() > 0 {
 		e := heap.Pop(&q).(event)
 		now = e.time
-		if e.isDone {
+		switch e.kind {
+		case evDone:
+			// Stale if the client was crashed by scheduled churn after
+			// this execution began (its task was already recovered).
+			if !alive[e.client] || !hasTask[e.client] || taskOf[e.client] != e.task {
+				continue
+			}
+			hasTask[e.client] = false
+			if e.crashes {
+				// The client dies at this instant; the unreported task is
+				// recovered as if by lease expiry.
+				alive[e.client] = false
+				diedAt[e.client] = now
+				res.Crashes++
+				recover(e.task)
+				continue
+			}
+			if e.fails {
+				// The execution failed; the client hands the task back and
+				// asks for other work.
+				res.TaskFailures++
+				recover(e.task)
+				push(event{time: now, kind: evRequest, client: e.client})
+				continue
+			}
 			// Task result returns: execute in the quality model, offer the
 			// newly eligible packet, then the client asks for more work.
 			packet, err := st.Execute(e.task)
@@ -176,43 +321,92 @@ func Run(g *dag.Dag, p heur.Policy, cfg Config) (Result, error) {
 			res.Completed++
 			inst.Offer(packet)
 			available += len(packet)
-			push(event{time: now, client: e.client})
-			// Wake idle clients: they retry by re-requesting now.
-			for c := range idle {
-				if idle[c] {
-					idle[c] = false
-					res.StallTime += now - idleSince[c]
-					push(event{time: now, client: c})
+			push(event{time: now, kind: evRequest, client: e.client})
+			wakeIdle()
+		case evCrash:
+			if e.client >= len(alive) {
+				return Result{}, fmt.Errorf("icsim: churn crashes client %d of %d", e.client, len(alive))
+			}
+			if alive[e.client] {
+				kill(e.client)
+			}
+		case evJoin:
+			c := len(alive)
+			speeds = append(speeds, e.speed)
+			idleSince = append(idleSince, 0)
+			idle = append(idle, false)
+			alive = append(alive, true)
+			hasTask = append(hasTask, false)
+			taskOf = append(taskOf, 0)
+			bornAt = append(bornAt, now)
+			diedAt = append(diedAt, 0)
+			res.Joins++
+			push(event{time: now, kind: evRequest, client: c})
+		case evRequest:
+			if !alive[e.client] {
+				continue
+			}
+			if st.Done() {
+				continue // computation finished; client retires
+			}
+			requests++
+			sumAvailable += available
+			var v dag.NodeID
+			ok := false
+			if len(returned) > 0 {
+				v, returned = returned[0], returned[1:]
+				res.Reissues++
+				ok = true
+			} else if v, ok = inst.Next(); !ok {
+				if !idle[e.client] {
+					idle[e.client] = true
+					idleSince[e.client] = now
+					res.Stalls++
 				}
+				continue
 			}
-			continue
-		}
-		// A work request.
-		if st.Done() {
-			continue // computation finished; client retires
-		}
-		requests++
-		sumAvailable += available
-		v, ok := inst.Next()
-		if !ok {
-			if !idle[e.client] {
-				idle[e.client] = true
-				idleSince[e.client] = now
-				res.Stalls++
+			available--
+			d := taskTime(e.client, v)
+			fails := cfg.Faults != nil && cfg.Faults.Decide(faults.ComputeError)
+			crashes := cfg.Faults != nil && cfg.Faults.Decide(faults.Crash)
+			if crashes {
+				d *= rng.Float64() // dies partway through
 			}
-			continue
+			busyTime += d
+			hasTask[e.client] = true
+			taskOf[e.client] = v
+			push(event{time: now + d, kind: evDone, client: e.client, task: v,
+				fails: fails && !crashes, crashes: crashes})
 		}
-		available--
-		d := taskTime(e.client, v)
-		busyTime += d
-		push(event{time: now + d, client: e.client, task: v, isDone: true})
 	}
 	if res.Completed != g.NumNodes() {
+		live := 0
+		for _, a := range alive {
+			if a {
+				live++
+			}
+		}
+		if live == 0 {
+			return Result{}, fmt.Errorf("icsim: all %d clients crashed with %d of %d tasks uncompleted",
+				len(alive), g.NumNodes()-res.Completed, g.NumNodes())
+		}
 		return Result{}, fmt.Errorf("icsim: completed %d of %d tasks", res.Completed, g.NumNodes())
 	}
 	res.Makespan = now
 	if res.Makespan > 0 {
-		res.Utilization = busyTime / (res.Makespan * float64(cfg.Clients))
+		aliveTime := 0.0
+		for c := range alive {
+			end := res.Makespan
+			if !alive[c] {
+				end = diedAt[c]
+			}
+			if end > bornAt[c] {
+				aliveTime += end - bornAt[c]
+			}
+		}
+		if aliveTime > 0 {
+			res.Utilization = busyTime / aliveTime
+		}
 	}
 	if requests > 0 {
 		res.AvgEligibleAtRequest = float64(sumAvailable) / float64(requests)
