@@ -444,7 +444,10 @@ func BenchmarkSimulation(b *testing.B) {
 func BenchmarkExecutorScaling(b *testing.B) {
 	g := mesh.Grid(64, 64)
 	order := sched.Complete(g, mesh.GridDiagonalNonsinks(64, 64))
-	rank := exec.RankFromOrder(g, order)
+	rank, err := exec.RankFromOrder(g, order)
+	if err != nil {
+		b.Fatal(err)
+	}
 	work := func(v int32) error {
 		s := 0.0
 		for k := 0; k < 200; k++ {

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"icsched/internal/dag"
+	"icsched/internal/exec"
+	"icsched/internal/obs"
+	"icsched/internal/sched"
+)
+
+// benchResult is one family's measurement: wall time of a real executor
+// run plus the paper's quality aggregates over the realized eligibility
+// profile (reconstructed from the run trace) and the serial IC-optimal
+// oracle profile.
+type benchResult struct {
+	Family       string  `json:"family"`
+	Size         int     `json:"size"`
+	Nodes        int     `json:"nodes"`
+	Workers      int     `json:"workers"`
+	WallMillis   float64 `json:"wallMillis"`
+	Area         int     `json:"eligibilityArea"`
+	MeanEligible float64 `json:"meanEligibility"`
+	OracleArea   int     `json:"oracleArea"`
+	OracleMean   float64 `json:"oracleMean"`
+	Retries      int     `json:"retries"`
+	TraceEvents  int     `json:"traceEvents"`
+}
+
+// benchFile is the BENCH_*.json document.
+type benchFile struct {
+	Workers int           `json:"workers"`
+	Flaky   int           `json:"flakyPercent"`
+	GoMaxP  int           `json:"gomaxprocs"`
+	Results []benchResult `json:"results"`
+}
+
+// benchSize gives each family a size that makes an executor run worth
+// timing (the demo defaultSize dags are figure-sized, a few nodes).
+func benchSize(name string, quick bool) int {
+	full := map[string]int{
+		"outmesh": 40, "inmesh": 40, "grid": 24, "butterfly": 6,
+		"prefix": 64, "outtree": 9, "intree": 9, "diamond": 8,
+		"forkjoin": 64, "montage": 24, "dlt": 64, "dlt2": 64,
+	}
+	small := map[string]int{
+		"outmesh": 12, "inmesh": 12, "grid": 8, "butterfly": 4,
+		"prefix": 16, "outtree": 6, "intree": 6, "diamond": 5,
+		"forkjoin": 16, "montage": 10, "dlt": 16, "dlt2": 16,
+	}
+	m := full
+	if quick {
+		m = small
+	}
+	if s, ok := m[name]; ok {
+		return s
+	}
+	return defaultSize(name)
+}
+
+// cmdBench runs dag families through the real worker-pool executor with
+// a trace attached and writes the measurements as JSON: wall time,
+// eligibility area and mean (sched.Area / sched.Mean over the
+// trace-reconstructed profile and the IC-optimal oracle profile), and
+// retry counts.  -flaky injects a deterministic transient first-attempt
+// failure into the given percentage of tasks to exercise the retry path.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_exec.json", "output JSON file (- for stdout)")
+	workers := fs.Int("workers", 4, "executor worker goroutines")
+	quick := fs.Bool("quick", false, "small sizes (CI smoke run)")
+	flaky := fs.Int("flaky", 0, "percent of tasks whose first attempt fails (deterministic)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 1 {
+		return fmt.Errorf("bench: %d workers", *workers)
+	}
+	if *flaky < 0 || *flaky > 100 {
+		return fmt.Errorf("bench: flaky %d%% outside [0, 100]", *flaky)
+	}
+	names := fs.Args()
+	if len(names) == 0 {
+		names = []string{"outmesh", "butterfly", "prefix", "grid"}
+	}
+
+	doc := benchFile{Workers: *workers, Flaky: *flaky, GoMaxP: runtime.GOMAXPROCS(0)}
+	for _, name := range names {
+		f, err := familyByName(name)
+		if err != nil {
+			return err
+		}
+		size := benchSize(f.name, *quick)
+		g, nonsinks, err := f.build(size)
+		if err != nil {
+			return err
+		}
+		order := sched.Complete(g, nonsinks)
+		rank, err := exec.RankFromOrder(g, order)
+		if err != nil {
+			return err
+		}
+		oracle, err := sched.Profile(g, order)
+		if err != nil {
+			return err
+		}
+		tr := obs.NewTrace()
+		task := func(dag.NodeID) error { return nil }
+		if *flaky > 0 {
+			failed := make([]bool, g.NumNodes())
+			var mu sync.Mutex
+			task = func(v dag.NodeID) error {
+				mu.Lock()
+				defer mu.Unlock()
+				if !failed[v] && int(v)%100 < *flaky {
+					failed[v] = true
+					return fmt.Errorf("bench: injected transient failure on %s", g.Name(v))
+				}
+				return nil
+			}
+		}
+		startT := time.Now()
+		if _, err := exec.RunRetryObserved(g, rank, *workers, 2, task, tr); err != nil {
+			return fmt.Errorf("bench: %s: %w", f.name, err)
+		}
+		wall := time.Since(startT)
+		profile, err := tr.EligibilityProfile()
+		if err != nil {
+			return fmt.Errorf("bench: %s trace: %w", f.name, err)
+		}
+		retries := 0
+		for _, ev := range tr.Events() {
+			if ev.Phase == obs.PhaseRetry {
+				retries++
+			}
+		}
+		doc.Results = append(doc.Results, benchResult{
+			Family:       f.name,
+			Size:         size,
+			Nodes:        g.NumNodes(),
+			Workers:      *workers,
+			WallMillis:   float64(wall.Microseconds()) / 1000,
+			Area:         sched.Area(profile),
+			MeanEligible: sched.Mean(profile),
+			OracleArea:   sched.Area(oracle),
+			OracleMean:   sched.Mean(oracle),
+			Retries:      retries,
+			TraceEvents:  tr.Len(),
+		})
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dest := *out
+	if dest == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(dest, data, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %6s %6s %10s %10s %10s %8s\n",
+		"FAMILY", "NODES", "WORK", "WALL-MS", "MEAN-E", "ORACLE-E", "RETRIES")
+	for _, r := range doc.Results {
+		fmt.Printf("%-10s %6d %6d %10.2f %10.2f %10.2f %8d\n",
+			r.Family, r.Nodes, r.Workers, r.WallMillis, r.MeanEligible, r.OracleMean, r.Retries)
+	}
+	if dest != "-" {
+		fmt.Printf("wrote %s (%d families)\n", dest, len(doc.Results))
+	}
+	return nil
+}

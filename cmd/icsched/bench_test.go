@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchCommandWritesValidJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_exec.json")
+	if err := run([]string{"bench", "-quick", "-workers", "2", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("bench output is not valid JSON: %v", err)
+	}
+	if len(doc.Results) < 3 {
+		t.Fatalf("bench covered %d families, want >= 3", len(doc.Results))
+	}
+	for _, r := range doc.Results {
+		if r.Nodes <= 0 || r.WallMillis < 0 {
+			t.Fatalf("nonsense result: %+v", r)
+		}
+		if r.Area <= 0 || r.MeanEligible <= 0 {
+			t.Fatalf("%s: empty eligibility aggregates: %+v", r.Family, r)
+		}
+		// Fault-free runs realize the schedule's completion order in some
+		// interleaving; the realized area matches the oracle when the
+		// executor is serialized per completion, and is always positive.
+		if r.Retries != 0 {
+			t.Fatalf("%s: %d retries in a fault-free bench", r.Family, r.Retries)
+		}
+	}
+}
+
+func TestBenchCommandInjectsRetries(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_flaky.json")
+	if err := run([]string{"bench", "-quick", "-flaky", "30", "-out", out, "outmesh"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 1 || doc.Results[0].Retries == 0 {
+		t.Fatalf("flaky bench recorded no retries: %+v", doc.Results)
+	}
+}
+
+func TestBenchCommandRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"bench", "-workers", "0"}); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+	if err := run([]string{"bench", "-flaky", "150"}); err == nil {
+		t.Fatal("flaky 150% accepted")
+	}
+	if err := run([]string{"bench", "nosuchfamily"}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"strconv"
+	"strings"
 
 	"icsched/internal/chaos"
+	"icsched/internal/obs"
 )
 
 // cmdChaos runs the fault-injection smoke proof: every chaos workload
@@ -12,8 +16,16 @@ import (
 // the real HTTP task server with a crashing, erroring, lossy client
 // fleet, checked bit-for-bit against the fault-free execution.  A
 // non-zero exit means the recovery machinery lost work or produced a
-// wrong answer.
+// wrong answer.  -trace writes the server-side task trace: Chrome
+// trace-event JSON for chrome://tracing, or one event per line when the
+// file ends in .jsonl.
 func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	traceOut := fs.String("trace", "", "write the task trace to this file (.json for chrome://tracing, .jsonl for raw events)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	args = fs.Args()
 	seed := int64(7)
 	if len(args) >= 1 {
 		s, err := strconv.ParseInt(args[0], 10, 64)
@@ -23,6 +35,11 @@ func cmdChaos(args []string) error {
 		seed = s
 	}
 	cfg := chaos.Config{Seed: seed}
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace()
+		cfg.Trace = tr
+	}
 	rates := chaos.DefaultRates()
 	fmt.Printf("chaos run (seed %d): crash %.0f%%, compute-error %.0f%%, drop %.0f%%, 500s %.0f%%, latency %.0f%%\n",
 		seed, 100*rates.Crash, 100*rates.ComputeError, 100*rates.DropResponse,
@@ -40,5 +57,21 @@ func cmdChaos(args []string) error {
 		return fmt.Errorf("chaos: %d tasks lost", lost)
 	}
 	fmt.Println("all workloads recovered: results bit-identical, 0 tasks lost")
+	if tr != nil {
+		out, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if strings.HasSuffix(*traceOut, ".jsonl") {
+			err = tr.WriteJSONL(out)
+		} else {
+			err = tr.WriteChromeTrace(out)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events written to %s\n", tr.Len(), *traceOut)
+	}
 	return nil
 }

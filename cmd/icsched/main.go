@@ -64,6 +64,8 @@ func run(args []string) error {
 		return cmdServe(args[1:])
 	case "chaos":
 		return cmdChaos(args[1:])
+	case "bench":
+		return cmdBench(args[1:])
 	case "experiments":
 		return cmdExperiments()
 	case "help", "-h", "--help":
@@ -90,8 +92,9 @@ commands:
   count <family> [size]       count legal vs IC-optimal schedules (exact oracle)
   batch <family> [size] [w]   plan batched allocation ([20]-style), greedy vs exact
   figures [dir]               write every paper figure as a DOT file (default ./figures)
-  serve <family> [size] [addr] run the HTTP task server (default :8080)
-  chaos [seed]                fault-injection proof: all workloads under chaos, bit-checked
+  serve [-pprof] <family> [size] [addr] run the HTTP task server (default :8080)
+  chaos [-trace FILE] [seed]  fault-injection proof: all workloads under chaos, bit-checked
+  bench [flags] [family...]   run families through the executor, write BENCH_*.json
   experiments                 regenerate the EXPERIMENTS.md tables`)
 }
 

@@ -3,8 +3,10 @@ package main
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -18,10 +20,18 @@ import (
 // cmdServe runs the Internet-computing task server for a family on the
 // given address, allocating in IC-optimal order.  Clients follow the
 // protocol in internal/icserver (POST /task, POST /done, POST /failed,
-// GET /status, GET /healthz).  On SIGINT/SIGTERM the server drains:
-// /task refuses new work while in-flight leases get up to one lease
-// period to report, then the listener shuts down.
+// GET /status, GET /healthz, GET /metrics).  -pprof additionally mounts
+// net/http/pprof under /debug/pprof/ for live profiling.  On
+// SIGINT/SIGTERM the server drains: /task refuses new work while
+// in-flight leases get up to one lease period to report, then the
+// listener shuts down.
 func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	withPprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	args = fs.Args()
 	f, size, err := parseFamily(args)
 	if err != nil {
 		return err
@@ -39,9 +49,21 @@ func cmdServe(args []string) error {
 	srv := icserver.New(g, heur.Static("IC-OPTIMAL", order),
 		icserver.WithLease(lease))
 	fmt.Printf("serving %s (size %d, %d tasks) on %s\n", f.name, size, g.NumNodes(), addr)
-	fmt.Println("protocol: POST /task | POST /done {\"task\": id} | POST /failed {\"task\": id} | GET /status | GET /healthz")
+	fmt.Println("protocol: POST /task | POST /done {\"task\": id} | POST /failed {\"task\": id} | GET /status | GET /healthz | GET /metrics")
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *withPprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Println("pprof: mounted at /debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 

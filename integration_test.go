@@ -95,7 +95,10 @@ func TestEveryFamilyThroughSimulatorAndExecutor(t *testing.T) {
 		}
 		// Execute on a worker pool, counting task invocations.
 		count := make([]int32, tc.g.NumNodes())
-		rank := exec.RankFromOrder(tc.g, order)
+		rank, err := exec.RankFromOrder(tc.g, order)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if _, err := exec.Run(tc.g, rank, 4, func(v dag.NodeID) error {
 			count[v]++
 			return nil
@@ -173,7 +176,10 @@ func TestCoarsenedMeshExecutesCorrectly(t *testing.T) {
 	// Pascal's-triangle accumulation down the mesh: node (i,j) sums its
 	// parents; sources start at 1.  Row i then holds binomial C(i, j).
 	vals := make([]int64, g.NumNodes())
-	rank := exec.RankFromOrder(g, fine)
+	rank, err := exec.RankFromOrder(g, fine)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := exec.Run(g, rank, 4, func(v dag.NodeID) error {
 		if g.IsSource(v) {
 			vals[v] = 1

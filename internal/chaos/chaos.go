@@ -31,6 +31,7 @@ import (
 	"icsched/internal/heur"
 	"icsched/internal/icserver"
 	"icsched/internal/mesh"
+	"icsched/internal/obs"
 	"icsched/internal/prefix"
 	"icsched/internal/sched"
 )
@@ -53,6 +54,26 @@ type Config struct {
 	// Timeout bounds one workload execution (default 60s) — a chaos run
 	// must finish, not hang.
 	Timeout time.Duration
+	// Trace optionally records every workload's server-side events
+	// (allocations, completions, hand-backs, quarantines) in the shared
+	// obs schema, for post-mortem inspection in chrome://tracing.
+	Trace *obs.Trace
+}
+
+// clientSeed derives the jitter seed for one client incarnation from the
+// run seed: a pure function of (run seed, client index, respawn count),
+// splitmix64-style, so two same-seed chaos runs hand every client the
+// same jitter sequence — the other half of replay determinism next to
+// the faults.Plan's per-kind decision streams.
+func clientSeed(run int64, client, respawn int) int64 {
+	z := uint64(run) + 0x9e3779b97f4a7c15*uint64(client+1) + 0xbf58476d1ce4e5b9*uint64(respawn+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1 // zero means "assign a default seed" to the client
+	}
+	return int64(z)
 }
 
 // DefaultRates injects substantial chaos: every task allocation has a
@@ -134,9 +155,14 @@ func (r *Report) merge(o Report) {
 // clients are respawned, as a volunteer fleet replaces vanished members.
 func runFleet(name string, g *dag.Dag, order []dag.NodeID,
 	compute func(dag.NodeID, string) error, plan *faults.Plan, cfg Config) (Report, error) {
-	srv := icserver.New(g, heur.Static("IC-OPTIMAL", order),
+	opts := []icserver.Option{
 		icserver.WithLease(cfg.Lease),
-		icserver.WithMaxAttempts(cfg.MaxAttempts))
+		icserver.WithMaxAttempts(cfg.MaxAttempts),
+	}
+	if cfg.Trace != nil {
+		opts = append(opts, icserver.WithTrace(cfg.Trace))
+	}
+	srv := icserver.New(g, heur.Static("IC-OPTIMAL", order), opts...)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -164,13 +190,15 @@ func runFleet(name string, g *dag.Dag, order []dag.NodeID,
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			for {
+			for respawn := 0; ; respawn++ {
 				c := &icserver.Client{
 					BaseURL:   ts.URL,
 					HTTP:      &http.Client{Transport: plan.Transport(nil)},
 					Compute:   injected,
 					IdleWait:  time.Millisecond,
 					RetryWait: time.Millisecond,
+					ID:        fmt.Sprintf("%s-client-%d.%d", name, i, respawn),
+					Seed:      clientSeed(cfg.Seed, i, respawn),
 				}
 				st, err := c.Run(ctx)
 				mu.Lock()

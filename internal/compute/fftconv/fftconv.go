@@ -62,8 +62,11 @@ func transform(xs []complex128, workers int, inverse bool) ([]complex128, error)
 		vals[butterfly.ID(d, 0, r)] = v
 	}
 	order := sched.Complete(g, butterfly.Nonsinks(d))
-	rank := exec.RankFromOrder(g, order)
-	_, err := exec.Run(g, rank, workers, func(v dag.NodeID) error {
+	rank, err := exec.RankFromOrder(g, order)
+	if err != nil {
+		return nil, fmt.Errorf("fftconv: %w", err)
+	}
+	_, err = exec.Run(g, rank, workers, func(v dag.NodeID) error {
 		Step(d, vals, v)
 		return nil
 	})

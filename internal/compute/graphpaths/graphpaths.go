@@ -47,7 +47,10 @@ func Compute(a scan.BoolMatrix, L, workers int) (Vectors, error) {
 		return nil, fmt.Errorf("graphpaths: %w", err)
 	}
 	order := sched.Complete(tree, nonsinks)
-	rank := exec.RankFromOrder(tree, order)
+	rank, err := exec.RankFromOrder(tree, order)
+	if err != nil {
+		return nil, fmt.Errorf("graphpaths: %w", err)
+	}
 	n := a.N
 	vals := make([][]uint64, tree.NumNodes()) // per node: n*n bitsets
 	if L > 64 {

@@ -140,7 +140,10 @@ func Integrate(f func(float64) float64, a, b float64, opts Options) (Result, err
 		}
 	}
 	vals := make([]float64, diamond.NumNodes())
-	rank := exec.RankFromOrder(diamond, order)
+	rank, err := exec.RankFromOrder(diamond, order)
+	if err != nil {
+		return Result{}, fmt.Errorf("integrate: %w", err)
+	}
 	_, err = exec.Run(diamond, rank, opts.Workers, func(v dag.NodeID) error {
 		u := role[v]
 		iv := ivs[u]

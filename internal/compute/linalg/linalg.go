@@ -123,7 +123,10 @@ func mulLevel(a, b Matrix, baseSize, workers int) (Matrix, error) {
 	if err != nil {
 		return Matrix{}, err
 	}
-	rank := exec.RankFromOrder(g, order)
+	rank, err := exec.RankFromOrder(g, order)
+	if err != nil {
+		return Matrix{}, fmt.Errorf("linalg: %w", err)
+	}
 
 	// Quadrant mapping per (7.1): A B / C D from the left operand,
 	// E F / G H from the right.

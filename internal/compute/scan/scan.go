@@ -51,8 +51,11 @@ func Parallel[T any](op Op[T], xs []T, workers int) ([]T, error) {
 		vals[prefix.ID(n, 0, i)] = x
 	}
 	order := sched.Complete(g, prefix.Nonsinks(n))
-	rank := exec.RankFromOrder(g, order)
-	_, err := exec.Run(g, rank, workers, StepFunc(op, n, vals))
+	rank, err := exec.RankFromOrder(g, order)
+	if err != nil {
+		return nil, fmt.Errorf("scan: %w", err)
+	}
+	_, err = exec.Run(g, rank, workers, StepFunc(op, n, vals))
 	if err != nil {
 		return nil, fmt.Errorf("scan: %w", err)
 	}

@@ -224,7 +224,10 @@ func OddEvenSort[T cmp.Ordered](xs []T, workers int) ([]T, error) {
 		outputs[p.ToGlobal[3]] = outSpec{a: in0, b: in1, takeMin: false}
 	}
 	vals := make([]T, g.NumNodes())
-	rank := exec.RankFromOrder(g, order)
+	rank, err := exec.RankFromOrder(g, order)
+	if err != nil {
+		return nil, fmt.Errorf("sortnet: %w", err)
+	}
 	_, err = exec.Run(g, rank, workers, func(v dag.NodeID) error {
 		if w, ok := inputWire[v]; ok {
 			vals[v] = xs[w]

@@ -104,8 +104,11 @@ func Sort[T cmp.Ordered](xs []T, workers int) ([]T, error) {
 	vals := make([]T, g.NumNodes())
 	copy(vals, xs)
 	order := sched.Complete(g, Nonsinks(k))
-	rank := exec.RankFromOrder(g, order)
-	_, err := exec.Run(g, rank, workers, func(v dag.NodeID) error {
+	rank, err := exec.RankFromOrder(g, order)
+	if err != nil {
+		return nil, fmt.Errorf("sortnet: %w", err)
+	}
+	_, err = exec.Run(g, rank, workers, func(v dag.NodeID) error {
 		level := int(v) >> uint(k)
 		if level == 0 {
 			return nil // inputs pre-loaded

@@ -33,13 +33,16 @@ func Run(rows, cols int, cell CellFunc, workers int) ([][]int, error) {
 	}
 	g := mesh.Grid(rows, cols)
 	order := sched.Complete(g, mesh.GridDiagonalNonsinks(rows, cols))
-	rank := exec.RankFromOrder(g, order)
+	rank, err := exec.RankFromOrder(g, order)
+	if err != nil {
+		return nil, fmt.Errorf("wavefront: %w", err)
+	}
 	table := make([][]int, rows)
 	for r := range table {
 		table[r] = make([]int, cols)
 	}
 	get := func(r, c int) int { return table[r][c] }
-	_, err := exec.Run(g, rank, workers, func(v dag.NodeID) error {
+	_, err = exec.Run(g, rank, workers, func(v dag.NodeID) error {
 		r := int(v) / cols
 		c := int(v) % cols
 		table[r][c] = cell(r, c, get)
@@ -75,7 +78,10 @@ func RunBlocked(rows, cols, f int, cell CellFunc, workers int) ([][]int, coarsen
 		return nil, coarsen.Stats{}, fmt.Errorf("wavefront: %w", err)
 	}
 	order := sched.Complete(q, mesh.GridDiagonalNonsinks(tileRows, tilesPerRow))
-	rank := exec.RankFromOrder(q, order)
+	rank, err := exec.RankFromOrder(q, order)
+	if err != nil {
+		return nil, coarsen.Stats{}, fmt.Errorf("wavefront: %w", err)
+	}
 	table := make([][]int, rows)
 	for r := range table {
 		table[r] = make([]int, cols)

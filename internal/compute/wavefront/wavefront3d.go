@@ -20,10 +20,13 @@ func LCS3(a, b, c string, workers int) (int, error) {
 	nx, ny, nz := len(a)+1, len(b)+1, len(c)+1
 	g := mesh.Grid3D(nx, ny, nz)
 	order := sched.Complete(g, mesh.Grid3DDiagonalNonsinks(nx, ny, nz))
-	rank := exec.RankFromOrder(g, order)
+	rank, err := exec.RankFromOrder(g, order)
+	if err != nil {
+		return 0, fmt.Errorf("wavefront: %w", err)
+	}
 	table := make([]int, nx*ny*nz)
 	at := func(x, y, z int) int { return table[mesh.Grid3DID(x, y, z, ny, nz)] }
-	_, err := exec.Run(g, rank, workers, func(v dag.NodeID) error {
+	_, err = exec.Run(g, rank, workers, func(v dag.NodeID) error {
 		x := int(v) / (ny * nz)
 		y := (int(v) / nz) % ny
 		z := int(v) % nz

@@ -61,7 +61,10 @@ func ViaPrefix(xs []complex128, omega complex128, m, workers int) ([]complex128,
 	if err != nil {
 		return nil, fmt.Errorf("zt: %w", err)
 	}
-	rank := exec.RankFromOrder(g, order)
+	rank, err := exec.RankFromOrder(g, order)
+	if err != nil {
+		return nil, fmt.Errorf("zt: %w", err)
+	}
 	placed := comp.Placed()
 	pGlobal := placed[0].ToGlobal
 	L := prefix.Levels(n)
@@ -186,7 +189,10 @@ func ViaPowerTree(xs []complex128, omega complex128, m, workers int) ([]complex1
 		multIdx[mults[j]] = j + 1
 	}
 	order := g.TopoOrder()
-	rank := exec.RankFromOrder(g, order)
+	rank, err := exec.RankFromOrder(g, order)
+	if err != nil {
+		return nil, fmt.Errorf("zt: %w", err)
+	}
 
 	out := make([]complex128, m)
 	for k := 0; k < m; k++ {

@@ -16,7 +16,10 @@ func ExampleRun() {
 	levels := 6
 	g := mesh.OutMesh(levels)
 	order := sched.Complete(g, mesh.OutMeshNonsinks(levels))
-	rank := exec.RankFromOrder(g, order)
+	rank, err := exec.RankFromOrder(g, order)
+	if err != nil {
+		panic(err)
+	}
 
 	var executed int64
 	if _, err := exec.Run(g, rank, 4, func(v dag.NodeID) error {

@@ -15,19 +15,41 @@ import (
 	"sync"
 
 	"icsched/internal/dag"
+	"icsched/internal/obs"
 )
 
 // RankFromOrder converts a (full or partial) schedule into a rank vector:
 // rank[v] = position of v in the order; unranked nodes sort last by ID.
-func RankFromOrder(g *dag.Dag, order []dag.NodeID) []int {
-	rank := make([]int, g.NumNodes())
+// The order must mention each node at most once and only nodes of g —
+// a duplicate would silently drop an earlier priority and an
+// out-of-range ID would corrupt the vector, so both are errors.
+func RankFromOrder(g *dag.Dag, order []dag.NodeID) ([]int, error) {
+	n := g.NumNodes()
+	rank := make([]int, n)
 	for i := range rank {
 		rank[i] = len(order) + i
 	}
+	seen := make([]bool, n)
 	for i, v := range order {
+		if int(v) < 0 || int(v) >= n {
+			return nil, fmt.Errorf("exec: order position %d: node %d out of range [0, %d)", i, v, n)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("exec: order position %d: node %s appears twice", i, g.Name(v))
+		}
+		seen[v] = true
 		rank[v] = i
 	}
-	return rank
+	return rank, nil
+}
+
+// Observer receives the executor's trace events (the obs schema shared
+// with icserver and icsim).  Calls are made under the executor's lock,
+// so events arrive in a globally consistent order and the Eligible
+// field is exact at each event — observers must therefore be fast and
+// must not call back into the executor.  obs.Trace satisfies Observer.
+type Observer interface {
+	Observe(ev obs.Event)
 }
 
 // TaskError is the typed failure RunRetry (and Run) report when a task
@@ -57,7 +79,7 @@ func (e *TaskError) Unwrap() error { return e.Err }
 // returned as a *TaskError.  It also returns the order in which tasks
 // were started.
 func Run(g *dag.Dag, rank []int, workers int, task func(dag.NodeID) error) ([]dag.NodeID, error) {
-	return RunRetry(g, rank, workers, 1, task)
+	return RunRetryObserved(g, rank, workers, 1, task, nil)
 }
 
 // RunRetry is Run with bounded per-task retries, the executor-level
@@ -68,6 +90,18 @@ func Run(g *dag.Dag, rank []int, workers int, task func(dag.NodeID) error) ([]da
 // only ever see a successful attempt.  Retried starts appear again in
 // the returned start order.
 func RunRetry(g *dag.Dag, rank []int, workers, maxAttempts int, task func(dag.NodeID) error) ([]dag.NodeID, error) {
+	return RunRetryObserved(g, rank, workers, maxAttempts, task, nil)
+}
+
+// RunRetryObserved is RunRetry with an optional Observer receiving the
+// run's trace: run-start, then per task attempt start and
+// done/retry/failed, each carrying the worker ID, the attempt number,
+// and the live |ELIGIBLE| count after the event (a node stays ELIGIBLE
+// from the moment its parents are done until its own successful
+// completion, exactly the §2.2 quality model), then run-end.  A nil
+// Observer costs nothing.
+func RunRetryObserved(g *dag.Dag, rank []int, workers, maxAttempts int,
+	task func(dag.NodeID) error, o Observer) ([]dag.NodeID, error) {
 	n := g.NumNodes()
 	if workers < 1 {
 		return nil, fmt.Errorf("exec: %d workers", workers)
@@ -96,12 +130,20 @@ func RunRetry(g *dag.Dag, rank []int, workers, maxAttempts int, task func(dag.No
 			heap.Push(&ready, dag.NodeID(v))
 		}
 	}
+	// eligible is the §2.2 |ELIGIBLE| count: unexecuted nodes whose
+	// parents have all executed.  A node in flight (started, not yet
+	// completed) is still ELIGIBLE in the quality model.
+	eligible := func() int { return ready.Len() + inFlight }
+	if o != nil {
+		o.Observe(obs.Event{Phase: obs.PhaseRunStart, Task: -1, Eligible: eligible()})
+	}
 
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			actor := fmt.Sprintf("worker-%d", worker)
 			for {
 				mu.Lock()
 				for ready.Len() == 0 && completed+inFlight < n && firstErr == nil {
@@ -116,6 +158,10 @@ func RunRetry(g *dag.Dag, rank []int, workers, maxAttempts int, task func(dag.No
 				started = append(started, v)
 				attempts[v]++
 				inFlight++
+				if o != nil {
+					o.Observe(obs.Event{Phase: obs.PhaseStart, Task: int(v), Name: g.Name(v),
+						Actor: actor, Attempt: attempts[v], Eligible: eligible()})
+				}
 				mu.Unlock()
 
 				err := task(v)
@@ -133,20 +179,37 @@ func RunRetry(g *dag.Dag, rank []int, workers, maxAttempts int, task func(dag.No
 							}
 						}
 					}
+					if o != nil {
+						o.Observe(obs.Event{Phase: obs.PhaseDone, Task: int(v), Name: g.Name(v),
+							Actor: actor, Attempt: attempts[v], Eligible: eligible()})
+					}
 				case attempts[v] < maxAttempts:
 					heap.Push(&ready, v) // retry: back in the pool
+					if o != nil {
+						o.Observe(obs.Event{Phase: obs.PhaseRetry, Task: int(v), Name: g.Name(v),
+							Actor: actor, Attempt: attempts[v], Eligible: eligible(), Err: err.Error()})
+					}
 				default:
 					completed++ // exhausted; count it so the run drains
 					if firstErr == nil {
 						firstErr = &TaskError{Task: v, Name: g.Name(v), Attempts: attempts[v], Err: err}
 					}
+					if o != nil {
+						o.Observe(obs.Event{Phase: obs.PhaseFailed, Task: int(v), Name: g.Name(v),
+							Actor: actor, Attempt: attempts[v], Eligible: eligible(), Err: err.Error()})
+					}
 				}
 				mu.Unlock()
 				cond.Broadcast()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	if o != nil {
+		mu.Lock()
+		o.Observe(obs.Event{Phase: obs.PhaseRunEnd, Task: -1, Eligible: eligible()})
+		mu.Unlock()
+	}
 	if firstErr != nil {
 		return started, firstErr
 	}

@@ -10,6 +10,7 @@ import (
 	"icsched/internal/dag"
 	"icsched/internal/exec"
 	"icsched/internal/mesh"
+	"icsched/internal/obs"
 	"icsched/internal/sched"
 )
 
@@ -18,8 +19,11 @@ func TestRunExecutesEveryTaskOnce(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		g := dag.Random(rng, 1+rng.Intn(50), 0.15)
 		counts := make([]int32, g.NumNodes())
-		rank := exec.RankFromOrder(g, g.TopoOrder())
-		_, err := exec.Run(g, rank, 4, func(v dag.NodeID) error {
+		rank, err := exec.RankFromOrder(g, g.TopoOrder())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = exec.Run(g, rank, 4, func(v dag.NodeID) error {
 			atomic.AddInt32(&counts[v], 1)
 			return nil
 		})
@@ -40,8 +44,11 @@ func TestRunRespectsDependencies(t *testing.T) {
 		g := dag.Random(rng, 2+rng.Intn(40), 0.2)
 		var mu sync.Mutex
 		done := make([]bool, g.NumNodes())
-		rank := exec.RankFromOrder(g, g.TopoOrder())
-		_, err := exec.Run(g, rank, 8, func(v dag.NodeID) error {
+		rank, err := exec.RankFromOrder(g, g.TopoOrder())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = exec.Run(g, rank, 8, func(v dag.NodeID) error {
 			mu.Lock()
 			defer mu.Unlock()
 			for _, p := range g.Parents(v) {
@@ -62,7 +69,10 @@ func TestSingleWorkerFollowsSchedule(t *testing.T) {
 	// With one worker, tasks start exactly in schedule order.
 	g := mesh.OutMesh(6)
 	order := sched.Complete(g, mesh.OutMeshNonsinks(6))
-	rank := exec.RankFromOrder(g, order)
+	rank, err := exec.RankFromOrder(g, order)
+	if err != nil {
+		t.Fatal(err)
+	}
 	started, err := exec.Run(g, rank, 1, func(dag.NodeID) error { return nil })
 	if err != nil {
 		t.Fatal(err)
@@ -79,7 +89,10 @@ func TestStartOrderIsLegalSchedule(t *testing.T) {
 	// legal schedule of the dag.
 	g := mesh.Grid(8, 8)
 	order := sched.Complete(g, mesh.GridDiagonalNonsinks(8, 8))
-	rank := exec.RankFromOrder(g, order)
+	rank, err := exec.RankFromOrder(g, order)
+	if err != nil {
+		t.Fatal(err)
+	}
 	started, err := exec.Run(g, rank, 6, func(dag.NodeID) error { return nil })
 	if err != nil {
 		t.Fatal(err)
@@ -99,8 +112,11 @@ func TestErrorAbortsRun(t *testing.T) {
 	g := b.MustBuild()
 	var ran int32
 	boom := errors.New("boom")
-	rank := exec.RankFromOrder(g, g.TopoOrder())
-	_, err := exec.Run(g, rank, 4, func(v dag.NodeID) error {
+	rank, err := exec.RankFromOrder(g, g.TopoOrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = exec.Run(g, rank, 4, func(v dag.NodeID) error {
 		atomic.AddInt32(&ran, 1)
 		if v == 5 {
 			return boom
@@ -138,9 +154,12 @@ func TestParallelSpeedupSurface(t *testing.T) {
 	// workers to shake out races under -race.
 	g := mesh.Grid(20, 20)
 	order := sched.Complete(g, mesh.GridDiagonalNonsinks(20, 20))
-	rank := exec.RankFromOrder(g, order)
+	rank, err := exec.RankFromOrder(g, order)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var sum int64
-	_, err := exec.Run(g, rank, 16, func(v dag.NodeID) error {
+	_, err = exec.Run(g, rank, 16, func(v dag.NodeID) error {
 		atomic.AddInt64(&sum, int64(v))
 		return nil
 	})
@@ -158,7 +177,10 @@ func TestRunRetryRecoversTransientFailures(t *testing.T) {
 	// the run must complete, with dependents seeing only successes.
 	levels := 6
 	g := mesh.OutMesh(levels)
-	rank := exec.RankFromOrder(g, g.TopoOrder())
+	rank, err := exec.RankFromOrder(g, g.TopoOrder())
+	if err != nil {
+		t.Fatal(err)
+	}
 	var mu sync.Mutex
 	fails := make(map[dag.NodeID]int)
 	succeeded := make(map[dag.NodeID]bool)
@@ -190,10 +212,13 @@ func TestRunRetryExhaustionYieldsTaskError(t *testing.T) {
 	b.AddArc(0, 1)
 	b.AddArc(1, 2)
 	g := b.MustBuild()
-	rank := exec.RankFromOrder(g, g.TopoOrder())
+	rank, err := exec.RankFromOrder(g, g.TopoOrder())
+	if err != nil {
+		t.Fatal(err)
+	}
 	boom := errors.New("boom")
 	var tries int32
-	_, err := exec.RunRetry(g, rank, 2, 4, func(v dag.NodeID) error {
+	_, err = exec.RunRetry(g, rank, 2, 4, func(v dag.NodeID) error {
 		if v == 1 {
 			atomic.AddInt32(&tries, 1)
 			return boom
@@ -229,5 +254,101 @@ func TestRunRetryValidation(t *testing.T) {
 	g := dag.NewBuilder(1).MustBuild()
 	if _, err := exec.RunRetry(g, []int{0}, 1, 0, func(dag.NodeID) error { return nil }); err == nil {
 		t.Fatal("0 attempts accepted")
+	}
+}
+
+func TestRankFromOrderValidation(t *testing.T) {
+	b := dag.NewBuilder(3)
+	b.AddArc(0, 1)
+	g := b.MustBuild()
+	if _, err := exec.RankFromOrder(g, []dag.NodeID{0, 1, 1}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, err := exec.RankFromOrder(g, []dag.NodeID{0, 3}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if _, err := exec.RankFromOrder(g, []dag.NodeID{0, dag.NodeID(-1)}); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	rank, err := exec.RankFromOrder(g, []dag.NodeID{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank[2] != 0 || rank[0] != 1 || rank[1] <= rank[0] {
+		t.Fatalf("partial-order ranks %v", rank)
+	}
+}
+
+// TestSerialTraceMatchesProfileOracle is the observability layer's
+// verification against the paper's quality model: the eligibility
+// profile reconstructed from the trace of a serial run must equal
+// sched.Profile for the same order, bit-identical.
+func TestSerialTraceMatchesProfileOracle(t *testing.T) {
+	levels := 8
+	g := mesh.OutMesh(levels)
+	order := sched.Complete(g, mesh.OutMeshNonsinks(levels))
+	rank, err := exec.RankFromOrder(g, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	started, err := exec.RunRetryObserved(g, rank, 1, 1, func(dag.NodeID) error { return nil }, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.EligibilityProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sched.Profile(g, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("trace profile has %d steps, oracle %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("profile[%d] = %d from trace, %d from sched.Profile\ntrace:  %v\noracle: %v",
+				i, got[i], want[i], got, want)
+		}
+	}
+	// The serial start order is the schedule itself; spans must cover it.
+	if len(started) != g.NumNodes() {
+		t.Fatalf("%d starts for %d nodes", len(started), g.NumNodes())
+	}
+}
+
+// TestObserverSeesRetries checks the retry/failed phases and that
+// observer events balance: one start per attempt, one terminal event per
+// start.
+func TestObserverSeesRetries(t *testing.T) {
+	b := dag.NewBuilder(2)
+	b.AddArc(0, 1)
+	g := b.MustBuild()
+	rank, err := exec.RankFromOrder(g, g.TopoOrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	var failOnce int32
+	_, err = exec.RunRetryObserved(g, rank, 2, 3, func(v dag.NodeID) error {
+		if v == 0 && atomic.CompareAndSwapInt32(&failOnce, 0, 1) {
+			return errors.New("transient")
+		}
+		return nil
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[obs.Phase]int{}
+	for _, ev := range tr.Events() {
+		counts[ev.Phase]++
+	}
+	if counts[obs.PhaseStart] != 3 || counts[obs.PhaseDone] != 2 || counts[obs.PhaseRetry] != 1 {
+		t.Fatalf("phase counts %v, want 3 starts, 2 dones, 1 retry", counts)
+	}
+	if counts[obs.PhaseRunStart] != 1 || counts[obs.PhaseRunEnd] != 1 {
+		t.Fatalf("phase counts %v, want run-start and run-end", counts)
 	}
 }

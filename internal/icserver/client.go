@@ -9,6 +9,8 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"icsched/internal/dag"
@@ -54,9 +56,26 @@ type Client struct {
 	// MaxAttempts bounds tries per request, first included (default 8);
 	// when exhausted Run returns the last error.
 	MaxAttempts int
+	// ID names this client.  It is sent as the X-IC-Client header on
+	// every POST so server-side traces attribute events per client.
+	ID string
+	// Seed seeds the jitter rng.  Zero assigns the next per-process
+	// default seed, so even an unconfigured fleet backs off
+	// deterministically run to run; harnesses that replay faults
+	// (internal/chaos) set explicit per-client seeds.
+	Seed int64
 
-	rng *rand.Rand // lazily seeded jitter source
+	rngOnce sync.Once
+	rngMu   sync.Mutex
+	rng     *rand.Rand
 }
+
+// clientSeq hands out default jitter seeds: the n-th Client that first
+// jitters without an explicit Seed gets seed n.  A process that builds
+// its fleet in a fixed order therefore gets identical jitter sequences
+// on every run — unlike the old global-rand seeding, which made two
+// same-seed chaos runs diverge.
+var clientSeq atomic.Int64
 
 // Stats reports one client's activity.
 type Stats struct {
@@ -103,14 +122,23 @@ func (c *Client) defaults() (idle, idleMax, retry, retryMax time.Duration, attem
 
 // jitter picks a uniform duration in [d/2, d) — "equal jitter", which
 // decorrelates a fleet of clients that went idle at the same moment.
+// The rng is seeded deterministically (Seed, or the next per-process
+// default) and initialized race-safely, so concurrent use of one client
+// and replay harnesses both behave.
 func (c *Client) jitter(d time.Duration) time.Duration {
-	if c.rng == nil {
-		c.rng = rand.New(rand.NewSource(rand.Int63()))
-	}
+	c.rngOnce.Do(func() {
+		seed := c.Seed
+		if seed == 0 {
+			seed = clientSeq.Add(1)
+		}
+		c.rng = rand.New(rand.NewSource(seed))
+	})
 	half := d / 2
 	if half <= 0 {
 		return d
 	}
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
 	return half + time.Duration(c.rng.Int63n(int64(half)))
 }
 
@@ -214,7 +242,7 @@ func (c *Client) postRetry(ctx context.Context, httpc *http.Client, path string,
 				wait = max
 			}
 		}
-		code, respBody, err := post(ctx, httpc, c.BaseURL+path, body)
+		code, respBody, err := post(ctx, httpc, c.BaseURL+path, body, c.ID)
 		switch {
 		case err != nil:
 			if ctx.Err() != nil {
@@ -273,13 +301,16 @@ func FetchHealth(ctx context.Context, httpc *http.Client, baseURL string) (statu
 	return h.Status, resp.StatusCode, nil
 }
 
-func post(ctx context.Context, httpc *http.Client, url string, body []byte) (int, []byte, error) {
+func post(ctx context.Context, httpc *http.Client, url string, body []byte, clientID string) (int, []byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if clientID != "" {
+		req.Header.Set(clientHeader, clientID)
 	}
 	resp, err := httpc.Do(req)
 	if err != nil {

@@ -31,6 +31,11 @@
 //	GET  /status          -> 200 {"total", "completed", "eligible", "allocated",
 //	                              "stalls", "reissues", "failed", "quarantined"}
 //	GET  /healthz         -> 200/503 {"status", "uptimeSeconds", "completed", "total"}
+//	GET  /metrics         -> 200 Prometheus text format (see Metrics)
+//
+// POST requests may carry an X-IC-Client header naming the client; the
+// name is attached to trace events so per-client activity is visible in
+// chrome://tracing.
 //
 // Request bodies are bounded (64 KiB); oversized, empty, or malformed
 // bodies get 400.
@@ -49,8 +54,13 @@ import (
 
 	"icsched/internal/dag"
 	"icsched/internal/heur"
+	"icsched/internal/obs"
 	"icsched/internal/sched"
 )
+
+// clientHeader is the optional request header naming the client for
+// trace attribution.
+const clientHeader = "X-IC-Client"
 
 // maxBodyBytes bounds /done and /failed request bodies.
 const maxBodyBytes = 64 << 10
@@ -77,6 +87,57 @@ type Server struct {
 	failed      int // /failed reports accepted
 	draining    bool
 	degraded    bool // terminal with a non-empty quarantined set
+
+	reg        *obs.Registry // always non-nil; serves GET /metrics
+	trace      *obs.Trace    // optional task-trace recorder
+	traceEnded bool          // run-end recorded
+	m          serverMetrics
+}
+
+// serverMetrics caches the registry handles the hot paths bump.  Every
+// series is reconciled with Status(): the *_total counters mirror the
+// monotone Status fields and the gauges mirror the instantaneous ones,
+// so a /metrics scrape and a /status read taken at quiescence agree.
+type serverMetrics struct {
+	reqTask, reqDone, reqFailed *obs.Counter
+	allocations                 *obs.Counter // lease grants, initial + reissues
+	completions                 *obs.Counter // first-time completions
+	duplicateDone               *obs.Counter // idempotent duplicate /done no-ops
+	stalls                      *obs.Counter
+	reissues                    *obs.Counter
+	failed                      *obs.Counter // /failed hand-backs accepted
+	leaseExpiries               *obs.Counter // leases reclaimed after expiry
+	quarantines                 *obs.Counter // tasks ever quarantined
+	rescues                     *obs.Counter // quarantined tasks rescued by a late /done
+	eligible                    *obs.Gauge   // live |ELIGIBLE| (§2.2)
+	leases                      *obs.Gauge   // outstanding allocations
+	quarantined                 *obs.Gauge   // current quarantined set size
+	completed                   *obs.Gauge   // tasks executed
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	req := func(path string) *obs.Counter {
+		return reg.Counter(fmt.Sprintf("icserver_http_requests_total{path=%q}", path),
+			"HTTP requests by path")
+	}
+	return serverMetrics{
+		reqTask:       req("/task"),
+		reqDone:       req("/done"),
+		reqFailed:     req("/failed"),
+		allocations:   reg.Counter("icserver_allocations_total", "lease grants (initial allocations + reissues)"),
+		completions:   reg.Counter("icserver_completions_total", "first-time task completions"),
+		duplicateDone: reg.Counter("icserver_duplicate_done_total", "idempotent duplicate /done reports"),
+		stalls:        reg.Counter("icserver_stalls_total", "allocation requests that found nothing ELIGIBLE"),
+		reissues:      reg.Counter("icserver_reissues_total", "re-allocations after lease expiry or /failed"),
+		failed:        reg.Counter("icserver_failed_total", "/failed hand-backs accepted"),
+		leaseExpiries: reg.Counter("icserver_lease_expiries_total", "leases reclaimed after expiry"),
+		quarantines:   reg.Counter("icserver_quarantines_total", "tasks quarantined (MaxAttempts exhausted)"),
+		rescues:       reg.Counter("icserver_quarantine_rescues_total", "quarantined tasks rescued by a late completion"),
+		eligible:      reg.Gauge("icserver_eligible", "live |ELIGIBLE| count (the §2.2 quality measure)"),
+		leases:        reg.Gauge("icserver_leases", "outstanding allocation leases"),
+		quarantined:   reg.Gauge("icserver_quarantined", "current quarantined set size"),
+		completed:     reg.Gauge("icserver_completed", "tasks completed"),
+	}
 }
 
 // Option configures a Server.
@@ -100,6 +161,13 @@ func WithClock(now func() time.Time) Option {
 	return func(s *Server) { s.now = now }
 }
 
+// WithTrace attaches a task-trace recorder: every allocation, completion,
+// hand-back, and quarantine is recorded as an obs.Event (the schema shared
+// with exec and icsim), with the client's X-IC-Client name as the actor.
+func WithTrace(tr *obs.Trace) Option {
+	return func(s *Server) { s.trace = tr }
+}
+
 // New builds a server for one execution of g under the policy.
 func New(g *dag.Dag, policy heur.Policy, opts ...Option) *Server {
 	s := &Server{
@@ -113,14 +181,25 @@ func New(g *dag.Dag, policy heur.Policy, opts ...Option) *Server {
 		attempts:    make(map[dag.NodeID]int),
 		quarantined: make(map[dag.NodeID]bool),
 		done:        make(map[dag.NodeID]bool),
+		reg:         obs.NewRegistry(),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.m = newServerMetrics(s.reg)
 	s.start = s.now()
 	s.inst.Offer(s.st.Eligible())
+	s.syncGaugesLocked()
+	if s.trace != nil {
+		s.trace.Record(obs.Event{Phase: obs.PhaseRunStart, Task: -1, Actor: "server",
+			Eligible: s.st.NumEligible()})
+	}
 	return s
 }
+
+// Metrics returns the server's registry (for embedding its series in a
+// larger process registry or scraping without HTTP).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Handler returns the HTTP handler exposing the protocol.
 func (s *Server) Handler() http.Handler {
@@ -130,6 +209,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /failed", s.handleFailed)
 	mux.HandleFunc("GET /status", s.handleStatus)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.reg.Handler())
 	return mux
 }
 
@@ -176,6 +256,7 @@ type Status struct {
 }
 
 func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
+	s.m.reqTask.Inc()
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
@@ -183,7 +264,7 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "icserver: draining", http.StatusServiceUnavailable)
 		return
 	}
-	v, state := s.Allocate()
+	v, state := s.allocate(r.Header.Get(clientHeader))
 	switch state {
 	case AllocOK:
 		writeJSON(w, taskResponse{Task: v, Name: s.g.Name(v)})
@@ -218,11 +299,12 @@ func decodeTask(w http.ResponseWriter, r *http.Request) (dag.NodeID, bool) {
 }
 
 func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
+	s.m.reqDone.Inc()
 	v, ok := decodeTask(w, r)
 	if !ok {
 		return
 	}
-	k, err := s.Complete(v)
+	k, err := s.complete(v, r.Header.Get(clientHeader))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
@@ -231,11 +313,12 @@ func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFailed(w http.ResponseWriter, r *http.Request) {
+	s.m.reqFailed.Inc()
 	v, ok := decodeTask(w, r)
 	if !ok {
 		return
 	}
-	requeued, quarantined, err := s.Fail(v)
+	requeued, quarantined, err := s.fail(v, r.Header.Get(clientHeader))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
@@ -288,10 +371,13 @@ const (
 // Allocate hands out the next task per the policy, reissuing expired
 // leases and handed-back tasks first.  Exposed for in-process use (the
 // simulator-free examples and tests drive it directly).
-func (s *Server) Allocate() (dag.NodeID, AllocState) {
+func (s *Server) Allocate() (dag.NodeID, AllocState) { return s.allocate("") }
+
+func (s *Server) allocate(actor string) (dag.NodeID, AllocState) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.st.Done() {
+		s.recordRunEndLocked()
 		return 0, AllocFinished
 	}
 	now := s.now()
@@ -310,13 +396,15 @@ func (s *Server) Allocate() (dag.NodeID, AllocState) {
 				break // earliest lease not yet expired
 			}
 			heap.Pop(&s.expiry)
+			s.m.leaseExpiries.Inc()
 			if s.maxAttempts > 0 && s.attempts[top.v] >= s.maxAttempts {
 				delete(s.leases, top.v)
-				s.quarantined[top.v] = true
+				s.quarantineLocked(top.v, "server")
 				continue
 			}
-			s.grantLocked(top.v, now)
 			s.reissues++
+			s.m.reissues.Inc()
+			s.grantLocked(top.v, now, actor)
 			return top.v, AllocOK
 		}
 	}
@@ -330,8 +418,9 @@ func (s *Server) Allocate() (dag.NodeID, AllocState) {
 		if _, held := s.leases[v]; held {
 			continue // duplicate hand-back; already re-leased
 		}
-		s.grantLocked(v, now)
 		s.reissues++
+		s.m.reissues.Inc()
+		s.grantLocked(v, now, actor)
 		return v, AllocOK
 	}
 	v, ok := s.inst.Next()
@@ -340,21 +429,41 @@ func (s *Server) Allocate() (dag.NodeID, AllocState) {
 			// Nothing in flight and nothing allocatable: every remaining
 			// task is quarantined or blocked behind one.  Terminal.
 			s.degraded = true
+			s.recordRunEndLocked()
 			return 0, AllocFinished
 		}
 		s.stalls++
+		s.m.stalls.Inc()
 		return 0, AllocEmpty
 	}
-	s.grantLocked(v, now)
+	s.grantLocked(v, now, actor)
 	return v, AllocOK
 }
 
 // grantLocked records a lease grant (caller holds s.mu).
-func (s *Server) grantLocked(v dag.NodeID, now time.Time) {
+func (s *Server) grantLocked(v dag.NodeID, now time.Time, actor string) {
 	s.attempts[v]++
 	s.leases[v] = now
 	if s.lease > 0 {
 		heap.Push(&s.expiry, leaseEntry{v: v, granted: now})
+	}
+	s.m.allocations.Inc()
+	s.syncGaugesLocked()
+	if s.trace != nil {
+		s.trace.Record(obs.Event{Phase: obs.PhaseAllocate, Task: int(v), Name: s.g.Name(v),
+			Actor: actor, Attempt: s.attempts[v], Eligible: s.st.NumEligible()})
+	}
+}
+
+// quarantineLocked moves v into the quarantined set (caller holds s.mu
+// and has already removed any lease).
+func (s *Server) quarantineLocked(v dag.NodeID, actor string) {
+	s.quarantined[v] = true
+	s.m.quarantines.Inc()
+	s.syncGaugesLocked()
+	if s.trace != nil {
+		s.trace.Record(obs.Event{Phase: obs.PhaseQuarantine, Task: int(v), Name: s.g.Name(v),
+			Actor: actor, Attempt: s.attempts[v], Eligible: s.st.NumEligible()})
 	}
 }
 
@@ -362,13 +471,16 @@ func (s *Server) grantLocked(v dag.NodeID, now time.Time) {
 // newly ELIGIBLE.  Duplicate completions (late lease-holders) are
 // idempotent no-ops; a late completion of a quarantined task rescues it
 // from the quarantined set.
-func (s *Server) Complete(v dag.NodeID) (int, error) {
+func (s *Server) Complete(v dag.NodeID) (int, error) { return s.complete(v, "") }
+
+func (s *Server) complete(v dag.NodeID, actor string) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if int(v) < 0 || int(v) >= s.g.NumNodes() {
 		return 0, fmt.Errorf("icserver: task %d out of range", v)
 	}
 	if s.done[v] {
+		s.m.duplicateDone.Inc()
 		return 0, nil // idempotent
 	}
 	if s.attempts[v] == 0 {
@@ -380,8 +492,20 @@ func (s *Server) Complete(v dag.NodeID) (int, error) {
 	}
 	s.done[v] = true
 	delete(s.leases, v)
-	delete(s.quarantined, v) // a late result rescues a quarantined task
+	if s.quarantined[v] {
+		delete(s.quarantined, v) // a late result rescues a quarantined task
+		s.m.rescues.Inc()
+	}
 	s.inst.Offer(packet)
+	s.m.completions.Inc()
+	s.syncGaugesLocked()
+	if s.trace != nil {
+		s.trace.Record(obs.Event{Phase: obs.PhaseDone, Task: int(v), Name: s.g.Name(v),
+			Actor: actor, Attempt: s.attempts[v], Eligible: s.st.NumEligible()})
+	}
+	if s.st.Done() {
+		s.recordRunEndLocked()
+	}
 	return len(packet), nil
 }
 
@@ -390,6 +514,10 @@ func (s *Server) Complete(v dag.NodeID) (int, error) {
 // handed out MaxAttempts times.  Failing a completed task is an
 // idempotent no-op.
 func (s *Server) Fail(v dag.NodeID) (requeued, quarantined bool, err error) {
+	return s.fail(v, "")
+}
+
+func (s *Server) fail(v dag.NodeID, actor string) (requeued, quarantined bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if int(v) < 0 || int(v) >= s.g.NumNodes() {
@@ -402,16 +530,48 @@ func (s *Server) Fail(v dag.NodeID) (requeued, quarantined bool, err error) {
 		return false, false, fmt.Errorf("icserver: task %s was never allocated", s.g.Name(v))
 	}
 	s.failed++
+	s.m.failed.Inc()
 	delete(s.leases, v)
 	if s.quarantined[v] {
+		s.syncGaugesLocked()
 		return false, true, nil
 	}
 	if s.maxAttempts > 0 && s.attempts[v] >= s.maxAttempts {
-		s.quarantined[v] = true
+		s.quarantineLocked(v, actor)
 		return false, true, nil
 	}
 	s.returned = append(s.returned, v)
+	s.syncGaugesLocked()
+	if s.trace != nil {
+		s.trace.Record(obs.Event{Phase: obs.PhaseRetry, Task: int(v), Name: s.g.Name(v),
+			Actor: actor, Attempt: s.attempts[v], Eligible: s.st.NumEligible()})
+	}
 	return true, false, nil
+}
+
+// syncGaugesLocked refreshes every gauge from the live state, keeping
+// /metrics in lockstep with Status() (caller holds s.mu).
+func (s *Server) syncGaugesLocked() {
+	s.m.eligible.Set(float64(s.st.NumEligible()))
+	s.m.leases.Set(float64(len(s.leases)))
+	s.m.quarantined.Set(float64(len(s.quarantined)))
+	s.m.completed.Set(float64(s.st.NumExecuted()))
+}
+
+// recordRunEndLocked records the terminal trace event once (caller holds
+// s.mu).  The run ends either fully completed or degraded with a
+// quarantined remainder.
+func (s *Server) recordRunEndLocked() {
+	if s.trace == nil || s.traceEnded {
+		return
+	}
+	s.traceEnded = true
+	ev := obs.Event{Phase: obs.PhaseRunEnd, Task: -1, Actor: "server",
+		Eligible: s.st.NumEligible()}
+	if s.degraded {
+		ev.Err = fmt.Sprintf("degraded: %d tasks quarantined", len(s.quarantined))
+	}
+	s.trace.Record(ev)
 }
 
 // Shutdown drains the server gracefully: new /task requests get 503 while

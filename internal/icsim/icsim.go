@@ -35,6 +35,7 @@ import (
 	"icsched/internal/dag"
 	"icsched/internal/faults"
 	"icsched/internal/heur"
+	"icsched/internal/obs"
 	"icsched/internal/sched"
 )
 
@@ -79,6 +80,11 @@ type Config struct {
 	// would-be completion (the execution fails and the task is returned
 	// for reissue).  The same Plan type drives the real wire protocol.
 	Faults *faults.Plan
+	// Trace optionally records the run in the shared obs schema, with
+	// event T stamped in simulated microseconds: allocations, dones, and
+	// crash/failure recoveries, each carrying the live |ELIGIBLE| count.
+	// The same recorder type traces exec and icserver runs.
+	Trace *obs.Trace
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -252,6 +258,18 @@ func Run(g *dag.Dag, p heur.Policy, cfg Config) (Result, error) {
 	}
 
 	now := 0.0
+	// trace records one event with simulated-µs timestamps and the live
+	// |ELIGIBLE| count; a nil cfg.Trace costs one branch.
+	attempts := make(map[dag.NodeID]int)
+	trace := func(ev obs.Event) {
+		if cfg.Trace == nil {
+			return
+		}
+		ev.T = int64(now * 1e6)
+		ev.Eligible = st.NumEligible()
+		cfg.Trace.RecordAt(ev)
+	}
+	trace(obs.Event{Phase: obs.PhaseRunStart, Task: -1, Actor: "sim"})
 	// wakeIdle re-requests on behalf of every idle client — called
 	// whenever the allocatable pool grows (completion packet, recovered
 	// task).
@@ -280,6 +298,8 @@ func Run(g *dag.Dag, p heur.Policy, cfg Config) (Result, error) {
 		}
 		if hasTask[c] {
 			hasTask[c] = false
+			trace(obs.Event{Phase: obs.PhaseRetry, Task: int(taskOf[c]), Name: g.Name(taskOf[c]),
+				Actor: fmt.Sprintf("client-%d", c), Attempt: attempts[taskOf[c]], Err: "churn crash"})
 			recover(taskOf[c])
 		}
 	}
@@ -301,6 +321,8 @@ func Run(g *dag.Dag, p heur.Policy, cfg Config) (Result, error) {
 				alive[e.client] = false
 				diedAt[e.client] = now
 				res.Crashes++
+				trace(obs.Event{Phase: obs.PhaseRetry, Task: int(e.task), Name: g.Name(e.task),
+					Actor: fmt.Sprintf("client-%d", e.client), Attempt: attempts[e.task], Err: "crash"})
 				recover(e.task)
 				continue
 			}
@@ -308,6 +330,8 @@ func Run(g *dag.Dag, p heur.Policy, cfg Config) (Result, error) {
 				// The execution failed; the client hands the task back and
 				// asks for other work.
 				res.TaskFailures++
+				trace(obs.Event{Phase: obs.PhaseRetry, Task: int(e.task), Name: g.Name(e.task),
+					Actor: fmt.Sprintf("client-%d", e.client), Attempt: attempts[e.task], Err: "compute error"})
 				recover(e.task)
 				push(event{time: now, kind: evRequest, client: e.client})
 				continue
@@ -321,6 +345,8 @@ func Run(g *dag.Dag, p heur.Policy, cfg Config) (Result, error) {
 			res.Completed++
 			inst.Offer(packet)
 			available += len(packet)
+			trace(obs.Event{Phase: obs.PhaseDone, Task: int(e.task), Name: g.Name(e.task),
+				Actor: fmt.Sprintf("client-%d", e.client), Attempt: attempts[e.task]})
 			push(event{time: now, kind: evRequest, client: e.client})
 			wakeIdle()
 		case evCrash:
@@ -366,6 +392,9 @@ func Run(g *dag.Dag, p heur.Policy, cfg Config) (Result, error) {
 				continue
 			}
 			available--
+			attempts[v]++
+			trace(obs.Event{Phase: obs.PhaseAllocate, Task: int(v), Name: g.Name(v),
+				Actor: fmt.Sprintf("client-%d", e.client), Attempt: attempts[v]})
 			d := taskTime(e.client, v)
 			fails := cfg.Faults != nil && cfg.Faults.Decide(faults.ComputeError)
 			crashes := cfg.Faults != nil && cfg.Faults.Decide(faults.Crash)
@@ -392,6 +421,7 @@ func Run(g *dag.Dag, p heur.Policy, cfg Config) (Result, error) {
 		}
 		return Result{}, fmt.Errorf("icsim: completed %d of %d tasks", res.Completed, g.NumNodes())
 	}
+	trace(obs.Event{Phase: obs.PhaseRunEnd, Task: -1, Actor: "sim"})
 	res.Makespan = now
 	if res.Makespan > 0 {
 		aliveTime := 0.0

@@ -1,0 +1,95 @@
+package icsim_test
+
+import (
+	"testing"
+
+	"icsched/internal/faults"
+	"icsched/internal/heur"
+	"icsched/internal/icsim"
+	"icsched/internal/mesh"
+	"icsched/internal/obs"
+	"icsched/internal/sched"
+)
+
+// TestSimTraceMatchesProfileOracle: a single fault-free client executes
+// tasks strictly in allocation order, i.e. in the schedule the policy
+// dictates — so the eligibility profile reconstructed from the sim trace
+// must equal sched.Profile for that schedule, bit-identical.  The same
+// oracle identity holds for exec and icserver traces; all three recorders
+// share one schema and one reconstruction.
+func TestSimTraceMatchesProfileOracle(t *testing.T) {
+	levels := 9
+	g := mesh.OutMesh(levels)
+	order := sched.Complete(g, mesh.OutMeshNonsinks(levels))
+	tr := obs.NewTrace()
+	res, err := icsim.Run(g, heur.Static("IC-OPTIMAL", order),
+		icsim.Config{Clients: 1, Seed: 3, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != g.NumNodes() {
+		t.Fatalf("completed %d of %d", res.Completed, g.NumNodes())
+	}
+	got, err := tr.EligibilityProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sched.Profile(g, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("trace profile has %d steps, oracle %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("profile[%d] = %d from trace, %d from sched.Profile", i, got[i], want[i])
+		}
+	}
+	// Simulated timestamps must be monotone non-decreasing.
+	evs := tr.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].T < evs[i-1].T {
+			t.Fatalf("trace time went backwards at event %d: %d after %d", i, evs[i].T, evs[i-1].T)
+		}
+	}
+}
+
+// TestSimTraceRecordsRecoveries checks that injected faults surface as
+// retry events with the failing client attributed, and that allocations
+// balance completions plus recoveries.
+func TestSimTraceRecordsRecoveries(t *testing.T) {
+	levels := 8
+	g := mesh.OutMesh(levels)
+	order := sched.Complete(g, mesh.OutMeshNonsinks(levels))
+	tr := obs.NewTrace()
+	// Compute errors only: sim clients do not respawn, so a crash rate
+	// can strand the run with an empty fleet.
+	plan := faults.NewPlan(11, faults.Rates{ComputeError: 0.25})
+	res, err := icsim.Run(g, heur.Static("IC-OPTIMAL", order),
+		icsim.Config{Clients: 4, Seed: 5, Faults: plan, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[obs.Phase]int{}
+	for _, ev := range tr.Events() {
+		counts[ev.Phase]++
+		if ev.Phase == obs.PhaseRetry && ev.Actor == "" {
+			t.Fatalf("retry event for task %d has no actor", ev.Task)
+		}
+	}
+	if counts[obs.PhaseDone] != g.NumNodes() {
+		t.Fatalf("%d done events for %d nodes", counts[obs.PhaseDone], g.NumNodes())
+	}
+	if counts[obs.PhaseRetry] != res.TaskFailures+res.Crashes {
+		t.Fatalf("%d retry events, result reports %d failures + %d crashes",
+			counts[obs.PhaseRetry], res.TaskFailures, res.Crashes)
+	}
+	if counts[obs.PhaseAllocate] != counts[obs.PhaseDone]+counts[obs.PhaseRetry] {
+		t.Fatalf("allocations %d != dones %d + retries %d",
+			counts[obs.PhaseAllocate], counts[obs.PhaseDone], counts[obs.PhaseRetry])
+	}
+	if counts[obs.PhaseRunStart] != 1 || counts[obs.PhaseRunEnd] != 1 {
+		t.Fatalf("phase counts %v, want one run-start and one run-end", counts)
+	}
+}

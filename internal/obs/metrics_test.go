@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "total requests").Add(3)
+	r.Counter(`reqs_by_path_total{path="/task"}`, "requests by path").Inc()
+	r.Counter(`reqs_by_path_total{path="/done"}`, "").Add(2)
+	r.Gauge("eligible", "live |ELIGIBLE|").Set(7)
+	r.Gauge("eligible", "").Add(-2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP reqs_total total requests",
+		"# TYPE reqs_total counter",
+		"reqs_total 3",
+		"# TYPE reqs_by_path_total counter",
+		`reqs_by_path_total{path="/done"} 2`,
+		`reqs_by_path_total{path="/task"} 1`,
+		"# TYPE eligible gauge",
+		"eligible 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE header per family, not per series.
+	if n := strings.Count(out, "# TYPE reqs_by_path_total"); n != 1 {
+		t.Errorf("family header emitted %d times, want 1", n)
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_sum 56.05",
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryIdempotentAndConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "x")
+	c2 := r.Counter("x_total", "x")
+	if c1 != c2 {
+		t.Fatal("re-registration returned a different counter")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("x_total", "x").Inc()
+				r.Gauge("y", "y").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c1.Value(); got != 8000 {
+		t.Fatalf("counter = %g, want 8000", got)
+	}
+	if got := r.Gauge("y", "").Value(); got != 8000 {
+		t.Fatalf("gauge = %g, want 8000", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m", "")
+	r.Gauge("m", "")
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "hits").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type %q", ct)
+	}
+	buf := make([]byte, 1<<12)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "hits_total 1") {
+		t.Fatalf("body missing counter:\n%s", buf[:n])
+	}
+}

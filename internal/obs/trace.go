@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Phase classifies a trace event in a task's lifecycle.  The same
+// schema is recorded by the in-process executor (exec), the HTTP task
+// server (icserver), and the discrete-event simulator (icsim), so real
+// and simulated runs are directly comparable.
+type Phase string
+
+const (
+	// PhaseRunStart opens a trace; Eligible carries the initial
+	// |ELIGIBLE| (the sources).
+	PhaseRunStart Phase = "run-start"
+	// PhaseAllocate: the server handed the task to a client (a lease
+	// grant, including reissues — Attempt counts grants).
+	PhaseAllocate Phase = "allocate"
+	// PhaseStart: a worker began executing the task.
+	PhaseStart Phase = "start"
+	// PhaseDone: the task completed; Eligible is |ELIGIBLE| after the
+	// completion was applied to the quality model.
+	PhaseDone Phase = "done"
+	// PhaseRetry: the task failed but remains retryable.
+	PhaseRetry Phase = "retry"
+	// PhaseFailed: the task failed terminally (attempts exhausted).
+	PhaseFailed Phase = "failed"
+	// PhaseQuarantine: the server gave up on the task.
+	PhaseQuarantine Phase = "quarantine"
+	// PhaseRunEnd closes a trace.
+	PhaseRunEnd Phase = "run-end"
+)
+
+// Event is one span point of a task trace.  Times are microseconds from
+// the trace's start (wall microseconds for real runs, simulated
+// microseconds for icsim runs).
+type Event struct {
+	T        int64  `json:"t"`
+	Phase    Phase  `json:"phase"`
+	Task     int    `json:"task"`           // dag node ID; -1 for run-level events
+	Name     string `json:"name,omitempty"` // task label
+	Actor    string `json:"actor,omitempty"`
+	Attempt  int    `json:"attempt,omitempty"`
+	Eligible int    `json:"eligible"` // live |ELIGIBLE| after the event
+	Err      string `json:"err,omitempty"`
+}
+
+// Trace records events append-only.  Safe for concurrent use.  Record
+// stamps wall time relative to the trace's creation; RecordAt keeps the
+// caller's timestamp (simulated clocks).
+type Trace struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+}
+
+// NewTrace returns an empty trace whose clock starts now.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now()}
+}
+
+// Record appends ev, stamping ev.T with the wall microseconds since the
+// trace was created.
+func (tr *Trace) Record(ev Event) {
+	tr.mu.Lock()
+	ev.T = time.Since(tr.start).Microseconds()
+	tr.events = append(tr.events, ev)
+	tr.mu.Unlock()
+}
+
+// RecordAt appends ev with the caller's ev.T (e.g. simulated time in
+// microseconds).
+func (tr *Trace) RecordAt(ev Event) {
+	tr.mu.Lock()
+	tr.events = append(tr.events, ev)
+	tr.mu.Unlock()
+}
+
+// Observe implements the executor's Observer hook: it records the event
+// with a wall-clock timestamp.
+func (tr *Trace) Observe(ev Event) { tr.Record(ev) }
+
+// Len returns the number of recorded events.
+func (tr *Trace) Len() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.events)
+}
+
+// Events returns a copy of the recorded events in record order.
+func (tr *Trace) Events() []Event {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]Event(nil), tr.events...)
+}
+
+// EligibilityProfile reconstructs the §2.2 eligibility profile from the
+// trace of one serial execution: Profile[t] = |ELIGIBLE| after t
+// completions, starting from the run-start event.  For a serial run of
+// a full schedule this equals sched.Profile for the same order exactly —
+// the machine-checked invariant tying the observability layer to the
+// quality model.
+func (tr *Trace) EligibilityProfile() ([]int, error) {
+	events := tr.Events()
+	var prof []int
+	for _, ev := range events {
+		switch ev.Phase {
+		case PhaseRunStart:
+			if prof != nil {
+				return nil, fmt.Errorf("obs: trace holds more than one run-start")
+			}
+			prof = []int{ev.Eligible}
+		case PhaseDone:
+			if prof == nil {
+				return nil, fmt.Errorf("obs: task %d done before run-start", ev.Task)
+			}
+			prof = append(prof, ev.Eligible)
+		}
+	}
+	if prof == nil {
+		return nil, fmt.Errorf("obs: trace holds no run-start event")
+	}
+	return prof, nil
+}
+
+// WriteJSONL writes one JSON object per event, in record order.
+func (tr *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range tr.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a WriteJSONL stream back into a trace (timestamps
+// are preserved verbatim).
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	tr := &Trace{start: time.Now()}
+	dec := json.NewDecoder(r)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return tr, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: %w", err)
+		}
+		tr.events = append(tr.events, ev)
+	}
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"` // microseconds
+	Dur   *int64         `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the trace in Chrome trace-event JSON: one
+// duration span per task attempt (start → done/retry/failed), instant
+// events for allocations and quarantines, and an "eligible" counter
+// track plotting the live |ELIGIBLE| gauge — the paper's quality
+// measure — over time.  Load the file in chrome://tracing or
+// ui.perfetto.dev.
+func (tr *Trace) WriteChromeTrace(w io.Writer) error {
+	events := tr.Events()
+	tids := map[string]int{}
+	open := map[int]bool{} // tid -> has an unclosed "B" span
+	var out []chromeEvent
+	tidOf := func(actor string) int {
+		if actor == "" {
+			actor = "(server)"
+		}
+		id, ok := tids[actor]
+		if !ok {
+			id = len(tids) + 1
+			tids[actor] = id
+			out = append(out, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: 1, TID: id,
+				Args: map[string]any{"name": actor},
+			})
+		}
+		return id
+	}
+	for _, ev := range events {
+		tid := tidOf(ev.Actor)
+		args := map[string]any{"task": ev.Task, "eligible": ev.Eligible}
+		if ev.Attempt > 0 {
+			args["attempt"] = ev.Attempt
+		}
+		if ev.Err != "" {
+			args["err"] = ev.Err
+		}
+		name := ev.Name
+		if name == "" {
+			name = fmt.Sprintf("task %d", ev.Task)
+		}
+		switch ev.Phase {
+		case PhaseStart:
+			open[tid] = true
+			out = append(out, chromeEvent{Name: name, Cat: "task", Phase: "B", TS: ev.T, PID: 1, TID: tid, Args: args})
+		case PhaseDone, PhaseRetry, PhaseFailed:
+			// Close the span if this actor opened one; otherwise (the
+			// server sees /done without start events) emit an instant.
+			if open[tid] {
+				open[tid] = false
+				out = append(out, chromeEvent{Name: name, Cat: "task", Phase: "E", TS: ev.T, PID: 1, TID: tid, Args: args})
+			} else {
+				out = append(out, chromeEvent{Name: string(ev.Phase) + " " + name, Cat: "task", Phase: "i", TS: ev.T, PID: 1, TID: tid, Args: args})
+			}
+		case PhaseAllocate, PhaseQuarantine, PhaseRunStart, PhaseRunEnd:
+			out = append(out, chromeEvent{Name: string(ev.Phase) + " " + name, Cat: "server", Phase: "i", TS: ev.T, PID: 1, TID: tid,
+				Args: args})
+		}
+		out = append(out, chromeEvent{Name: "eligible", Phase: "C", TS: ev.T, PID: 1, TID: tidOf("(server)"),
+			Args: map[string]any{"eligible": ev.Eligible}})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{out})
+}

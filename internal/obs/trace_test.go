@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// serialTrace builds the trace of a tiny serial run: 3 tasks, profile
+// [1, 2, 1, 0] (a source revealing two children, then a chain).
+func serialTrace() *Trace {
+	tr := NewTrace()
+	tr.Record(Event{Phase: PhaseRunStart, Task: -1, Eligible: 1})
+	tr.Record(Event{Phase: PhaseStart, Task: 0, Name: "a", Actor: "worker-0", Attempt: 1, Eligible: 1})
+	tr.Record(Event{Phase: PhaseDone, Task: 0, Name: "a", Actor: "worker-0", Attempt: 1, Eligible: 2})
+	tr.Record(Event{Phase: PhaseStart, Task: 1, Name: "b", Actor: "worker-0", Attempt: 1, Eligible: 2})
+	tr.Record(Event{Phase: PhaseDone, Task: 1, Name: "b", Actor: "worker-0", Attempt: 1, Eligible: 1})
+	tr.Record(Event{Phase: PhaseStart, Task: 2, Name: "c", Actor: "worker-0", Attempt: 1, Eligible: 1})
+	tr.Record(Event{Phase: PhaseDone, Task: 2, Name: "c", Actor: "worker-0", Attempt: 1, Eligible: 0})
+	tr.Record(Event{Phase: PhaseRunEnd, Task: -1, Eligible: 0})
+	return tr
+}
+
+func TestEligibilityProfileReconstruction(t *testing.T) {
+	tr := serialTrace()
+	prof, err := tr.EligibilityProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 1, 0}
+	if len(prof) != len(want) {
+		t.Fatalf("profile %v, want %v", prof, want)
+	}
+	for i := range want {
+		if prof[i] != want[i] {
+			t.Fatalf("profile %v, want %v", prof, want)
+		}
+	}
+}
+
+func TestEligibilityProfileErrors(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(Event{Phase: PhaseDone, Task: 0, Eligible: 1})
+	if _, err := tr.EligibilityProfile(); err == nil {
+		t.Fatal("no error for done before run-start")
+	}
+	empty := NewTrace()
+	if _, err := empty.EligibilityProfile(); err == nil {
+		t.Fatal("no error for empty trace")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := serialTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != tr.Len() {
+		t.Fatalf("%d JSONL lines for %d events", lines, tr.Len())
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := tr.Events(), back.Events()
+	if len(a) != len(b) {
+		t.Fatalf("round trip %d events, want %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d: %+v != %+v", i, b[i], a[i])
+		}
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	tr := serialTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev["ph"].(string)]++
+	}
+	if phases["B"] != 3 || phases["E"] != 3 {
+		t.Fatalf("want 3 B/E span pairs, got %v", phases)
+	}
+	if phases["C"] == 0 {
+		t.Fatal("no eligible counter track emitted")
+	}
+	if phases["M"] == 0 {
+		t.Fatal("no thread_name metadata emitted")
+	}
+}

@@ -1,6 +1,11 @@
 package sched
 
-import "icsched/internal/dag"
+import (
+	"fmt"
+	"math"
+
+	"icsched/internal/dag"
+)
 
 // Quality helpers over eligibility profiles: the aggregate measures used
 // by the experiment harness and the assessment-style comparisons.
@@ -38,23 +43,35 @@ func Dominates(a, b []int) bool {
 	return true
 }
 
-// WorstStepRatio returns the minimum over steps of a[t]/b[t] (treating
-// 0/0 as 1), quantifying how far schedule a falls below reference b at its
-// worst step.  Used with b = the IC-optimal profile.
-func WorstStepRatio(a, b []int) float64 {
-	worst := 1.0
+// WorstStepRatio returns the minimum over steps of a[t]/b[t],
+// quantifying how far schedule a falls below reference b at its worst
+// step.  Used with b = the IC-optimal profile.
+//
+// Profiles of schedules of the same dag always have equal length, so
+// mismatched lengths signal a caller bug and are an error rather than a
+// silent truncation.  A step with b[t] == 0 and a[t] == 0 is the forced
+// endgame (both schedules out of work) and is skipped; b[t] == 0 with
+// a[t] > 0 means a exceeds the reference there (ratio +Inf), which
+// cannot lower the minimum and so is also no constraint — only genuine
+// 0/0 steps are excluded from the comparison.
+func WorstStepRatio(a, b []int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("sched: worst-step ratio of profiles with %d and %d steps", len(a), len(b))
+	}
+	worst := math.Inf(1)
 	for i := range a {
-		if i >= len(b) {
-			break
+		if b[i] == 0 {
+			continue // 0/0 endgame, or a[i]/0 = +Inf: neither binds the minimum
 		}
-		switch {
-		case b[i] == 0:
-			// Both are forced to zero only at the very end; skip.
-		case float64(a[i])/float64(b[i]) < worst:
-			worst = float64(a[i]) / float64(b[i])
+		if r := float64(a[i]) / float64(b[i]); r < worst {
+			worst = r
 		}
 	}
-	return worst
+	if math.IsInf(worst, 1) {
+		// No step had b > 0: a trivially meets the reference everywhere.
+		return 1, nil
+	}
+	return worst, nil
 }
 
 // CompareSchedules executes both orders on g and reports their profiles

@@ -36,12 +36,40 @@ func TestDominates(t *testing.T) {
 }
 
 func TestWorstStepRatio(t *testing.T) {
-	r := WorstStepRatio([]int{2, 1, 0}, []int{4, 2, 0})
-	if r != 0.5 {
-		t.Fatalf("ratio = %g, want 0.5", r)
+	cases := []struct {
+		name    string
+		a, b    []int
+		want    float64
+		wantErr bool
+	}{
+		{name: "halved everywhere", a: []int{2, 1, 0}, b: []int{4, 2, 0}, want: 0.5},
+		{name: "identical", a: []int{3, 3}, b: []int{3, 3}, want: 1},
+		{name: "worst step mid-run", a: []int{4, 1, 4}, b: []int{4, 4, 4}, want: 0.25},
+		{name: "a zero where b positive", a: []int{2, 0}, b: []int{2, 1}, want: 0},
+		{name: "genuine 0/0 endgame skipped", a: []int{1, 2, 0, 0}, b: []int{1, 2, 1, 0}, want: 0},
+		{name: "a exceeds reference at a b=0 step", a: []int{2, 1, 0}, b: []int{1, 0, 0}, want: 2},
+		{name: "all-zero reference", a: []int{1, 0}, b: []int{0, 0}, want: 1},
+		// Mismatched lengths were silently truncated before; now they
+		// are an explicit error (profiles of one dag share a length).
+		{name: "a longer than b", a: []int{2, 1, 0, 0}, b: []int{4, 2, 0}, wantErr: true},
+		{name: "b longer than a", a: []int{2, 1}, b: []int{4, 2, 0}, wantErr: true},
 	}
-	if WorstStepRatio([]int{3, 3}, []int{3, 3}) != 1 {
-		t.Fatal("identical profiles ratio 1")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := WorstStepRatio(tc.a, tc.b)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("WorstStepRatio(%v, %v) = %g, want error", tc.a, tc.b, r)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r != tc.want {
+				t.Fatalf("WorstStepRatio(%v, %v) = %g, want %g", tc.a, tc.b, r, tc.want)
+			}
+		})
 	}
 }
 
