@@ -64,6 +64,8 @@ func run(args []string) error {
 		return cmdServe(args[1:])
 	case "chaos":
 		return cmdChaos(args[1:])
+	case "difftest":
+		return cmdDifftest(args[1:])
 	case "bench":
 		return cmdBench(args[1:])
 	case "experiments":
@@ -94,6 +96,7 @@ commands:
   figures [dir]               write every paper figure as a DOT file (default ./figures)
   serve [-pprof] <family> [size] [addr] run the HTTP task server (default :8080)
   chaos [-trace FILE] [seed]  fault-injection proof: all workloads under chaos, bit-checked
+  difftest [-seed S] [-n N]   differential test: exec vs icsim vs icserver + theorem properties
   bench [flags] [family...]   run families through the executor, write BENCH_*.json
   experiments                 regenerate the EXPERIMENTS.md tables`)
 }

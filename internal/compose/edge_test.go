@@ -1,0 +1,207 @@
+package compose_test
+
+import (
+	"testing"
+
+	"icsched/internal/blocks"
+	"icsched/internal/compose"
+	"icsched/internal/dag"
+	"icsched/internal/opt"
+	"icsched/internal/sched"
+)
+
+// Edge cases of the ⇑ operation (§2.3.1): the empty dag as a composition
+// identity, self-composition, and associativity of grouping.
+
+func emptyBlock() compose.Block {
+	return compose.Block{Name: "∅", G: dag.NewBuilder(0).MustBuild()}
+}
+
+func TestComposeEmptyIsIdentity(t *testing.T) {
+	w := blocks.WBlock(3)
+
+	// ∅ ⇑ W = W.
+	var c1 compose.Composer
+	if err := c1.Add(emptyBlock(), nil); err != nil {
+		t.Fatalf("placing the empty block first: %v", err)
+	}
+	if err := c1.Add(w, nil); err != nil {
+		t.Fatalf("placing W after the empty block: %v", err)
+	}
+	g1, err := c1.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dag.Equal(g1, w.G) {
+		t.Fatalf("∅ ⇑ W changed the dag: %v vs %v", g1, w.G)
+	}
+
+	// W ⇑ ∅ = W, and the Theorem 2.1 schedule is unaffected.
+	var c2 compose.Composer
+	if err := c2.Add(w, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Add(emptyBlock(), nil); err != nil {
+		t.Fatalf("placing the empty block second: %v", err)
+	}
+	g2, err := c2.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dag.Equal(g2, w.G) {
+		t.Fatalf("W ⇑ ∅ changed the dag: %v vs %v", g2, w.G)
+	}
+	order, err := c2.Schedule()
+	if err != nil {
+		t.Fatalf("schedule with an empty block placed: %v", err)
+	}
+	if err := sched.Validate(g2, order); err != nil {
+		t.Fatal(err)
+	}
+
+	// ∅ ⇑ ∅ = ∅ via the binary Pair form.
+	g3, err := compose.Pair(dag.NewBuilder(0).MustBuild(), nil, dag.NewBuilder(0).MustBuild(), nil)
+	if err != nil {
+		t.Fatalf("∅ ⇑ ∅: %v", err)
+	}
+	if g3.NumNodes() != 0 {
+		t.Fatalf("∅ ⇑ ∅ has %d nodes", g3.NumNodes())
+	}
+}
+
+func TestComposeSelfComposition(t *testing.T) {
+	// V₂ ⇑ V₂ sharing one node: the second copy's source merges with the
+	// first copy's left sink, giving the 5-node out-tree of depth 2.
+	v := blocks.VeeDBlock(2)
+	var c compose.Composer
+	if err := c.Add(v, nil); err != nil {
+		t.Fatal(err)
+	}
+	g1, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merge := []compose.Merge{{Source: v.G.Sources()[0], Sink: g1.Sinks()[0]}}
+	if err := c.Add(v, merge); err != nil {
+		t.Fatalf("self-composition rejected: %v", err)
+	}
+	g, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2*v.G.NumNodes()-1 {
+		t.Fatalf("V₂ ⇑ V₂ has %d nodes, want %d", g.NumNodes(), 2*v.G.NumNodes()-1)
+	}
+	// The same Block value placed twice must not alias state: both placed
+	// copies keep their own local→global maps.
+	p := c.Placed()
+	if len(p) != 2 || &p[0].ToGlobal[0] == &p[1].ToGlobal[0] {
+		t.Fatal("placed blocks share a local→global mapping")
+	}
+	linear, err := c.VerifyLinear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !linear {
+		t.Fatal("V₂ ▷ V₂ must hold (every dag with a schedule has priority over itself)")
+	}
+	order, err := c.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := opt.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, step, err := l.IsOptimal(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("Theorem 2.1 schedule of V₂ ⇑ V₂ suboptimal at step %d", step)
+	}
+}
+
+// pairSorted merges the i-th smallest sink of the running composite with
+// the i-th smallest source of the incoming block — the deterministic
+// pairing both groupings below share.
+func pairSorted(t *testing.T, c *compose.Composer, b compose.Block) {
+	t.Helper()
+	g, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinks := g.Sinks()
+	sources := b.G.Sources()
+	k := len(sinks)
+	if len(sources) < k {
+		k = len(sources)
+	}
+	merges := make([]compose.Merge, k)
+	for i := 0; i < k; i++ {
+		merges[i] = compose.Merge{Source: sources[i], Sink: sinks[i]}
+	}
+	if err := c.Add(b, merges); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComposeAssociativity(t *testing.T) {
+	// [V₂ ⇑ B ⇑ Λ₂] built as (V₂ ⇑ B) ⇑ Λ₂ and as V₂ ⇑ (B ⇑ Λ₂) must be
+	// the same dag: ⇑ is associative because each grouping renumbers the
+	// unmerged nodes in the same block-then-local order.
+	a, b, v := blocks.VeeDBlock(2), blocks.ButterflyBlock(), blocks.LambdaDBlock(2)
+
+	// Left grouping: ((A ⇑ B) ⇑ V).
+	var left compose.Composer
+	if err := left.Add(a, nil); err != nil {
+		t.Fatal(err)
+	}
+	pairSorted(t, &left, b)
+	gAB, err := left.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Composition-type bookkeeping from the §2.3.1 table: V₂ ⇑ B keeps
+	// V's single source and B's two sinks.
+	if len(gAB.Sources()) != 1 || len(gAB.Sinks()) != 2 {
+		t.Fatalf("V₂ ⇑ B has %d sources, %d sinks; want 1, 2",
+			len(gAB.Sources()), len(gAB.Sinks()))
+	}
+	pairSorted(t, &left, v)
+	gLeft, err := left.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Right grouping: (A ⇑ (B ⇑ V)).
+	var bc compose.Composer
+	if err := bc.Add(b, nil); err != nil {
+		t.Fatal(err)
+	}
+	pairSorted(t, &bc, v)
+	gBC, err := bc.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gBC.Sources()) != 2 || len(gBC.Sinks()) != 1 {
+		t.Fatalf("B ⇑ Λ₂ has %d sources, %d sinks; want 2, 1",
+			len(gBC.Sources()), len(gBC.Sinks()))
+	}
+	var right compose.Composer
+	if err := right.Add(a, nil); err != nil {
+		t.Fatal(err)
+	}
+	pairSorted(t, &right, compose.Block{Name: "B⇑Λ", G: gBC, Nonsinks: sched.AnyTopoNonsinks(gBC)})
+	gRight, err := right.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !dag.Equal(gLeft, gRight) {
+		t.Fatalf("⇑ not associative:\nleft  %v\nright %v", gLeft, gRight)
+	}
+	if gLeft.NumNodes() != 3+4+3-4 {
+		t.Fatalf("composite has %d nodes, want %d", gLeft.NumNodes(), 3+4+3-4)
+	}
+}

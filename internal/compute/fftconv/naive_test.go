@@ -1,0 +1,141 @@
+package fftconv_test
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"icsched/internal/compute/fftconv"
+)
+
+// This file checks the FFT-dag implementations against naive reference
+// implementations written here, independently of the package's own
+// NaiveDFT/NaiveConvolve — a shared bug in package and reference would
+// otherwise go unseen.
+
+// slowConv is the O(n·m) convolution straight from the definition
+// A_k = Σ a_i·b_{k-i}.
+func slowConv(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]float64, len(a)+len(b)-1)
+	for i, x := range a {
+		for j, y := range b {
+			out[i+j] += x * y
+		}
+	}
+	return out
+}
+
+// slowDFT is the O(n²) transform straight from the definition
+// X_k = Σ x_i·e^{-2πi·ik/n}.
+func slowDFT(xs []complex128) []complex128 {
+	n := len(xs)
+	out := make([]complex128, n)
+	for k := range out {
+		for i, x := range xs {
+			angle := -2 * math.Pi * float64(i*k) / float64(n)
+			out[k] += x * cmplx.Exp(complex(0, angle))
+		}
+	}
+	return out
+}
+
+func randFloats(rng *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestConvolveAgainstIndependentNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cases := []struct {
+		name string
+		a, b []float64
+	}{
+		{"unit", []float64{1}, []float64{1, 2, 3}},
+		{"poly", []float64{1, 1}, []float64{1, 1}}, // (1+x)² = 1+2x+x²
+		{"negatives", []float64{1, -2, 3}, []float64{-1, 4}},
+		{"random-7x5", randFloats(rng, 7), randFloats(rng, 5)},
+		{"random-16x16", randFloats(rng, 16), randFloats(rng, 16)},
+		{"random-33x9", randFloats(rng, 33), randFloats(rng, 9)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := fftconv.Convolve(tc.a, tc.b, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := slowConv(tc.a, tc.b)
+			if len(got) != len(want) {
+				t.Fatalf("length %d, want %d", len(got), len(want))
+			}
+			for k := range want {
+				if math.Abs(got[k]-want[k]) > 1e-9 {
+					t.Fatalf("coefficient %d: %g, want %g", k, got[k], want[k])
+				}
+			}
+		})
+	}
+}
+
+func TestFFTAgainstIndependentDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 4, 8, 32} {
+		xs := make([]complex128, n)
+		for i := range xs {
+			xs[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		got, err := fftconv.FFT(xs, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := slowDFT(xs)
+		for k := range want {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d bin %d: %v, want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestConvolve2DAgainstIndependentNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	randMat := func(r, c int) [][]float64 {
+		m := make([][]float64, r)
+		for i := range m {
+			m[i] = randFloats(rng, c)
+		}
+		return m
+	}
+	a, b := randMat(4, 5), randMat(3, 3)
+	got, err := fftconv.Convolve2D(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct 2D convolution from the definition.
+	want := make([][]float64, len(a)+len(b)-1)
+	for i := range want {
+		want[i] = make([]float64, len(a[0])+len(b[0])-1)
+	}
+	for i := range a {
+		for j := range a[i] {
+			for k := range b {
+				for l := range b[k] {
+					want[i+k][j+l] += a[i][j] * b[k][l]
+				}
+			}
+		}
+	}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(got[i][j]-want[i][j]) > 1e-9 {
+				t.Fatalf("cell (%d,%d): %g, want %g", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}

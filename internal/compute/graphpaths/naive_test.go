@@ -1,0 +1,61 @@
+package graphpaths_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"icsched/internal/compute/graphpaths"
+	"icsched/internal/compute/scan"
+)
+
+// TestComputeAgainstWalkDP checks the Fig. 16 matrix-power computation
+// against a direct walk DP written here (independent of the package's
+// own Reference): walk[k][i][j] holds iff a length-k walk i→j exists,
+// built by extending length-(k-1) walks one arc at a time.
+func TestComputeAgainstWalkDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(6)
+		L := 8
+		a := scan.NewBoolMatrix(n)
+		for i := range a.Bits {
+			a.Bits[i] = rng.Intn(3) == 0
+		}
+		got, err := graphpaths.Compute(a, L, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walk := make([][]bool, n) // walks of the current length
+		for i := range walk {
+			walk[i] = make([]bool, n)
+			for j := 0; j < n; j++ {
+				walk[i][j] = a.Bits[i*n+j]
+			}
+		}
+		for k := 1; k <= L; k++ {
+			if k > 1 {
+				next := make([][]bool, n)
+				for i := range next {
+					next[i] = make([]bool, n)
+					for j := 0; j < n; j++ {
+						for m := 0; m < n; m++ {
+							if walk[i][m] && a.Bits[m*n+j] {
+								next[i][j] = true
+								break
+							}
+						}
+					}
+				}
+				walk = next
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if got[i][j][k-1] != walk[i][j] {
+						t.Fatalf("trial %d: walk %d→%d of length %d = %v, want %v",
+							trial, i, j, k, got[i][j][k-1], walk[i][j])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package integrate_test
+
+import (
+	"math"
+	"testing"
+
+	"icsched/internal/compute/integrate"
+)
+
+// TestIntegrateAgainstClosedForms checks the adaptive integrator against
+// analytic antiderivatives — ground truth independent of the package's
+// own Reference implementation.
+func TestIntegrateAgainstClosedForms(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{"x^2 over [0,3]", func(x float64) float64 { return x * x }, 0, 3, 9},
+		{"sin over [0,pi]", math.Sin, 0, math.Pi, 2},
+		{"exp over [0,1]", math.Exp, 0, 1, math.E - 1},
+		{"1/(1+x^2) over [-1,1]", func(x float64) float64 { return 1 / (1 + x*x) }, -1, 1, math.Pi / 2},
+		{"sqrt over [0,4]", math.Sqrt, 0, 4, 16.0 / 3},
+		{"constant over reversed-looking bounds", func(float64) float64 { return 2 }, 1, 5, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := integrate.Integrate(tc.f, tc.a, tc.b, integrate.Options{Tol: 1e-9, Workers: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res.Value-tc.want) > 1e-6 {
+				t.Fatalf("got %.12f, want %.12f", res.Value, tc.want)
+			}
+			if res.Leaves < 1 {
+				t.Fatalf("no accepted subintervals: %+v", res)
+			}
+		})
+	}
+}

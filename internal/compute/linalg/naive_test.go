@@ -1,0 +1,39 @@
+package linalg_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"icsched/internal/compute/linalg"
+)
+
+// TestMulRecursiveAgainstTripleLoop checks the §7 recursive block
+// multiplication against a triple loop written here, independent of the
+// package's own MulNaive.
+func TestMulRecursiveAgainstTripleLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	cases := []struct{ n, baseSize int }{
+		{1, 1}, {2, 1}, {4, 1}, {4, 2}, {8, 2}, {8, 4}, {16, 4},
+	}
+	for _, tc := range cases {
+		a := linalg.Random(rng, tc.n)
+		b := linalg.Random(rng, tc.n)
+		got, err := linalg.MulRecursive(a, b, tc.baseSize, 3)
+		if err != nil {
+			t.Fatalf("n=%d base=%d: %v", tc.n, tc.baseSize, err)
+		}
+		for i := 0; i < tc.n; i++ {
+			for j := 0; j < tc.n; j++ {
+				want := 0.0
+				for k := 0; k < tc.n; k++ {
+					want += a.A[i*tc.n+k] * b.A[k*tc.n+j]
+				}
+				if math.Abs(got.A[i*tc.n+j]-want) > 1e-9 {
+					t.Fatalf("n=%d base=%d cell (%d,%d): %g, want %g",
+						tc.n, tc.baseSize, i, j, got.A[i*tc.n+j], want)
+				}
+			}
+		}
+	}
+}

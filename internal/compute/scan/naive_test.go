@@ -1,0 +1,166 @@
+package scan_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"icsched/internal/compute/scan"
+)
+
+// This file checks the parallel-prefix dag implementations against naive
+// reference implementations written here, independent of the package's
+// own Serial.
+
+func TestParallelAgainstIndependentFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	t.Run("int-add", func(t *testing.T) {
+		for _, n := range []int{1, 2, 4, 16, 64} {
+			xs := make([]int, n)
+			for i := range xs {
+				xs[i] = rng.Intn(100) - 50
+			}
+			got, err := scan.Parallel(func(a, b int) int { return a + b }, xs, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := 0
+			for i, x := range xs {
+				run += x
+				if got[i] != run {
+					t.Fatalf("n=%d prefix %d: %d, want %d", n, i, got[i], run)
+				}
+			}
+		}
+	})
+	t.Run("string-concat", func(t *testing.T) {
+		// Associative but not commutative: catches order bugs a sum hides.
+		xs := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+		got, err := scan.Parallel(func(a, b string) string { return a + b }, xs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := ""
+		for i, x := range xs {
+			run += x
+			if got[i] != run {
+				t.Fatalf("prefix %d: %q, want %q", i, got[i], run)
+			}
+		}
+	})
+}
+
+func TestIntPowersAgainstIndependentLoop(t *testing.T) {
+	cases := []struct {
+		base int64
+		n    int
+	}{{2, 1}, {2, 8}, {3, 16}, {-2, 8}, {1, 32}}
+	for _, tc := range cases {
+		got, err := scan.IntPowers(tc.base, tc.n, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != tc.n {
+			t.Fatalf("base %d: %d powers, want %d", tc.base, len(got), tc.n)
+		}
+		p := int64(1)
+		for i := 0; i < tc.n; i++ {
+			p *= tc.base
+			if got[i] != p {
+				t.Fatalf("base %d: power %d = %d, want %d", tc.base, i+1, got[i], p)
+			}
+		}
+	}
+}
+
+func TestAddUint64AgainstNativeAddition(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cases := []struct{ x, y uint64 }{
+		{0, 0}, {1, 1}, {^uint64(0), 1}, {^uint64(0), ^uint64(0)},
+		{1 << 63, 1 << 63}, {rng.Uint64(), rng.Uint64()}, {rng.Uint64(), rng.Uint64()},
+	}
+	for _, tc := range cases {
+		sum, carry, err := scan.AddUint64(tc.x, tc.y, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSum := tc.x + tc.y
+		wantCarry := wantSum < tc.x // wrapped iff real sum exceeds 64 bits
+		if sum != wantSum || carry != wantCarry {
+			t.Fatalf("%d+%d = (%d, %v), want (%d, %v)", tc.x, tc.y, sum, carry, wantSum, wantCarry)
+		}
+	}
+}
+
+func TestAddBitsAgainstRippleCarry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		a, b := make([]bool, n), make([]bool, n)
+		for i := 0; i < n; i++ {
+			a[i], b[i] = rng.Intn(2) == 1, rng.Intn(2) == 1
+		}
+		sum, carryOut, err := scan.AddBits(a, b, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Independent little-endian ripple-carry adder.
+		carry := false
+		for i := 0; i < n; i++ {
+			ones := 0
+			for _, bit := range []bool{a[i], b[i], carry} {
+				if bit {
+					ones++
+				}
+			}
+			if want := ones%2 == 1; sum[i] != want {
+				t.Fatalf("trial %d bit %d: %v, want %v", trial, i, sum[i], want)
+			}
+			carry = ones >= 2
+		}
+		if carryOut != carry {
+			t.Fatalf("trial %d: carry-out %v, want %v", trial, carryOut, carry)
+		}
+	}
+}
+
+func TestMatrixPowersAgainstIndependentMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n, L := 5, 8
+	a := scan.NewBoolMatrix(n)
+	for i := range a.Bits {
+		a.Bits[i] = rng.Intn(3) == 0
+	}
+	got, err := scan.MatrixPowers(a, L, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != L {
+		t.Fatalf("%d powers, want %d", len(got), L)
+	}
+	// Independent boolean matrix product, iterated.
+	mul := func(x, y scan.BoolMatrix) scan.BoolMatrix {
+		out := scan.NewBoolMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					if x.Bits[i*n+k] && y.Bits[k*n+j] {
+						out.Bits[i*n+j] = true
+						break
+					}
+				}
+			}
+		}
+		return out
+	}
+	want := a
+	for p := 0; p < L; p++ {
+		if p > 0 {
+			want = mul(want, a)
+		}
+		for i := range want.Bits {
+			if got[p].Bits[i] != want.Bits[i] {
+				t.Fatalf("power %d bit %d: %v, want %v", p+1, i, got[p].Bits[i], want.Bits[i])
+			}
+		}
+	}
+}

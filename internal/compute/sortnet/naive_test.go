@@ -1,0 +1,86 @@
+package sortnet_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"icsched/internal/compute/sortnet"
+)
+
+// This file checks the sorting-network dags against sort.Ints plus a
+// multiset (permutation) check: a network that sorts but drops or
+// duplicates elements would pass a sortedness-only test.
+
+func checkSorted(t *testing.T, name string, in, got []int) {
+	t.Helper()
+	want := append([]int(nil), in...)
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: position %d: %d, want %d (in %v)", name, i, got[i], want[i], in)
+		}
+	}
+	// want is a sorted copy of the input, so element-wise equality above
+	// already proves got is a permutation of the input.
+}
+
+func TestSortersAgainstSortInts(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sorters := []struct {
+		name    string
+		sort    func([]int, int) ([]int, error)
+		anySize bool
+	}{
+		{"bitonic", sortnet.Sort[int], false},
+		{"bitonic-any", sortnet.SortAny[int], true},
+		{"odd-even", sortnet.OddEvenSort[int], false},
+	}
+	inputs := [][]int{
+		{},
+		{5},
+		{2, 1},
+		{3, 3, 3, 3},
+		{4, 3, 2, 1, 8, 7, 6, 5},
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{-5, 0, -5, 7, 2, 2, -1, 9},
+	}
+	for i := 0; i < 6; i++ {
+		n := 1 << uint(1+rng.Intn(4))
+		xs := make([]int, n)
+		for j := range xs {
+			xs[j] = rng.Intn(20) - 10 // duplicates likely
+		}
+		inputs = append(inputs, xs)
+	}
+	oddSizes := [][]int{{9, 1, 5}, {3, 1, 4, 1, 5, 9, 2}, {7, 7, 7, 1, 0}}
+	for _, s := range sorters {
+		t.Run(s.name, func(t *testing.T) {
+			for _, in := range inputs {
+				if len(in)&(len(in)-1) != 0 && !s.anySize {
+					continue // power-of-two networks only
+				}
+				got, err := s.sort(append([]int(nil), in...), 3)
+				if err != nil {
+					if len(in) == 0 || len(in) == 1 {
+						continue // degenerate sizes may be rejected
+					}
+					t.Fatalf("input %v: %v", in, err)
+				}
+				checkSorted(t, s.name, in, got)
+			}
+			if s.anySize {
+				for _, in := range oddSizes {
+					got, err := s.sort(append([]int(nil), in...), 3)
+					if err != nil {
+						t.Fatalf("input %v: %v", in, err)
+					}
+					checkSorted(t, s.name, in, got)
+				}
+			}
+		})
+	}
+}

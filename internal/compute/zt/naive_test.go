@@ -1,0 +1,64 @@
+package zt_test
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"icsched/internal/compute/zt"
+)
+
+// slowZT evaluates (6.4) y_k = Σ x_i·ω^{ik} term by term with cmplx.Pow
+// — written here, independent of the package's own Naive (which builds
+// the powers incrementally).
+func slowZT(xs []complex128, omega complex128, m int) []complex128 {
+	out := make([]complex128, m)
+	for k := 0; k < m; k++ {
+		for i, x := range xs {
+			out[k] += x * cmplx.Pow(omega, complex(float64(i*k), 0))
+		}
+	}
+	return out
+}
+
+func TestZTransformsAgainstIndependentEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	impls := []struct {
+		name string
+		f    func([]complex128, complex128, int, int) ([]complex128, error)
+	}{
+		{"via-prefix", zt.ViaPrefix},
+		{"via-power-tree", zt.ViaPowerTree},
+	}
+	for _, impl := range impls {
+		t.Run(impl.name, func(t *testing.T) {
+			for _, n := range []int{2, 4, 8, 16} {
+				xs := make([]complex128, n)
+				for i := range xs {
+					xs[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+				}
+				// A root of unity (the paper's DFT case) and a generic point.
+				omegas := []complex128{
+					cmplx.Exp(complex(0, 2*math.Pi/float64(n))),
+					complex(0.9, 0.3),
+				}
+				for _, omega := range omegas {
+					m := n
+					got, err := impl.f(xs, omega, m, 3)
+					if err != nil {
+						t.Fatalf("n=%d ω=%v: %v", n, omega, err)
+					}
+					want := slowZT(xs, omega, m)
+					for k := range want {
+						// ω^{ik} grows like |ω|^{nk}; scale the tolerance.
+						scale := math.Max(1, cmplx.Abs(want[k]))
+						if cmplx.Abs(got[k]-want[k]) > 1e-8*scale*float64(n) {
+							t.Fatalf("n=%d ω=%v y_%d = %v, want %v", n, omega, k, got[k], want[k])
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -2,11 +2,43 @@ package dag
 
 import "math/rand"
 
-// Random returns a random dag on n nodes: nodes are implicitly ordered
-// 0..n-1 and each forward pair (u, v) with u < v becomes an arc with
-// probability p.  The result is acyclic by construction.  Used throughout
-// the test suite (testing/quick harnesses) and by the synthetic-workflow
-// generators.
+// This file holds the seedable random-dag generators used by the test
+// suite, the differential-testing harness (internal/difftest), and the
+// synthetic-workflow generators.  Every generator is a pure function of
+// its *rand.Rand: the same seed always yields the same dag (a property
+// the determinism tests pin down), so any failing instance can be
+// reproduced from its seed alone.
+//
+// Distributions, precisely:
+//
+//   - Random:          the directed Erdős–Rényi model G(n, p) restricted
+//                      to forward arcs of the implicit order 0 < 1 < … <
+//                      n-1.  Each of the n(n-1)/2 forward pairs is an arc
+//                      independently with probability p.  May be
+//                      disconnected.
+//   - RandomConnected: Random conditioned on undirected connectivity, by
+//                      patching: any component separate from node 0's is
+//                      joined with one uniformly chosen forward arc.  The
+//                      patched dags are therefore slightly denser than
+//                      G(n, p) conditioned on connectivity, but every
+//                      seed yields a connected dag without rejection
+//                      loops.
+//   - RandomLayered:   a staged workflow dag; arcs only between adjacent
+//                      layers, every non-first-layer node has 1..maxIn
+//                      uniformly chosen parents in the previous layer,
+//                      and every non-last-layer node at least one child
+//                      (patched, see below), so the dag is connected.
+//   - RandomSeriesParallel: a recursively generated two-terminal
+//                      series-parallel dag — series, parallel, or edge
+//                      with probability ~(2/5, 2/5, 1/5) per recursion
+//                      node until the size budget is spent.  Always
+//                      connected; sources/sinks meet at the terminals.
+
+// Random returns a random dag drawn from the forward G(n, p) model (see
+// the distribution notes above): nodes are implicitly ordered 0..n-1 and
+// each forward pair (u, v) with u < v becomes an arc with probability p.
+// The result is acyclic by construction but may be disconnected; use
+// RandomConnected when §2.1's connectivity convention matters.
 func Random(rng *rand.Rand, n int, p float64) *Dag {
 	b := NewBuilder(n)
 	for u := 0; u < n; u++ {
@@ -19,10 +51,12 @@ func Random(rng *rand.Rand, n int, p float64) *Dag {
 	return b.MustBuild()
 }
 
-// RandomConnected returns a random connected dag on n >= 1 nodes: it starts
-// from Random(rng, n, p) and then links any disconnected node to a random
-// earlier node (or later node, for node 0) so the underlying undirected
-// graph is connected.
+// RandomConnected returns a random connected dag on n >= 1 nodes: it
+// starts from the G(n, p) forward model of Random and then joins any
+// component disconnected from node 0's component with a single forward
+// arc into a uniformly chosen earlier node, so the underlying undirected
+// graph is connected.  Acyclicity is preserved because only forward arcs
+// (u < v) are ever added.
 func RandomConnected(rng *rand.Rand, n int, p float64) *Dag {
 	b := NewBuilder(n)
 	for u := 0; u < n; u++ {
@@ -68,10 +102,20 @@ func RandomConnected(rng *rand.Rand, n int, p float64) *Dag {
 	return b2.MustBuild()
 }
 
-// RandomLayered returns a random layered dag: layers[i] nodes in layer i,
-// with each node in layer i+1 receiving between 1 and maxIn arcs from
-// uniformly chosen nodes of layer i.  Layered dags model the staged
+// RandomLayered returns a random connected layered dag: layers[i] nodes
+// in layer i, each node in layer i+1 receiving between 1 and maxIn arcs
+// from uniformly chosen nodes of layer i.  Layered dags model the staged
 // scientific workflows used in the scheduler-comparison experiments.
+//
+// Earlier versions could return disconnected dags in two ways: a layer-i
+// node that no layer-i+1 node picked was an isolated vertex, and with
+// small maxIn the first boundary could split into parallel chains (e.g.
+// a0->b0, a1->b1).  The generator now patches both: every non-last-layer
+// node gets at least one child, and the components of the first layer
+// boundary are merged with extra uniformly chosen arcs.  Later
+// boundaries cannot split -- each layer-i+1 node hangs off the already
+// connected layer i -- so the result is connected whenever len(layers)
+// >= 2 and every layer is nonempty.
 func RandomLayered(rng *rand.Rand, layers []int, maxIn int) *Dag {
 	total := 0
 	for _, l := range layers {
@@ -81,23 +125,109 @@ func RandomLayered(rng *rand.Rand, layers []int, maxIn int) *Dag {
 	offset := 0
 	for i := 0; i+1 < len(layers); i++ {
 		next := offset + layers[i]
-		for v := 0; v < layers[i+1]; v++ {
+		li, lnext := layers[i], layers[i+1]
+		hasChild := make([]bool, li)
+		// Union-find over this boundary's li+lnext nodes (local indices:
+		// u in [0, li) for layer i, li+v for layer i+1).
+		parent := make([]int, li+lnext)
+		for j := range parent {
+			parent[j] = j
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		addArc := func(u, v int) {
+			b.AddArc(NodeID(offset+u), NodeID(next+v))
+			hasChild[u] = true
+			parent[find(u)] = find(li + v)
+		}
+		for v := 0; v < lnext; v++ {
 			k := 1
 			if maxIn > 1 {
 				k += rng.Intn(maxIn)
 			}
-			if k > layers[i] {
-				k = layers[i]
+			if k > li {
+				k = li
 			}
 			seen := map[int]bool{}
 			for len(seen) < k {
-				seen[rng.Intn(layers[i])] = true
+				seen[rng.Intn(li)] = true
 			}
 			for u := range seen {
-				b.AddArc(NodeID(offset+u), NodeID(next+v))
+				addArc(u, v)
+			}
+		}
+		if lnext > 0 {
+			// Patch childless layer-i nodes so no node is isolated.
+			for u := 0; u < li; u++ {
+				if !hasChild[u] {
+					addArc(u, rng.Intn(lnext))
+				}
+			}
+		}
+		if i == 0 && li > 0 {
+			// Merge the first boundary's components: every layer-1 node
+			// joins layer-0 node 0's component via an extra arc from a
+			// uniformly chosen layer-0 node already in it.  Layer-0 nodes
+			// then connect through their (patched) children.
+			for v := 0; v < lnext; v++ {
+				if find(li+v) == find(0) {
+					continue
+				}
+				var pool []int
+				for u := 0; u < li; u++ {
+					if find(u) == find(0) {
+						pool = append(pool, u)
+					}
+				}
+				addArc(pool[rng.Intn(len(pool))], v)
 			}
 		}
 		offset = next
+	}
+	return b.MustBuild()
+}
+
+// RandomSeriesParallel returns a random two-terminal series-parallel dag
+// with roughly sizeBudget internal recursion steps (n >= 2 nodes total).
+// The generator expands a single source-to-sink edge recursively: with
+// probability 2/5 a series composition (an intermediate node splits the
+// edge), with probability 2/5 a parallel composition (the edge is
+// duplicated), otherwise the edge is kept, until the budget is spent.
+// Series-parallel dags exercise the ⇑-composition machinery's home turf:
+// they are exactly the dags built by series and parallel combination of
+// smaller two-terminal dags.
+func RandomSeriesParallel(rng *rand.Rand, sizeBudget int) *Dag {
+	b := NewBuilder(2)
+	src, snk := NodeID(0), NodeID(1)
+	type edge struct{ from, to NodeID }
+	edges := []edge{{src, snk}}
+	budget := sizeBudget
+	// Expand a uniformly chosen edge per step; series adds a node,
+	// parallel adds a duplicate edge (coalesced at Build, so a fresh
+	// midpoint node keeps the multi-edge visible in the simple dag).
+	for budget > 0 {
+		budget--
+		i := rng.Intn(len(edges))
+		e := edges[i]
+		switch r := rng.Float64(); {
+		case r < 0.4: // series: from -> mid -> to
+			mid := b.AddNode()
+			edges[i] = edge{e.from, mid}
+			edges = append(edges, edge{mid, e.to})
+		case r < 0.8: // parallel: duplicate via a fresh midpoint
+			mid := b.AddNode()
+			edges = append(edges, edge{e.from, mid}, edge{mid, e.to})
+		default: // keep
+		}
+	}
+	for _, e := range edges {
+		b.AddArc(e.from, e.to)
 	}
 	return b.MustBuild()
 }

@@ -1,0 +1,108 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Every generator must be a pure function of its rng: the same seed
+// yields the same dag, so failing difftest/fuzz instances reproduce from
+// their seed alone.
+func TestRandomGeneratorsDeterministic(t *testing.T) {
+	build := map[string]func(seed int64) *Dag{
+		"Random": func(seed int64) *Dag {
+			r := rand.New(rand.NewSource(seed))
+			return Random(r, 3+r.Intn(15), 0.3)
+		},
+		"RandomConnected": func(seed int64) *Dag {
+			r := rand.New(rand.NewSource(seed))
+			return RandomConnected(r, 1+r.Intn(15), 0.15)
+		},
+		"RandomLayered": func(seed int64) *Dag {
+			r := rand.New(rand.NewSource(seed))
+			layers := make([]int, 2+r.Intn(4))
+			for i := range layers {
+				layers[i] = 1 + r.Intn(5)
+			}
+			return RandomLayered(r, layers, 3)
+		},
+		"RandomSeriesParallel": func(seed int64) *Dag {
+			r := rand.New(rand.NewSource(seed))
+			return RandomSeriesParallel(r, 1+r.Intn(20))
+		},
+	}
+	for name, gen := range build {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 50; seed++ {
+				a, b := gen(seed), gen(seed)
+				if !Equal(a, b) {
+					t.Fatalf("seed %d: two builds differ: %v vs %v", seed, a, b)
+				}
+			}
+		})
+	}
+}
+
+// RandomLayered used to leave layer-i nodes that no layer-i+1 node picked
+// as isolated vertices; the patched generator must always be connected.
+func TestRandomLayeredConnected(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		layers := make([]int, 2+r.Intn(5))
+		for i := range layers {
+			layers[i] = 1 + r.Intn(6)
+		}
+		g := RandomLayered(r, layers, 1+r.Intn(4))
+		return g.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The patch must not disturb the layered structure: layer-0 nodes stay
+// sources and every later node keeps at least one previous-layer parent.
+func TestRandomLayeredStructurePreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		g := RandomLayered(rng, []int{4, 3, 5}, 2)
+		for v := 0; v < 4; v++ {
+			if !g.IsSource(NodeID(v)) {
+				t.Fatalf("trial %d: layer-0 node %d is not a source", trial, v)
+			}
+			if g.OutDegree(NodeID(v)) == 0 {
+				t.Fatalf("trial %d: layer-0 node %d has no child after patching", trial, v)
+			}
+		}
+		for v := 4; v < 12; v++ {
+			if g.InDegree(NodeID(v)) == 0 {
+				t.Fatalf("trial %d: node %d has no parent", trial, v)
+			}
+		}
+	}
+}
+
+func TestRandomSeriesParallelShape(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := RandomSeriesParallel(r, 1+r.Intn(30))
+		if !g.Connected() {
+			return false
+		}
+		// Two-terminal: node 0 is the unique source, node 1 the unique sink.
+		return len(g.Sources()) == 1 && g.Sources()[0] == 0 &&
+			len(g.Sinks()) == 1 && g.Sinks()[0] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Zero budget must return the single-edge dag, the ⇑ identity shape.
+func TestRandomSeriesParallelZeroBudget(t *testing.T) {
+	g := RandomSeriesParallel(rand.New(rand.NewSource(1)), 0)
+	if g.NumNodes() != 2 || g.NumArcs() != 1 || !g.HasArc(0, 1) {
+		t.Fatalf("zero-budget dag = %v", g)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"icsched/internal/blocks"
 	"icsched/internal/dag"
 	"icsched/internal/dagio"
 )
@@ -32,6 +33,38 @@ func FuzzReadEdgeList(f *testing.F) {
 		}
 		if back.NumNodes() != g.NumNodes() || back.NumArcs() != g.NumArcs() {
 			t.Fatalf("round trip changed shape: %v vs %v", back, g)
+		}
+	})
+}
+
+func FuzzUnmarshalSchedule(f *testing.F) {
+	f.Add([]byte(`["s0", "s1", "t0"]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`["nope"]`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := blocks.Butterfly()
+		order, err := dagio.UnmarshalSchedule(g, data)
+		if err != nil {
+			return
+		}
+		// Accepted schedules must survive a marshal/unmarshal round trip
+		// unchanged (names are unique, so the mapping is a bijection).
+		out, err := dagio.MarshalSchedule(g, order)
+		if err != nil {
+			t.Fatalf("marshal after accept: %v", err)
+		}
+		back, err := dagio.UnmarshalSchedule(g, out)
+		if err != nil {
+			t.Fatalf("reparse after marshal: %v", err)
+		}
+		if len(back) != len(order) {
+			t.Fatalf("round trip changed length: %d vs %d", len(back), len(order))
+		}
+		for i := range back {
+			if back[i] != order[i] {
+				t.Fatalf("round trip changed position %d: %d vs %d", i, back[i], order[i])
+			}
 		}
 	})
 }

@@ -1,0 +1,132 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"icsched/internal/dag"
+	"icsched/internal/heur"
+	"icsched/internal/icserver"
+	"icsched/internal/obs"
+)
+
+// FuzzInstance feeds arbitrary master seeds to the full harness: one
+// instance per input, all three layers plus the theorem property checks.
+// Any divergence or panic the generators can reach from a 64-bit seed is
+// in scope.  The checked-in corpus (testdata/fuzz/FuzzInstance) pins
+// seeds whose instances cover each generator shape.
+func FuzzInstance(f *testing.F) {
+	for _, seed := range []int64{0, 1, 2, 42, -7, 1 << 40} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rep, err := Run(Config{Seed: seed, N: 1, MaxNodes: 12, Workers: 2})
+		if err != nil {
+			t.Fatalf("harness diverged:\n%s\nerr: %v", rep, err)
+		}
+	})
+}
+
+// FuzzServerProtocol drives an IC server with an arbitrary operation
+// sequence — allocations, completions and failures of arbitrary task
+// IDs (valid or not), and clock jumps past lease expiry — then demands
+// liveness: a serial drain that advances the clock must always reach
+// AllocFinished, with every task either completed or quarantined.  The
+// server must never panic and never report more completions than tasks.
+func FuzzServerProtocol(f *testing.F) {
+	f.Add(int64(1), []byte{0, 0, 1, 0, 0, 1, 3, 200})
+	f.Add(int64(7), []byte{0, 0, 2, 0, 2, 0, 2, 0, 3, 255, 0, 0})
+	f.Add(int64(-3), []byte{1, 9, 2, 9, 0, 0, 4, 0})
+	f.Add(int64(1<<33), []byte{})
+	f.Fuzz(func(t *testing.T, dagSeed int64, ops []byte) {
+		rng := rand.New(rand.NewSource(dagSeed))
+		g := dag.RandomConnected(rng, 1+rng.Intn(12), 0.3)
+		n := g.NumNodes()
+		now := time.Unix(1, 0)
+		const lease = time.Second
+		tr := obs.NewTrace()
+		srv := icserver.New(g, heur.Static("fuzz", randomLegalOrder(rng, g)),
+			icserver.WithLease(lease), icserver.WithMaxAttempts(2),
+			icserver.WithClock(func() time.Time { return now }), icserver.WithTrace(tr))
+		var granted []dag.NodeID
+		for i := 0; i+1 < len(ops); i += 2 {
+			arg := dag.NodeID(int(ops[i+1]) % n)
+			switch ops[i] % 5 {
+			case 0:
+				if v, state := srv.Allocate(); state == icserver.AllocOK {
+					granted = append(granted, v)
+				}
+			case 1:
+				srv.Complete(arg) // arbitrary ID: error is fine, panic is not
+			case 2:
+				srv.Fail(arg)
+			case 3:
+				now = now.Add(lease/2 + time.Duration(ops[i+1])*time.Millisecond)
+			case 4:
+				if len(granted) > 0 {
+					if _, err := srv.Complete(granted[len(granted)-1]); err != nil {
+						t.Fatalf("completing a granted task: %v", err)
+					}
+					granted = granted[:len(granted)-1]
+				}
+			}
+			if st := srv.Status(); st.Completed > st.Total {
+				t.Fatalf("status overflow after op %d: %+v", i/2, st)
+			}
+		}
+		for i := 0; ; i++ {
+			if i > 10*n+100 {
+				t.Fatalf("server failed to drain after %d steps: %+v", i, srv.Status())
+			}
+			v, state := srv.Allocate()
+			switch state {
+			case icserver.AllocOK:
+				if _, err := srv.Complete(v); err != nil {
+					t.Fatalf("drain: complete %d: %v", v, err)
+				}
+			case icserver.AllocEmpty:
+				// Only an outstanding lease can stall a serial drain;
+				// advancing past expiry must unblock or quarantine it.
+				now = now.Add(lease + time.Millisecond)
+			case icserver.AllocFinished:
+				st := srv.Status()
+				if st.Completed == st.Total {
+					return
+				}
+				// Degraded finish: every incomplete task must be accounted
+				// for — quarantined itself, or blocked behind a quarantined
+				// ancestor.  Reconstruct both sets from the server trace
+				// (a completion after quarantine is a rescue and wins).
+				done := make([]bool, n)
+				quarantined := make([]bool, n)
+				for _, ev := range tr.Events() {
+					switch ev.Phase {
+					case obs.PhaseDone:
+						done[ev.Task] = true
+						quarantined[ev.Task] = false
+					case obs.PhaseQuarantine:
+						quarantined[ev.Task] = true
+					}
+				}
+				blocked := make([]bool, n)
+				for v := 0; v < n; v++ {
+					if quarantined[v] {
+						blocked[v] = true // Reachable excludes v itself
+						for u, r := range g.Reachable(dag.NodeID(v)) {
+							if r {
+								blocked[u] = true
+							}
+						}
+					}
+				}
+				for v := 0; v < n; v++ {
+					if !done[v] && !blocked[v] {
+						t.Fatalf("task %d incomplete but not blocked by any quarantine: %+v", v, st)
+					}
+				}
+				return
+			}
+		}
+	})
+}

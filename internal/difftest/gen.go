@@ -1,0 +1,114 @@
+package difftest
+
+import (
+	"math/rand"
+
+	"icsched/internal/blocks"
+	"icsched/internal/compose"
+	"icsched/internal/dag"
+)
+
+// instance is one generated test case: a dag, the name of the generator
+// shape that produced it (for reporting), and, for ⇑-composed shapes,
+// the Composer that built it so the ▷-linearity properties of Theorem
+// 2.1 can be checked against the exact oracle.
+type instance struct {
+	g     *dag.Dag
+	shape string
+	comp  *compose.Composer
+}
+
+// shapes is the closed list of generator shapes, for reports.
+var shapes = []string{"gnp", "connected", "layered", "series-parallel", "composed"}
+
+// generate draws one instance.  It is a pure function of rng (and the
+// caps), so an instance is reproduced exactly by reseeding; see
+// instanceRNG.
+func generate(rng *rand.Rand, maxNodes int) instance {
+	if maxNodes < 2 {
+		maxNodes = 2
+	}
+	switch rng.Intn(5) {
+	case 0:
+		n := 1 + rng.Intn(maxNodes)
+		p := 0.05 + 0.45*rng.Float64()
+		return instance{g: dag.Random(rng, n, p), shape: "gnp"}
+	case 1:
+		n := 1 + rng.Intn(maxNodes)
+		p := 0.05 + 0.30*rng.Float64()
+		return instance{g: dag.RandomConnected(rng, n, p), shape: "connected"}
+	case 2:
+		nLayers := 2 + rng.Intn(3)
+		layers := make([]int, nLayers)
+		per := maxNodes / nLayers
+		if per < 1 {
+			per = 1
+		}
+		for i := range layers {
+			layers[i] = 1 + rng.Intn(per)
+		}
+		return instance{g: dag.RandomLayered(rng, layers, 1+rng.Intn(3)), shape: "layered"}
+	case 3:
+		// Each budget step adds at most one node beyond the two terminals.
+		return instance{g: dag.RandomSeriesParallel(rng, rng.Intn(maxNodes-1)), shape: "series-parallel"}
+	default:
+		return generateComposed(rng, maxNodes)
+	}
+}
+
+// generateComposed builds a random ⇑-composition of the paper's building
+// blocks (Vee, Lambda, W, Butterfly — §2.3.1, Fig. 1), merging a random
+// subset of the running composite's sinks with the incoming block's
+// sources.  The blocks carry their left-to-right-source IC-optimal
+// nonsink orders, so Composer.Schedule() is the Theorem 2.1 schedule and
+// VerifyLinear() decides its optimality precondition.
+func generateComposed(rng *rand.Rand, maxNodes int) instance {
+	var c compose.Composer
+	randomBlock := func() compose.Block {
+		switch rng.Intn(4) {
+		case 0:
+			return blocks.VeeDBlock(2 + rng.Intn(3))
+		case 1:
+			return blocks.LambdaDBlock(2 + rng.Intn(3))
+		case 2:
+			return blocks.WBlock(2 + rng.Intn(3))
+		default:
+			return blocks.ButterflyBlock()
+		}
+	}
+	mustAdd := func(b compose.Block, merges []compose.Merge) {
+		if err := c.Add(b, merges); err != nil {
+			// Merges are drawn from the live sink/source sets, so Add
+			// cannot fail; a failure here is a composer bug.
+			panic("difftest: compose.Add rejected generated merges: " + err.Error())
+		}
+	}
+	mustAdd(randomBlock(), nil)
+	nBlocks := 1 + rng.Intn(3)
+	for i := 0; i < nBlocks && c.NumNodes() < maxNodes; i++ {
+		b := randomBlock()
+		g, err := c.Dag()
+		if err != nil {
+			panic("difftest: composite dag: " + err.Error())
+		}
+		sinks := g.Sinks()
+		sources := b.G.Sources()
+		rng.Shuffle(len(sinks), func(i, j int) { sinks[i], sinks[j] = sinks[j], sinks[i] })
+		rng.Shuffle(len(sources), func(i, j int) { sources[i], sources[j] = sources[j], sources[i] })
+		maxK := len(sinks)
+		if len(sources) < maxK {
+			maxK = len(sources)
+		}
+		k := rng.Intn(maxK + 1)
+		merges := make([]compose.Merge, 0, k)
+		for j := 0; j < k; j++ {
+			merges = append(merges, compose.Merge{Source: sources[j], Sink: sinks[j]})
+		}
+		mustAdd(b, merges)
+	}
+	g, err := c.Dag()
+	if err != nil {
+		panic("difftest: composite dag: " + err.Error())
+	}
+	return instance{g: g, shape: "composed", comp: &c}
+}

@@ -1,0 +1,111 @@
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"icsched/internal/dag"
+	"icsched/internal/heur"
+	"icsched/internal/icserver"
+	"icsched/internal/obs"
+	"icsched/internal/sched"
+)
+
+// TestServerStressConcurrentClients hammers the real HTTP surface of the
+// IC server with a concurrent client fleet — the -race half of the
+// differential harness.  Beyond surviving the race detector, the run
+// must produce the reference values bit-for-bit, complete every task
+// exactly once, and leave a trace whose reconstructed eligibility
+// profile equals sched.Profile of the realized completion order: the
+// same cross-layer invariant the serial passes check, under full
+// concurrency.
+func TestServerStressConcurrentClients(t *testing.T) {
+	const clients = 8
+	rng := rand.New(rand.NewSource(5))
+	g := dag.RandomLayered(rng, []int{6, 10, 10, 8, 6}, 3)
+	ref := refValues(g)
+	tr := obs.NewTrace()
+	srv := icserver.New(g, heur.Static("stress", randomLegalOrder(rng, g)),
+		icserver.WithLease(0), icserver.WithTrace(tr))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var mu sync.Mutex
+	vals := make([]uint64, g.NumNodes())
+	seen := make([]int, g.NumNodes())
+	compute := func(v dag.NodeID, _ string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		seen[v]++
+		vals[v] = nodeValue(g, v, vals)
+		return nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	completed := make([]int, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := &icserver.Client{
+				BaseURL: ts.URL,
+				Compute: compute,
+				ID:      fmt.Sprintf("stress-%d", c),
+				Seed:    int64(c + 1),
+			}
+			st, err := cl.Run(ctx)
+			errs[c], completed[c] = err, st.Completed
+		}(c)
+	}
+	wg.Wait()
+
+	total := 0
+	for c := 0; c < clients; c++ {
+		if errs[c] != nil {
+			t.Fatalf("client %d: %v", c, errs[c])
+		}
+		total += completed[c]
+	}
+	if total != g.NumNodes() {
+		t.Fatalf("fleet completed %d tasks, want %d", total, g.NumNodes())
+	}
+	if !srv.Finished() {
+		t.Fatal("server not finished after fleet drained")
+	}
+	st := srv.Status()
+	if st.Completed != g.NumNodes() || st.Reissues != 0 || st.Quarantined != 0 {
+		t.Fatalf("status %+v after clean stress run", st)
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("task %d computed %d times (lease disabled: want exactly once)", v, c)
+		}
+	}
+	if err := equalValues(vals, ref); err != nil {
+		t.Fatalf("fleet values diverged from reference: %v", err)
+	}
+
+	done := completions(tr)
+	if err := sched.Validate(g, done); err != nil {
+		t.Fatalf("completion order illegal: %v", err)
+	}
+	want, err := sched.Profile(g, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := tr.EligibilityProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(prof, want) {
+		t.Fatalf("trace profile %v, model profile of completion order %v", prof, want)
+	}
+}
