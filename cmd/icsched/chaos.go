@@ -22,6 +22,7 @@ import (
 func cmdChaos(args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
 	traceOut := fs.String("trace", "", "write the task trace to this file (.json for chrome://tracing, .jsonl for raw events)")
+	batch := fs.Int("batch", 0, "use the batched protocol with this per-grant cap (0 = legacy protocol)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -34,7 +35,7 @@ func cmdChaos(args []string) error {
 		}
 		seed = s
 	}
-	cfg := chaos.Config{Seed: seed}
+	cfg := chaos.Config{Seed: seed, Batch: *batch}
 	var tr *obs.Trace
 	if *traceOut != "" {
 		tr = obs.NewTrace()
@@ -44,6 +45,9 @@ func cmdChaos(args []string) error {
 	fmt.Printf("chaos run (seed %d): crash %.0f%%, compute-error %.0f%%, drop %.0f%%, 500s %.0f%%, latency %.0f%%\n",
 		seed, 100*rates.Crash, 100*rates.ComputeError, 100*rates.DropResponse,
 		100*rates.HTTPError, 100*rates.Latency)
+	if *batch > 0 {
+		fmt.Printf("protocol: batched, up to %d tasks per grant\n", *batch)
+	}
 	reports, err := chaos.RunAll(cfg)
 	if err != nil {
 		return err

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"icsched/internal/dag"
+	"icsched/internal/mesh"
+	"icsched/internal/sched"
+)
+
+// TestLoadgenCellBitIdentical runs one benchmark cell end to end — a real
+// HTTP server, a concurrent batched fleet — and relies on runCell's own
+// bit-identity check against the exec.Run reference: any divergence or
+// lost task is an error, not a number in a report.
+func TestLoadgenCellBitIdentical(t *testing.T) {
+	fam := loadgenFamily{"wavefront", 8, func(s int) (*dag.Dag, []dag.NodeID) {
+		return mesh.Grid(s, s), mesh.GridDiagonalNonsinks(s, s)
+	}}
+	g, nonsinks := fam.build(fam.size)
+	ref, err := loadgenReference(g, sched.Complete(g, nonsinks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{0, 4} {
+		res, err := runCell(fam, 4, batch, ref)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if res.Nodes != 64 || res.TasksPerSec <= 0 || res.AllocRequests <= 0 {
+			t.Fatalf("batch %d: implausible cell %+v", batch, res)
+		}
+		wantProto := "single"
+		if batch > 0 {
+			wantProto = "batched"
+		}
+		if res.Protocol != wantProto || res.Batch != batch {
+			t.Fatalf("batch %d: cell labeled %s/%d", batch, res.Protocol, res.Batch)
+		}
+		if batch > 0 && res.GrantsPerRequest <= 0 {
+			t.Fatalf("batched cell observed no grants: %+v", res)
+		}
+		if batch == 0 && res.GrantsPerRequest != 0 {
+			t.Fatalf("single cell claims batched grants: %+v", res)
+		}
+	}
+}
+
+// TestRunLoadgenMatrixAndFloor runs the full (smoke-sized) matrix once
+// with an unreachable speedup floor: the floor must fail with the
+// baseline numbers in the error, and the document must still carry every
+// cell — the property CI depends on to upload the artifact from a failed
+// guard run.
+func TestRunLoadgenMatrixAndFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark matrix")
+	}
+	doc, err := runLoadgen(loadgenConfig{clients: 4, batches: []int{4}, smoke: true, minSpeedup: 1e9})
+	if err == nil || !strings.Contains(err.Error(), "single-task baseline") {
+		t.Fatalf("unreachable floor err = %v, want baseline failure", err)
+	}
+	if len(doc.Results) != 6 { // 3 families × {single, batched×1}
+		t.Fatalf("failed guard run kept %d cells, want all 6", len(doc.Results))
+	}
+	for _, r := range doc.Results {
+		if r.TasksPerSec <= 0 || r.Quarantined != 0 {
+			t.Fatalf("implausible cell %+v", r)
+		}
+	}
+}
+
+// TestWriteLoadgenSchema checks the BENCH_throughput.json document round-
+// trips: written file is valid JSON carrying the fields the CI schema
+// validation greps for.
+func TestWriteLoadgenSchema(t *testing.T) {
+	doc := loadgenFile{Clients: 2, GoMaxP: 8, Smoke: true, Results: []loadgenResult{{
+		Family: "wavefront", Size: 32, Nodes: 1024, Protocol: "batched", Batch: 16,
+		WallMillis: 12.5, TasksPerSec: 81920, AllocRequests: 70, GrantsPerRequest: 14.6,
+	}}}
+	out := filepath.Join(t.TempDir(), "BENCH_throughput.json")
+	if err := writeLoadgen(doc, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got loadgenFile
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("written file is not valid JSON: %v", err)
+	}
+	if got.Clients != 2 || len(got.Results) != 1 || got.Results[0].TasksPerSec != 81920 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+}
+
+// TestIntsFlag covers the -batches parser.
+func TestIntsFlag(t *testing.T) {
+	var f intsFlag
+	if err := f.Set("4, 16,64"); err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 3 || f[0] != 4 || f[1] != 16 || f[2] != 64 {
+		t.Fatalf("parsed %v", f)
+	}
+	if f.String() != "4,16,64" {
+		t.Fatalf("String() = %q", f.String())
+	}
+	if err := f.Set("4,x"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+}

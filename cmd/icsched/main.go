@@ -68,6 +68,8 @@ func run(args []string) error {
 		return cmdDifftest(args[1:])
 	case "bench":
 		return cmdBench(args[1:])
+	case "loadgen":
+		return cmdLoadgen(args[1:])
 	case "experiments":
 		return cmdExperiments()
 	case "help", "-h", "--help":
@@ -98,6 +100,7 @@ commands:
   chaos [-trace FILE] [seed]  fault-injection proof: all workloads under chaos, bit-checked
   difftest [-seed S] [-n N]   differential test: exec vs icsim vs icserver + theorem properties
   bench [flags] [family...]   run families through the executor, write BENCH_*.json
+  loadgen [flags]             HTTP throughput benchmark: single vs batched protocol, write BENCH_throughput.json
   experiments                 regenerate the EXPERIMENTS.md tables`)
 }
 

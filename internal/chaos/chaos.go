@@ -54,6 +54,12 @@ type Config struct {
 	// Timeout bounds one workload execution (default 60s) — a chaos run
 	// must finish, not hang.
 	Timeout time.Duration
+	// Batch switches the fleet to the batched wire protocol (POST /tasks
+	// + /report) with this per-grant cap; zero keeps the legacy
+	// one-task-per-round-trip protocol.  Chaos recovery must hold under
+	// both: a crash mid-batch abandons every unreported task of the
+	// grant at once.
+	Batch int
 	// Trace optionally records every workload's server-side events
 	// (allocations, completions, hand-backs, quarantines) in the shared
 	// obs schema, for post-mortem inspection in chrome://tracing.
@@ -197,6 +203,7 @@ func runFleet(name string, g *dag.Dag, order []dag.NodeID,
 					Compute:   injected,
 					IdleWait:  time.Millisecond,
 					RetryWait: time.Millisecond,
+					Batch:     cfg.Batch,
 					ID:        fmt.Sprintf("%s-client-%d.%d", name, i, respawn),
 					Seed:      clientSeed(cfg.Seed, i, respawn),
 				}

@@ -71,3 +71,27 @@ func TestChaosHighFaultPressure(t *testing.T) {
 		t.Fatalf("high-pressure run injected no faults: %s", rep)
 	}
 }
+
+// TestChaosBatchedProtocol reruns the wavefront recovery proof over the
+// batched wire protocol: crashes now abandon whole grants at once, and
+// /report retries after dropped responses replay entire mixed batches —
+// recovery and bit-exactness must survive both.
+func TestChaosBatchedProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	rep, err := chaos.Wavefront(chaos.Config{Seed: 7, Batch: 8}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.Completed != rep.Tasks {
+		t.Errorf("completed %d of %d tasks", rep.Completed, rep.Tasks)
+	}
+	if rep.Quarantined != 0 {
+		t.Errorf("%d tasks lost to quarantine", rep.Quarantined)
+	}
+	if rep.Crashes == 0 {
+		t.Error("no client crashes at a 10% crash rate")
+	}
+}

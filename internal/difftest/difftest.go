@@ -212,6 +212,9 @@ func checkInstance(rng *rand.Rand, inst instance, cfg Config, rep *Report) error
 	if err := checkServer(g, order, want); err != nil {
 		return fmt.Errorf("icserver: %w", err)
 	}
+	if err := checkServerBatched(g, order, ref, rng); err != nil {
+		return fmt.Errorf("icserver(batched): %w", err)
+	}
 
 	// Theory properties.
 	if lat != nil {
@@ -457,6 +460,118 @@ func checkServer(g *dag.Dag, order []dag.NodeID, want []int) error {
 		return fmt.Errorf("trace profile %v, model profile %v", prof, want)
 	}
 	return nil
+}
+
+// checkServerBatched drives the same instance through the batched
+// protocol (AllocateBatch to bootstrap, then piggybacked ReportAllocate)
+// twice.  The first pass uses rng-drawn
+// batch sizes and checks the server against a pure model replica — the
+// same heur.Static instance fed by a sched.State — predicting every
+// grant: a batch must be exactly the ELIGIBLE prefix of the allocation
+// order, whatever k is.  The second pass fixes k=1 and must realize the
+// static order exactly, proving the batched endpoint degenerates to the
+// legacy protocol.  Both passes must reproduce the FNV ground truth, and
+// the first pass's trace profile must match sched.Profile of its
+// realized order.
+func checkServerBatched(g *dag.Dag, order []dag.NodeID, ref []uint64, rng *rand.Rand) error {
+	realized, tr, err := driveBatched(g, order, ref, func() int { return 1 + rng.Intn(4) })
+	if err != nil {
+		return err
+	}
+	if err := sched.Validate(g, realized); err != nil {
+		return fmt.Errorf("realized batch order illegal: %w", err)
+	}
+	want, err := sched.Profile(g, realized)
+	if err != nil {
+		return err
+	}
+	prof, err := tr.EligibilityProfile()
+	if err != nil {
+		return err
+	}
+	if !equalInts(prof, want) {
+		return fmt.Errorf("trace profile %v, model profile of realized order %v", prof, want)
+	}
+	serial, _, err := driveBatched(g, order, ref, func() int { return 1 })
+	if err != nil {
+		return fmt.Errorf("k=1 pass: %w", err)
+	}
+	if !equalIDs(serial, order) {
+		return fmt.Errorf("k=1 batches realized %v, want the static order %v", serial, order)
+	}
+	return nil
+}
+
+// driveBatched runs one batched serial drive the way the steady-state
+// HTTP client does: one bootstrap AllocateBatch, then every later grant
+// piggybacks on the previous batch's ack via ReportAllocate.  Each grant
+// is verified against the model replica, the FNV values are computed, and
+// the drive repeats until the piggybacked grant reports AllocFinished.
+// It returns the realized allocation order and the server trace.
+func driveBatched(g *dag.Dag, order []dag.NodeID, ref []uint64, nextK func() int) ([]dag.NodeID, *obs.Trace, error) {
+	tr := obs.NewTrace()
+	srv := icserver.New(g, heur.Static("difftest", order),
+		icserver.WithLease(0), icserver.WithTrace(tr))
+	model := heur.Static("difftest", order).Start(g)
+	st := sched.NewState(g)
+	model.Offer(st.Eligible())
+	vals := make([]uint64, g.NumNodes())
+	var realized []dag.NodeID
+	k := nextK()
+	batch, state := srv.AllocateBatch(k)
+	for i := 0; ; i++ {
+		if i > g.NumNodes()+1 {
+			return nil, nil, fmt.Errorf("batched drive did not finish after %d requests", i)
+		}
+		if state == icserver.AllocFinished {
+			if got := srv.Status(); got.Completed != g.NumNodes() {
+				return nil, nil, fmt.Errorf("finished with %d of %d completed", got.Completed, g.NumNodes())
+			}
+			break
+		}
+		if state != icserver.AllocOK || len(batch) == 0 {
+			return nil, nil, fmt.Errorf("request %d (k=%d) stalled: state %v, batch %v", i, k, state, batch)
+		}
+		// The model predicts the grant: pop up to k eligible nodes in
+		// rank order from the replica policy.
+		var predicted []dag.NodeID
+		for len(predicted) < k {
+			v, ok := model.Next()
+			if !ok {
+				break
+			}
+			predicted = append(predicted, v)
+		}
+		if !equalIDs(batch, predicted) {
+			return nil, nil, fmt.Errorf("request %d (k=%d) granted %v, model predicts %v", i, k, batch, predicted)
+		}
+		for _, v := range batch {
+			vals[v] = nodeValue(g, v, vals)
+			packet, err := st.Execute(v)
+			if err != nil {
+				return nil, nil, fmt.Errorf("model rejects granted node %d: %w", v, err)
+			}
+			model.Offer(packet)
+		}
+		k = nextK()
+		rep, next, nstate, err := srv.ReportAllocate(batch, nil, k)
+		if err != nil {
+			return nil, nil, fmt.Errorf("report batch %v: %w", batch, err)
+		}
+		if rep.Completed != len(batch) || rep.Duplicates != 0 {
+			return nil, nil, fmt.Errorf("report of %d tasks returned %+v", len(batch), rep)
+		}
+		realized = append(realized, batch...)
+		batch, state = next, nstate
+	}
+	status := srv.Status()
+	if status.Stalls != 0 || status.Reissues != 0 || status.Quarantined != 0 {
+		return nil, nil, fmt.Errorf("status %+v after clean batched drive", status)
+	}
+	if err := equalValues(vals, ref); err != nil {
+		return nil, nil, err
+	}
+	return realized, tr, nil
 }
 
 // checkDuality exercises Theorem 2.2 on the instance's schedule: the

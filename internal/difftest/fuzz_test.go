@@ -29,16 +29,20 @@ func FuzzInstance(f *testing.F) {
 }
 
 // FuzzServerProtocol drives an IC server with an arbitrary operation
-// sequence — allocations, completions and failures of arbitrary task
-// IDs (valid or not), and clock jumps past lease expiry — then demands
-// liveness: a serial drain that advances the clock must always reach
-// AllocFinished, with every task either completed or quarantined.  The
-// server must never panic and never report more completions than tasks.
+// sequence — single and batched allocations, single completions and
+// failures of arbitrary task IDs (valid or not), batched reports, and
+// clock jumps past lease expiry — then demands liveness: a serial drain
+// that advances the clock must always reach AllocFinished, with every
+// task either completed or quarantined.  The server must never panic
+// and never report more completions than tasks.
 func FuzzServerProtocol(f *testing.F) {
 	f.Add(int64(1), []byte{0, 0, 1, 0, 0, 1, 3, 200})
 	f.Add(int64(7), []byte{0, 0, 2, 0, 2, 0, 2, 0, 3, 255, 0, 0})
 	f.Add(int64(-3), []byte{1, 9, 2, 9, 0, 0, 4, 0})
 	f.Add(int64(1<<33), []byte{})
+	f.Add(int64(11), []byte{5, 3, 6, 2, 5, 7, 3, 255, 6, 1})
+	f.Add(int64(-9), []byte{5, 255, 5, 0, 6, 5, 2, 3, 6, 0, 5, 1})
+	f.Add(int64(4), []byte{5, 3, 7, 2, 7, 7, 3, 128, 7, 0, 6, 1})
 	f.Fuzz(func(t *testing.T, dagSeed int64, ops []byte) {
 		rng := rand.New(rand.NewSource(dagSeed))
 		g := dag.RandomConnected(rng, 1+rng.Intn(12), 0.3)
@@ -52,7 +56,7 @@ func FuzzServerProtocol(f *testing.F) {
 		var granted []dag.NodeID
 		for i := 0; i+1 < len(ops); i += 2 {
 			arg := dag.NodeID(int(ops[i+1]) % n)
-			switch ops[i] % 5 {
+			switch ops[i] % 8 {
 			case 0:
 				if v, state := srv.Allocate(); state == icserver.AllocOK {
 					granted = append(granted, v)
@@ -69,6 +73,51 @@ func FuzzServerProtocol(f *testing.F) {
 						t.Fatalf("completing a granted task: %v", err)
 					}
 					granted = granted[:len(granted)-1]
+				}
+			case 5:
+				batch, state := srv.AllocateBatch(1 + int(ops[i+1])%4)
+				if state == icserver.AllocOK {
+					granted = append(granted, batch...)
+				}
+			case 6:
+				// Report a batch popped from the granted stack.  Expired
+				// leases can put the same task into granted twice, so
+				// dedupe the batch — after which acking granted tasks
+				// must always succeed (completions or idempotent dups).
+				var done []dag.NodeID
+				inBatch := make(map[dag.NodeID]bool)
+				for len(granted) > 0 && len(done) < 1+int(ops[i+1])%3 {
+					v := granted[len(granted)-1]
+					granted = granted[:len(granted)-1]
+					if !inBatch[v] {
+						inBatch[v] = true
+						done = append(done, v)
+					}
+				}
+				if _, err := srv.Report(done, nil); err != nil {
+					t.Fatalf("reporting granted batch %v: %v", done, err)
+				}
+			case 7:
+				// Piggybacked ack: report a deduped batch of granted tasks
+				// and take the next grant in the same call.  The ack of
+				// granted tasks must succeed, and the grant goes back on
+				// the stack like any other allocation.
+				var done []dag.NodeID
+				inBatch := make(map[dag.NodeID]bool)
+				for len(granted) > 0 && len(done) < 1+int(ops[i+1])%3 {
+					v := granted[len(granted)-1]
+					granted = granted[:len(granted)-1]
+					if !inBatch[v] {
+						inBatch[v] = true
+						done = append(done, v)
+					}
+				}
+				_, batch, state, err := srv.ReportAllocate(done, nil, 1+int(ops[i+1])%4)
+				if err != nil {
+					t.Fatalf("report-allocate of granted batch %v: %v", done, err)
+				}
+				if state == icserver.AllocOK {
+					granted = append(granted, batch...)
 				}
 			}
 			if st := srv.Status(); st.Completed > st.Total {

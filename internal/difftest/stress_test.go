@@ -2,14 +2,17 @@ package difftest
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
 
 	"icsched/internal/dag"
+	"icsched/internal/faults"
 	"icsched/internal/heur"
 	"icsched/internal/icserver"
 	"icsched/internal/obs"
@@ -107,5 +110,143 @@ func TestServerStressConcurrentClients(t *testing.T) {
 	}
 	if !equalInts(prof, want) {
 		t.Fatalf("trace profile %v, model profile of completion order %v", prof, want)
+	}
+}
+
+// TestServerStressConcurrentBatchedChaos is the batched-protocol half of
+// the -race stress lane: 16 batching clients under injected faults
+// (crashes mid-batch, dropped responses, synthetic 500s) plus poison
+// tasks that always fail, against a short lease and a low quarantine
+// threshold.  The run must reach a terminal state — possibly degraded —
+// in bounded time, and the server trace must account for every
+// unfinished task: each one either quarantined itself or blocked behind
+// a quarantined ancestor, with the completed remainder computing the
+// reference FNV values bit for bit.
+func TestServerStressConcurrentBatchedChaos(t *testing.T) {
+	const clients = 16
+	rng := rand.New(rand.NewSource(23))
+	g := dag.RandomLayered(rng, []int{8, 12, 12, 12, 8}, 3)
+	n := g.NumNodes()
+	ref := refValues(g)
+	tr := obs.NewTrace()
+	srv := icserver.New(g, heur.Static("stress-batched", randomLegalOrder(rng, g)),
+		icserver.WithLease(40*time.Millisecond), icserver.WithMaxAttempts(3),
+		icserver.WithTrace(tr))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	plan := faults.NewPlan(23, faults.Rates{
+		Crash:        0.04,
+		DropResponse: 0.05,
+		HTTPError:    0.05,
+	})
+	poison := func(v dag.NodeID) bool { return v%11 == 5 }
+
+	var mu sync.Mutex
+	vals := make([]uint64, n)
+	computed := make([]bool, n)
+	compute := func(v dag.NodeID, _ string) error {
+		if poison(v) {
+			return fmt.Errorf("stress: %w", faults.ErrInjected)
+		}
+		if plan.Decide(faults.Crash) {
+			return icserver.ErrCrash
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		// Recomputation after a lease reissue is idempotent: parent
+		// values are final once written (parents completed first).
+		vals[v] = nodeValue(g, v, vals)
+		computed[v] = true
+		return nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for respawn := 0; ; respawn++ {
+				cl := &icserver.Client{
+					BaseURL:   ts.URL,
+					HTTP:      &http.Client{Transport: plan.Transport(nil)},
+					Compute:   compute,
+					Batch:     4,
+					IdleWait:  time.Millisecond,
+					RetryWait: time.Millisecond,
+					ID:        fmt.Sprintf("stress-batched-%d.%d", c, respawn),
+					Seed:      int64(c*100 + respawn + 1),
+				}
+				_, err := cl.Run(ctx)
+				if errors.Is(err, icserver.ErrCrash) {
+					continue // respawn: abandoned leases expire and reissue
+				}
+				errs[c] = err
+				return
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	if !srv.Finished() {
+		t.Fatalf("fleet drained but server not terminal: %+v", srv.Status())
+	}
+	st := srv.Status()
+	if st.Quarantined == 0 {
+		t.Fatalf("poison tasks never quarantined: %+v", st)
+	}
+	if st.Allocated != 0 {
+		t.Fatalf("terminal state with %d leases outstanding: %+v", st.Allocated, st)
+	}
+
+	// Degraded accounting from the trace: completion state per task, with
+	// a post-quarantine completion counting as a rescue.
+	done := make([]bool, n)
+	quarantined := make([]bool, n)
+	for _, ev := range tr.Events() {
+		switch ev.Phase {
+		case obs.PhaseDone:
+			done[ev.Task] = true
+			quarantined[ev.Task] = false
+		case obs.PhaseQuarantine:
+			quarantined[ev.Task] = true
+		}
+	}
+	blocked := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if quarantined[v] {
+			blocked[v] = true
+			for u, r := range g.Reachable(dag.NodeID(v)) {
+				if r {
+					blocked[u] = true
+				}
+			}
+		}
+	}
+	countDone := 0
+	for v := 0; v < n; v++ {
+		if done[v] {
+			countDone++
+			if !computed[dag.NodeID(v)] && !poison(dag.NodeID(v)) {
+				t.Fatalf("task %d reported done but never computed", v)
+			}
+			if vals[v] != ref[v] && !poison(dag.NodeID(v)) {
+				t.Fatalf("task %d computed %#x, want %#x", v, vals[v], ref[v])
+			}
+			continue
+		}
+		if !blocked[v] {
+			t.Fatalf("task %d incomplete but not blocked by any quarantine: %+v", v, st)
+		}
+	}
+	if countDone != st.Completed {
+		t.Fatalf("trace says %d done, status says %d", countDone, st.Completed)
 	}
 }

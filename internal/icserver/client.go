@@ -56,6 +56,18 @@ type Client struct {
 	// MaxAttempts bounds tries per request, first included (default 8);
 	// when exhausted Run returns the last error.
 	MaxAttempts int
+	// Batch switches the client to the batched wire protocol (POST /tasks
+	// + POST /report) with this cap on tasks per grant.  Zero (or
+	// negative) keeps the legacy one-task-per-round-trip protocol.  The
+	// batched client keeps a local task queue: it computes every granted
+	// task, then acks the whole batch — completions and failures mixed —
+	// in one /report, so the scheduler lock and the HTTP round-trip are
+	// amortized over the batch.  The ask is sized adaptively: it starts at
+	// 1, doubles after every full grant up to Batch, holds steady on a
+	// short grant (the server clamps over-asks to the eligible prefix, so
+	// a big ask costs nothing), and resets to 1 after an empty grant so an
+	// idle client probes gently.
+	Batch int
 	// ID names this client.  It is sent as the X-IC-Client header on
 	// every POST so server-side traces attribute events per client.
 	ID string
@@ -85,8 +97,12 @@ type Stats struct {
 	IdlePolls int
 	// Retries counts transient request failures that were retried.
 	Retries int
-	// Failed counts tasks handed back via /failed after a Compute error.
+	// Failed counts tasks handed back (via /failed, or in a /report
+	// batch) after a Compute error.
 	Failed int
+	// Batches counts /tasks grants that returned at least one task
+	// (always zero under the legacy protocol).
+	Batches int
 }
 
 func (c *Client) defaults() (idle, idleMax, retry, retryMax time.Duration, attempts int, httpc *http.Client) {
@@ -154,8 +170,12 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 }
 
 // Run loops until the computation finishes, the context is cancelled,
-// retries are exhausted, or Compute crashes.
+// retries are exhausted, or Compute crashes.  With Batch > 0 it speaks
+// the batched protocol; otherwise the legacy one-task-per-round-trip one.
 func (c *Client) Run(ctx context.Context) (Stats, error) {
+	if c.Batch > 0 {
+		return c.runBatched(ctx)
+	}
 	idleBase, idleMax, retryBase, retryMax, maxAttempts, httpc := c.defaults()
 	var stats Stats
 	idle := idleBase
@@ -222,6 +242,113 @@ func (c *Client) Run(ctx context.Context) (Stats, error) {
 			return stats, fmt.Errorf("icserver client: /done returned %d: %s", code, body)
 		}
 		stats.Completed++
+	}
+}
+
+// runBatched is the batched-protocol loop: ask for up to `ask` tasks in
+// one POST /tasks, compute every granted task locally, then ack the
+// whole batch — completions and failures mixed — in one POST /report
+// that piggybacks the next ask, so the steady state is ONE round trip
+// (and one server lock acquisition) per batch.  /tasks is only polled to
+// bootstrap and whenever a piggybacked grant comes back empty.  The ask
+// adapts: it starts at 1, doubles after a full grant (up to Batch), holds
+// steady on a short grant, and resets to 1 after an empty one.  ErrCrash
+// from Compute abandons the entire unreported remainder of the batch, so
+// lease expiry must recover every task granted to a crashed client.
+func (c *Client) runBatched(ctx context.Context) (Stats, error) {
+	idleBase, idleMax, retryBase, retryMax, maxAttempts, httpc := c.defaults()
+	var stats Stats
+	idle := idleBase
+	ask := 1
+	var batch []taskResponse // granted but not yet computed
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		if len(batch) == 0 {
+			// No piggybacked grant in hand: poll /tasks, backing off while
+			// the server has nothing eligible.
+			payload, err := json.Marshal(tasksRequest{K: ask})
+			if err != nil {
+				return stats, err
+			}
+			code, body, err := c.postRetry(ctx, httpc, "/tasks", payload, retryBase, retryMax, maxAttempts, &stats)
+			if err != nil {
+				return stats, err
+			}
+			switch code {
+			case http.StatusGone:
+				return stats, nil
+			case http.StatusOK:
+			default:
+				return stats, fmt.Errorf("icserver client: /tasks returned %d: %s", code, body)
+			}
+			var grant tasksResponse
+			if err := json.Unmarshal(body, &grant); err != nil {
+				return stats, fmt.Errorf("icserver client: %w", err)
+			}
+			if len(grant.Tasks) == 0 {
+				stats.IdlePolls++
+				ask = 1 // nothing eligible: next round probes with the minimum ask
+				if err := sleepCtx(ctx, c.jitter(idle)); err != nil {
+					return stats, err
+				}
+				if idle *= 2; idle > idleMax {
+					idle = idleMax
+				}
+				continue
+			}
+			batch = grant.Tasks
+		}
+		idle = idleBase
+		stats.Batches++
+		report := reportRequest{}
+		for _, task := range batch {
+			if c.Compute == nil {
+				report.Done = append(report.Done, task.Task)
+				continue
+			}
+			if err := c.Compute(task.Task, task.Name); err != nil {
+				if errors.Is(err, ErrCrash) {
+					return stats, err // vanish mid-batch: lease expiry recovers the rest
+				}
+				report.Failed = append(report.Failed, task.Task)
+				continue
+			}
+			report.Done = append(report.Done, task.Task)
+		}
+		if len(batch) == ask {
+			if ask *= 2; ask > c.Batch {
+				ask = c.Batch
+			}
+		}
+		// A short grant keeps the ask: over-asking costs nothing (the
+		// server clamps the grant to the ELIGIBLE prefix under the same
+		// single lock acquisition), while shrinking to the granted count
+		// would pin the whole fleet to one-task asks on any dag whose
+		// frontier is narrower than clients × Batch.
+		report.K = ask // piggyback the next ask on the ack
+		payload, err := json.Marshal(report)
+		if err != nil {
+			return stats, err
+		}
+		code, body, err := c.postRetry(ctx, httpc, "/report", payload, retryBase, retryMax, maxAttempts, &stats)
+		if err != nil {
+			return stats, err
+		}
+		if code != http.StatusOK {
+			return stats, fmt.Errorf("icserver client: /report returned %d: %s", code, body)
+		}
+		var acked reportResponse
+		if err := json.Unmarshal(body, &acked); err != nil {
+			return stats, fmt.Errorf("icserver client: %w", err)
+		}
+		stats.Completed += len(report.Done)
+		stats.Failed += len(report.Failed)
+		if acked.Finished {
+			return stats, nil // terminal: all tasks done (or degraded)
+		}
+		batch = acked.Tasks // empty → fall back to the /tasks poll above
 	}
 }
 

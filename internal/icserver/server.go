@@ -28,10 +28,37 @@
 //	                         |  410 (finished)  |  503 (draining)
 //	POST /done   {"task"} -> 200 {"newlyEligible": k}
 //	POST /failed {"task"} -> 200 {"requeued": b, "quarantined": b}
+//	POST /tasks  {"k": n} -> 200 {"tasks": [{"task": id, "name": label}, ...]}
+//	                         (empty array when nothing is eligible right now)
+//	                         |  400 (k < 1)  |  410 (finished)  |  503 (draining)
+//	POST /report {"done": [ids], "failed": [ids], "k": n?}
+//	                      -> 200 {"newlyEligible", "completed", "duplicates",
+//	                              "requeued", "quarantined",
+//	                              "tasks": [...]?, "finished": b?}
+//	                         |  400 (malformed, k < 0, or a task listed twice)
+//	                         |  409 (out-of-range or never-allocated task)
 //	GET  /status          -> 200 {"total", "completed", "eligible", "allocated",
 //	                              "stalls", "reissues", "failed", "quarantined"}
 //	GET  /healthz         -> 200/503 {"status", "uptimeSeconds", "completed", "total"}
 //	GET  /metrics         -> 200 Prometheus text format (see Metrics)
+//
+// /tasks and /report are the batched protocol: one request amortizes the
+// scheduler lock and the HTTP round-trip over up to k tasks.  A /tasks
+// grant is the length-≤k prefix of the server's allocation order — expired
+// leases first, then /failed hand-backs, then the policy's picks — taken
+// under ONE lock acquisition with one clock read and one gauge sync, so an
+// IC-optimal policy hands out exactly the ELIGIBLE-maximizing prefix the
+// quality model prescribes.  A /report acks a mixed batch of completions
+// and hand-backs atomically: the batch is validated in full (any
+// out-of-range, never-allocated, or twice-listed task rejects it) before
+// anything is applied, so a retried report is always safe.  A /report
+// carrying a positive "k" additionally piggybacks the next grant onto the
+// ack — report and grant happen under the same single lock acquisition,
+// so the steady-state batched client pays one round trip per batch
+// ("finished": true is the piggybacked analog of the /tasks 410; while
+// draining the ack is accepted but the grant is suppressed).  The legacy
+// single-task endpoints remain wire-compatible; both client generations
+// can share one server.
 //
 // POST requests may carry an X-IC-Client header naming the client; the
 // name is attached to trace events so per-client activity is visible in
@@ -100,6 +127,7 @@ type Server struct {
 // so a /metrics scrape and a /status read taken at quiescence agree.
 type serverMetrics struct {
 	reqTask, reqDone, reqFailed *obs.Counter
+	reqTasks, reqReport         *obs.Counter // batched-protocol requests
 	allocations                 *obs.Counter // lease grants, initial + reissues
 	completions                 *obs.Counter // first-time completions
 	duplicateDone               *obs.Counter // idempotent duplicate /done no-ops
@@ -113,17 +141,45 @@ type serverMetrics struct {
 	leases                      *obs.Gauge   // outstanding allocations
 	quarantined                 *obs.Gauge   // current quarantined set size
 	completed                   *obs.Gauge   // tasks executed
+
+	latTask, latDone, latFailed *obs.Histogram // per-endpoint handler latency
+	latTasks, latReport         *obs.Histogram
+	grantsPerRequest            *obs.Histogram // tasks granted per /tasks request
+	lockHold                    *obs.Histogram // scheduler-lock hold time per allocation request
 }
+
+// latencyBuckets spans local-loop HTTP handler times, 50µs to ~1s.
+var latencyBuckets = []float64{
+	.00005, .0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1,
+}
+
+// grantBuckets spans batch sizes granted per /tasks request.
+var grantBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128}
 
 func newServerMetrics(reg *obs.Registry) serverMetrics {
 	req := func(path string) *obs.Counter {
 		return reg.Counter(fmt.Sprintf("icserver_http_requests_total{path=%q}", path),
 			"HTTP requests by path")
 	}
+	lat := func(path string) *obs.Histogram {
+		return reg.Histogram(fmt.Sprintf("icserver_request_seconds{path=%q}", path),
+			"HTTP handler latency by path", latencyBuckets)
+	}
 	return serverMetrics{
-		reqTask:       req("/task"),
-		reqDone:       req("/done"),
-		reqFailed:     req("/failed"),
+		reqTask:   req("/task"),
+		reqDone:   req("/done"),
+		reqFailed: req("/failed"),
+		reqTasks:  req("/tasks"),
+		reqReport: req("/report"),
+		latTask:   lat("/task"),
+		latDone:   lat("/done"),
+		latFailed: lat("/failed"),
+		latTasks:  lat("/tasks"),
+		latReport: lat("/report"),
+		grantsPerRequest: reg.Histogram("icserver_grants_per_request",
+			"tasks granted per batched /tasks request", grantBuckets),
+		lockHold: reg.Histogram("icserver_lock_hold_seconds",
+			"scheduler-lock hold time per allocation request", latencyBuckets),
 		allocations:   reg.Counter("icserver_allocations_total", "lease grants (initial allocations + reissues)"),
 		completions:   reg.Counter("icserver_completions_total", "first-time task completions"),
 		duplicateDone: reg.Counter("icserver_duplicate_done_total", "idempotent duplicate /done reports"),
@@ -204,13 +260,24 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 // Handler returns the HTTP handler exposing the protocol.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /task", s.handleTask)
-	mux.HandleFunc("POST /done", s.handleDone)
-	mux.HandleFunc("POST /failed", s.handleFailed)
+	mux.HandleFunc("POST /task", timed(s.m.latTask, s.handleTask))
+	mux.HandleFunc("POST /done", timed(s.m.latDone, s.handleDone))
+	mux.HandleFunc("POST /failed", timed(s.m.latFailed, s.handleFailed))
+	mux.HandleFunc("POST /tasks", timed(s.m.latTasks, s.handleTasks))
+	mux.HandleFunc("POST /report", timed(s.m.latReport, s.handleReport))
 	mux.HandleFunc("GET /status", s.handleStatus)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	return mux
+}
+
+// timed records a handler's wall time in its endpoint latency histogram.
+func timed(lat *obs.Histogram, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		lat.Observe(time.Since(start).Seconds())
+	}
 }
 
 // taskResponse is the /task payload.
@@ -233,6 +300,52 @@ type doneResponse struct {
 type failedResponse struct {
 	Requeued    bool `json:"requeued"`
 	Quarantined bool `json:"quarantined"`
+}
+
+// tasksRequest is the batched /tasks payload: grant up to K tasks.
+type tasksRequest struct {
+	K int `json:"k"`
+}
+
+// tasksResponse carries a batch grant; Tasks is empty when nothing is
+// eligible (the batched analog of the legacy 204).
+type tasksResponse struct {
+	Tasks []taskResponse `json:"tasks"`
+}
+
+// reportRequest is the batched /report payload: a mixed batch of
+// completions and early hand-backs, acked in one request.  A positive K
+// piggybacks the next grant onto the ack — the server acks the batch and
+// grants up to K next tasks under the same single lock acquisition, so a
+// steady-state batched client needs one round trip per batch, not two.
+type reportRequest struct {
+	Done   []dag.NodeID `json:"done"`
+	Failed []dag.NodeID `json:"failed"`
+	K      int          `json:"k,omitempty"`
+}
+
+// reportResponse is the /report reply: the batch summary plus, when the
+// request piggybacked an ask (K > 0), the next grant.  Finished reports
+// the terminal state (the batched analog of the legacy 410) — it can only
+// turn true on a piggybacked report, never on a plain ack.
+type reportResponse struct {
+	BatchReport
+	Tasks    []taskResponse `json:"tasks,omitempty"`
+	Finished bool           `json:"finished,omitempty"`
+}
+
+// BatchReport summarizes what a /report batch did; it is also the
+// in-process Report return value.
+type BatchReport struct {
+	// NewlyEligible sums the packet sizes of the first-time completions.
+	NewlyEligible int `json:"newlyEligible"`
+	// Completed counts first-time completions in the batch.
+	Completed int `json:"completed"`
+	// Duplicates counts idempotent re-acks of already-completed tasks.
+	Duplicates int `json:"duplicates"`
+	// Requeued and Quarantined count what became of the failed entries.
+	Requeued    int `json:"requeued"`
+	Quarantined int `json:"quarantined"`
 }
 
 // healthResponse is the /healthz payload.
@@ -326,6 +439,89 @@ func (s *Server) handleFailed(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, failedResponse{Requeued: requeued, Quarantined: quarantined})
 }
 
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	s.m.reqTasks.Inc()
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req tasksRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "icserver: malformed /tasks body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.K < 1 {
+		http.Error(w, fmt.Sprintf("icserver: batch size %d < 1", req.K), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "icserver: draining", http.StatusServiceUnavailable)
+		return
+	}
+	batch, state := s.allocateBatch(req.K, r.Header.Get(clientHeader))
+	if state == AllocFinished {
+		w.WriteHeader(http.StatusGone)
+		return
+	}
+	resp := tasksResponse{Tasks: make([]taskResponse, len(batch))}
+	for i, v := range batch {
+		resp.Tasks[i] = taskResponse{Task: v, Name: s.g.Name(v)}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	s.m.reqReport.Inc()
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req reportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "icserver: malformed /report body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.K < 0 {
+		http.Error(w, fmt.Sprintf("icserver: piggyback batch size %d < 0", req.K), http.StatusBadRequest)
+		return
+	}
+	actor := r.Header.Get(clientHeader)
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	k := req.K
+	if draining {
+		k = 0 // completions are welcome during drain; new grants are not
+	}
+	if k == 0 {
+		rep, err := s.report(req.Done, req.Failed, actor)
+		if err != nil {
+			writeReportError(w, err)
+			return
+		}
+		writeJSON(w, reportResponse{BatchReport: rep})
+		return
+	}
+	rep, batch, state, err := s.reportAllocate(req.Done, req.Failed, k, actor)
+	if err != nil {
+		writeReportError(w, err)
+		return
+	}
+	resp := reportResponse{BatchReport: rep, Finished: state == AllocFinished}
+	for _, v := range batch {
+		resp.Tasks = append(resp.Tasks, taskResponse{Task: v, Name: s.g.Name(v)})
+	}
+	writeJSON(w, resp)
+}
+
+// writeReportError maps a rejected report batch onto HTTP: a batch that
+// acks the same task twice is malformed (400); everything else is a state
+// conflict (409).
+func writeReportError(w http.ResponseWriter, err error) {
+	code := http.StatusConflict
+	if errors.Is(err, errDuplicateAck) {
+		code = http.StatusBadRequest
+	}
+	http.Error(w, err.Error(), code)
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Status())
 }
@@ -376,11 +572,70 @@ func (s *Server) Allocate() (dag.NodeID, AllocState) { return s.allocate("") }
 func (s *Server) allocate(actor string) (dag.NodeID, AllocState) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	held := time.Now()
+	v, state := s.allocateOneLocked(s.now(), actor)
+	if state == AllocEmpty {
+		s.stalls++
+		s.m.stalls.Inc()
+	}
+	s.syncGaugesLocked()
+	s.m.lockHold.Observe(time.Since(held).Seconds())
+	return v, state
+}
+
+// AllocateBatch grants up to k tasks in allocation order — expired-lease
+// reissues first, then /failed hand-backs, then policy picks — under one
+// lock acquisition, with one clock read and one gauge sync for the whole
+// batch.  It returns AllocOK with 1..k tasks, AllocEmpty with none (the
+// computation is live but nothing is currently allocatable), or
+// AllocFinished (terminal).  This is the in-process form of POST /tasks.
+func (s *Server) AllocateBatch(k int) ([]dag.NodeID, AllocState) { return s.allocateBatch(k, "") }
+
+func (s *Server) allocateBatch(k int, actor string) ([]dag.NodeID, AllocState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	held := time.Now()
+	batch, state := s.allocateBatchLocked(k, actor)
+	s.m.lockHold.Observe(time.Since(held).Seconds())
+	return batch, state
+}
+
+// allocateBatchLocked grants up to k tasks with one clock read for the
+// whole batch, counts a stall only on a zero grant, then syncs gauges and
+// observes grants-per-request once (caller holds s.mu).
+func (s *Server) allocateBatchLocked(k int, actor string) ([]dag.NodeID, AllocState) {
+	now := s.now()
+	var batch []dag.NodeID
+	state := AllocOK
+	for len(batch) < k {
+		v, st := s.allocateOneLocked(now, actor)
+		if st != AllocOK {
+			state = st
+			break
+		}
+		batch = append(batch, v)
+	}
+	if len(batch) > 0 {
+		// A partial grant is not a stall and not terminal: the request got
+		// work, just less than it asked for.
+		state = AllocOK
+	} else if state == AllocEmpty {
+		s.stalls++
+		s.m.stalls.Inc()
+	}
+	s.syncGaugesLocked()
+	s.m.grantsPerRequest.Observe(float64(len(batch)))
+	return batch, state
+}
+
+// allocateOneLocked picks the next task to grant (caller holds s.mu and
+// passes one clock reading for the whole request).  It neither syncs
+// gauges nor counts stalls — the per-request wrappers do both once.
+func (s *Server) allocateOneLocked(now time.Time, actor string) (dag.NodeID, AllocState) {
 	if s.st.Done() {
 		s.recordRunEndLocked()
 		return 0, AllocFinished
 	}
-	now := s.now()
 	// Reissue expired leases in expiry order.  Heap entries are lazily
 	// invalidated: an entry is live only while the lease map still holds
 	// the grant time it was pushed with.
@@ -432,15 +687,15 @@ func (s *Server) allocate(actor string) (dag.NodeID, AllocState) {
 			s.recordRunEndLocked()
 			return 0, AllocFinished
 		}
-		s.stalls++
-		s.m.stalls.Inc()
 		return 0, AllocEmpty
 	}
 	s.grantLocked(v, now, actor)
 	return v, AllocOK
 }
 
-// grantLocked records a lease grant (caller holds s.mu).
+// grantLocked records a lease grant (caller holds s.mu).  One heap push,
+// no gauge sync: the per-request wrappers reconcile gauges once per
+// request, not once per grant.
 func (s *Server) grantLocked(v dag.NodeID, now time.Time, actor string) {
 	s.attempts[v]++
 	s.leases[v] = now
@@ -448,7 +703,6 @@ func (s *Server) grantLocked(v dag.NodeID, now time.Time, actor string) {
 		heap.Push(&s.expiry, leaseEntry{v: v, granted: now})
 	}
 	s.m.allocations.Inc()
-	s.syncGaugesLocked()
 	if s.trace != nil {
 		s.trace.Record(obs.Event{Phase: obs.PhaseAllocate, Task: int(v), Name: s.g.Name(v),
 			Actor: actor, Attempt: s.attempts[v], Eligible: s.st.NumEligible()})
@@ -460,7 +714,6 @@ func (s *Server) grantLocked(v dag.NodeID, now time.Time, actor string) {
 func (s *Server) quarantineLocked(v dag.NodeID, actor string) {
 	s.quarantined[v] = true
 	s.m.quarantines.Inc()
-	s.syncGaugesLocked()
 	if s.trace != nil {
 		s.trace.Record(obs.Event{Phase: obs.PhaseQuarantine, Task: int(v), Name: s.g.Name(v),
 			Actor: actor, Attempt: s.attempts[v], Eligible: s.st.NumEligible()})
@@ -476,6 +729,11 @@ func (s *Server) Complete(v dag.NodeID) (int, error) { return s.complete(v, "") 
 func (s *Server) complete(v dag.NodeID, actor string) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.syncGaugesLocked()
+	return s.completeLocked(v, actor)
+}
+
+func (s *Server) completeLocked(v dag.NodeID, actor string) (int, error) {
 	if int(v) < 0 || int(v) >= s.g.NumNodes() {
 		return 0, fmt.Errorf("icserver: task %d out of range", v)
 	}
@@ -498,7 +756,6 @@ func (s *Server) complete(v dag.NodeID, actor string) (int, error) {
 	}
 	s.inst.Offer(packet)
 	s.m.completions.Inc()
-	s.syncGaugesLocked()
 	if s.trace != nil {
 		s.trace.Record(obs.Event{Phase: obs.PhaseDone, Task: int(v), Name: s.g.Name(v),
 			Actor: actor, Attempt: s.attempts[v], Eligible: s.st.NumEligible()})
@@ -520,6 +777,11 @@ func (s *Server) Fail(v dag.NodeID) (requeued, quarantined bool, err error) {
 func (s *Server) fail(v dag.NodeID, actor string) (requeued, quarantined bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.syncGaugesLocked()
+	return s.failLocked(v, actor)
+}
+
+func (s *Server) failLocked(v dag.NodeID, actor string) (requeued, quarantined bool, err error) {
 	if int(v) < 0 || int(v) >= s.g.NumNodes() {
 		return false, false, fmt.Errorf("icserver: task %d out of range", v)
 	}
@@ -533,7 +795,6 @@ func (s *Server) fail(v dag.NodeID, actor string) (requeued, quarantined bool, e
 	s.m.failed.Inc()
 	delete(s.leases, v)
 	if s.quarantined[v] {
-		s.syncGaugesLocked()
 		return false, true, nil
 	}
 	if s.maxAttempts > 0 && s.attempts[v] >= s.maxAttempts {
@@ -541,12 +802,105 @@ func (s *Server) fail(v dag.NodeID, actor string) (requeued, quarantined bool, e
 		return false, true, nil
 	}
 	s.returned = append(s.returned, v)
-	s.syncGaugesLocked()
 	if s.trace != nil {
 		s.trace.Record(obs.Event{Phase: obs.PhaseRetry, Task: int(v), Name: s.g.Name(v),
 			Actor: actor, Attempt: s.attempts[v], Eligible: s.st.NumEligible()})
 	}
 	return true, false, nil
+}
+
+// errDuplicateAck rejects a /report batch that lists the same task twice;
+// the handler maps it to 400 (a malformed batch, not a state conflict).
+var errDuplicateAck = errors.New("icserver: task acked twice in one report batch")
+
+// Report acks a mixed batch of completions and hand-backs under one lock
+// acquisition — the in-process form of POST /report.  The batch is
+// atomic: every listed task is validated first (in range, allocated at
+// least once or already done, listed at most once across both lists), and
+// on any violation nothing is applied.  Re-acking an already-completed
+// task — the retried-report case — is an idempotent duplicate, not an
+// error.
+func (s *Server) Report(done, failed []dag.NodeID) (BatchReport, error) {
+	return s.report(done, failed, "")
+}
+
+func (s *Server) report(done, failed []dag.NodeID, actor string) (BatchReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.syncGaugesLocked()
+	return s.reportLocked(done, failed, actor)
+}
+
+// ReportAllocate acks a report batch and, under the same single lock
+// acquisition, grants up to k next tasks — the in-process form of POST
+// /report with "k" set.  One lock hold covers validation, completions,
+// hand-backs, and the next grant, so a steady-state batched client pays
+// one round trip and one lock acquisition per batch.  A rejected report
+// (atomic, nothing applied) grants nothing.
+func (s *Server) ReportAllocate(done, failed []dag.NodeID, k int) (BatchReport, []dag.NodeID, AllocState, error) {
+	return s.reportAllocate(done, failed, k, "")
+}
+
+func (s *Server) reportAllocate(done, failed []dag.NodeID, k int, actor string) (BatchReport, []dag.NodeID, AllocState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	held := time.Now()
+	rep, err := s.reportLocked(done, failed, actor)
+	if err != nil {
+		s.syncGaugesLocked()
+		return rep, nil, AllocEmpty, err
+	}
+	batch, state := s.allocateBatchLocked(k, actor)
+	s.m.lockHold.Observe(time.Since(held).Seconds())
+	return rep, batch, state, nil
+}
+
+func (s *Server) reportLocked(done, failed []dag.NodeID, actor string) (BatchReport, error) {
+	seen := make(map[dag.NodeID]bool, len(done)+len(failed))
+	for _, list := range [2][]dag.NodeID{done, failed} {
+		for _, v := range list {
+			if int(v) < 0 || int(v) >= s.g.NumNodes() {
+				return BatchReport{}, fmt.Errorf("icserver: task %d out of range (batch rejected)", v)
+			}
+			if seen[v] {
+				return BatchReport{}, fmt.Errorf("%w: task %s", errDuplicateAck, s.g.Name(v))
+			}
+			seen[v] = true
+			if !s.done[v] && s.attempts[v] == 0 {
+				return BatchReport{}, fmt.Errorf("icserver: task %s was never allocated (batch rejected)", s.g.Name(v))
+			}
+		}
+	}
+	// Validation passed: every task is allocated or already done, so the
+	// locked cores below cannot fail (an allocated task's parents are all
+	// executed — it was ELIGIBLE when granted).
+	var rep BatchReport
+	for _, v := range done {
+		if s.done[v] {
+			s.m.duplicateDone.Inc()
+			rep.Duplicates++
+			continue
+		}
+		k, err := s.completeLocked(v, actor)
+		if err != nil {
+			return rep, fmt.Errorf("icserver: report batch applied partially: %w", err)
+		}
+		rep.NewlyEligible += k
+		rep.Completed++
+	}
+	for _, v := range failed {
+		requeued, quarantined, err := s.failLocked(v, actor)
+		if err != nil {
+			return rep, fmt.Errorf("icserver: report batch applied partially: %w", err)
+		}
+		if requeued {
+			rep.Requeued++
+		}
+		if quarantined {
+			rep.Quarantined++
+		}
+	}
+	return rep, nil
 }
 
 // syncGaugesLocked refreshes every gauge from the live state, keeping

@@ -278,6 +278,43 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts,
+// interpolating linearly within the bucket that contains the target rank
+// — the same estimate Prometheus's histogram_quantile gives.  The lowest
+// bucket interpolates from zero (bounds are assumed non-negative, as for
+// latencies); a rank landing in the +Inf bucket is clamped to the
+// largest finite bound.  Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 || len(h.bounds) == 0 || h.counts == nil {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.total)
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		prev := float64(cum)
+		cum += h.counts[i]
+		if float64(cum) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if h.counts[i] == 0 {
+				return bound
+			}
+			return lo + (bound-lo)*(rank-prev)/float64(h.counts[i])
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // write renders the histogram series under its (possibly labeled) name.
 func (h *Histogram) write(b *strings.Builder, name string) {
 	h.mu.Lock()

@@ -126,3 +126,34 @@ func TestMetricsHandler(t *testing.T) {
 		t.Fatalf("body missing counter:\n%s", buf[:n])
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewRegistry().Histogram("lat", "", []float64{1, 2, 4, 8})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 4 observations in (0,1], 4 in (1,2]: ranks interpolate linearly
+	// within each bucket.
+	for i := 0; i < 4; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	cases := []struct{ q, want float64 }{
+		{0.25, 0.5}, // rank 2 of 4 in the [0,1] bucket
+		{0.5, 1},    // rank 4: exactly the first bound
+		{0.75, 1.5}, // rank 6 of 8: midway through (1,2]
+		{1, 2},      // rank 8: top of the second bucket
+		{-1, 0},     // clamped below
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// An observation beyond every bound lands in +Inf; high quantiles
+	// clamp to the largest finite bound rather than extrapolating.
+	h.Observe(100)
+	if got := h.Quantile(1); got != 8 {
+		t.Fatalf("Quantile(1) with +Inf mass = %v, want 8", got)
+	}
+}
