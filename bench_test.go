@@ -22,6 +22,7 @@ import (
 	"icsched/internal/compute/sortnet"
 	"icsched/internal/compute/wavefront"
 	"icsched/internal/compute/zt"
+	"icsched/internal/dag"
 	"icsched/internal/dltdag"
 	"icsched/internal/exec"
 	"icsched/internal/heur"
@@ -389,13 +390,75 @@ func BenchmarkSec7MatMul(b *testing.B) {
 // --- assessment machinery ([15],[19]-style) ------------------------------
 
 func BenchmarkOracleAnalyze(b *testing.B) {
-	g := mesh.OutMesh(6) // 21 nodes
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := opt.Analyze(g); err != nil {
-			b.Fatal(err)
+	layered24 := dag.RandomLayered(rand.New(rand.NewSource(1)), []int{4, 5, 5, 5, 5}, 3)
+	for _, bench := range []struct {
+		name string
+		g    *dag.Dag
+	}{
+		{"outmesh-21", mesh.OutMesh(6)},
+		{"layered-24", layered24},
+		{"outmesh-28", mesh.OutMesh(7)}, // beyond the legacy 26-node cap
+		{"layered-33", dag.RandomLayered(rand.New(rand.NewSource(2)), []int{3, 6, 6, 6, 6, 6}, 2)}, // ditto
+	} {
+		b.Run("frontier/"+bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.Analyze(bench.g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("serial/"+bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.AnalyzeWorkers(bench.g, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if bench.g.NumNodes() <= opt.LegacyMaxNodes {
+			b.Run("legacy/"+bench.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := opt.AnalyzeLegacy(bench.g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
+	b.Run("decide/layered-24", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := opt.Decide(layered24); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkProfileReuse measures the zero-allocation replay core: a
+// reused bitset State profiling a 24-node schedule versus the
+// allocate-per-call package function.
+func BenchmarkProfileReuse(b *testing.B) {
+	g := dag.RandomLayered(rand.New(rand.NewSource(1)), []int{4, 5, 5, 5, 5}, 3)
+	order := sched.Complete(g, sched.AnyTopoNonsinks(g))
+	b.Run("profile-into", func(b *testing.B) {
+		st := sched.NewState(g)
+		prof := make([]int, 0, len(order)+1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if prof, err = st.ProfileInto(order, prof); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("profile-alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.Profile(g, order); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkHeuristicsOnMesh(b *testing.B) {

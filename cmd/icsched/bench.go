@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -14,6 +15,59 @@ import (
 	"icsched/internal/obs"
 	"icsched/internal/sched"
 )
+
+// writeJSON marshals doc with indentation to the given destination
+// ("-" for stdout).
+func writeJSON(dest string, doc any) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if dest == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(dest, data, 0o644)
+}
+
+// startProfiles turns on the requested pprof profiles and returns the
+// function that finalizes them: it stops the CPU profile and snapshots
+// the heap after a GC, so `go tool pprof` reads both files directly.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("bench: cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Printf("wrote CPU profile %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: memprofile: %v\n", err)
+				return
+			}
+			fmt.Printf("wrote heap profile %s\n", memPath)
+		}
+	}, nil
+}
 
 // benchResult is one family's measurement: wall time of a real executor
 // run plus the paper's quality aggregates over the realized eligibility
@@ -70,12 +124,21 @@ func benchSize(name string, quick bool) int {
 // trace-reconstructed profile and the IC-optimal oracle profile), and
 // retry counts.  -flaky injects a deterministic transient first-attempt
 // failure into the given percentage of tasks to exercise the retry path.
+//
+// -oracle switches to the oracle benchmark instead: the frontier
+// ideal-lattice analysis against the retained pre-frontier baseline on a
+// fixed dag set, written as BENCH_oracle.json.  -cpuprofile/-memprofile
+// write pprof profiles of the benchmark run itself (the offline
+// counterpart of `serve -pprof`).
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_exec.json", "output JSON file (- for stdout)")
+	out := fs.String("out", "", "output JSON file (- for stdout; default BENCH_exec.json, or BENCH_oracle.json with -oracle)")
 	workers := fs.Int("workers", 4, "executor worker goroutines")
-	quick := fs.Bool("quick", false, "small sizes (CI smoke run)")
+	quick := fs.Bool("quick", false, "small sizes / short timing budget (CI smoke run)")
 	flaky := fs.Int("flaky", 0, "percent of tasks whose first attempt fails (deterministic)")
+	oracleMode := fs.Bool("oracle", false, "benchmark the IC-optimality oracle (frontier vs. legacy) instead of the executor")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file when the run ends")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +147,29 @@ func cmdBench(args []string) error {
 	}
 	if *flaky < 0 || *flaky > 100 {
 		return fmt.Errorf("bench: flaky %d%% outside [0, 100]", *flaky)
+	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
+	if *oracleMode {
+		doc, err := runBenchOracle(*quick)
+		if err != nil {
+			return err
+		}
+		dest := *out
+		if dest == "" {
+			dest = "BENCH_oracle.json"
+		}
+		if err := writeJSON(dest, doc); err != nil {
+			return err
+		}
+		printBenchOracle(doc)
+		if dest != "-" {
+			fmt.Printf("wrote %s (%d dags)\n", dest, len(doc.Results))
+		}
+		return nil
 	}
 	names := fs.Args()
 	if len(names) == 0 {
@@ -155,18 +241,11 @@ func cmdBench(args []string) error {
 		})
 	}
 
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
 	dest := *out
-	if dest == "-" {
-		_, err = os.Stdout.Write(data)
-	} else {
-		err = os.WriteFile(dest, data, 0o644)
+	if dest == "" {
+		dest = "BENCH_exec.json"
 	}
-	if err != nil {
+	if err := writeJSON(dest, doc); err != nil {
 		return err
 	}
 	fmt.Printf("%-10s %6s %6s %10s %10s %10s %8s\n",

@@ -29,6 +29,7 @@
 package difftest
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -57,8 +58,9 @@ type Config struct {
 	// Start is the index of the first instance; reproduce a failing
 	// instance k by rerunning with Start=k, N=1 and the same Seed.
 	Start int
-	// MaxNodes caps generated dag sizes (default 16; capped so even
-	// ⇑-composed instances stay within the exact oracle's reach).
+	// MaxNodes caps generated dag sizes (default 28, past the legacy
+	// oracle's 26-node limit; instances whose lattice outgrows the layer
+	// budget skip the oracle checks instead of capping the dag).
 	MaxNodes int
 	// Workers is the worker count for the parallel executor pass
 	// (default 4).
@@ -66,6 +68,54 @@ type Config struct {
 	// MaxFailures stops the run early after this many failing instances
 	// (default 5).
 	MaxFailures int
+	// LegacyOracle routes the oracle property checks through the
+	// retained-lattice pre-frontier implementation (opt.AnalyzeLegacy)
+	// instead of the frontier oracle — the A/B switch used by the soak
+	// benchmark (EXPERIMENTS.md E15).  Dags beyond opt.LegacyMaxNodes
+	// skip the oracle checks in this mode.
+	LegacyOracle bool
+}
+
+// oracle is the IC-optimality interface both opt implementations
+// satisfy; the harness is differential over it.
+type oracle interface {
+	MaxE() []int
+	IsOptimal(order []dag.NodeID) (bool, int, error)
+	OptimalSchedule() ([]dag.NodeID, bool)
+	Exists() bool
+}
+
+// oracleBudget caps the frontier oracle's per-layer ideal count inside
+// the harness.  Every dag of ≤ 16 nodes fits (a 16-node lattice layer
+// has at most C(16,8) = 12870 ideals), so raising MaxNodes past the old
+// cap loses no coverage; near-antichain wide instances skip the oracle
+// checks instead of exhausting memory.
+const oracleBudget = 1 << 18
+
+// analyze runs the configured oracle on g, returning nil (no error)
+// when g is out of the oracle's reach and the checks should be skipped.
+func (cfg Config) analyze(g *dag.Dag) (oracle, error) {
+	if cfg.LegacyOracle {
+		if g.NumNodes() > opt.LegacyMaxNodes {
+			return nil, nil
+		}
+		l, err := opt.AnalyzeLegacy(g)
+		if err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	if g.NumNodes() > opt.MaxNodes {
+		return nil, nil
+	}
+	l, err := opt.AnalyzeBudget(g, 0, oracleBudget)
+	if errors.Is(err, opt.ErrBudget) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
 }
 
 func (cfg Config) withDefaults() Config {
@@ -73,7 +123,7 @@ func (cfg Config) withDefaults() Config {
 		cfg.N = 100
 	}
 	if cfg.MaxNodes == 0 {
-		cfg.MaxNodes = 16
+		cfg.MaxNodes = 28
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = 4
@@ -154,12 +204,13 @@ func instanceRNG(seed int64, idx int) *rand.Rand {
 func Run(cfg Config) (Report, error) {
 	cfg = cfg.withDefaults()
 	rep := Report{ByShape: map[string]int{}}
+	var scr scratch
 	for idx := cfg.Start; idx < cfg.Start+cfg.N; idx++ {
 		rng := instanceRNG(cfg.Seed, idx)
 		inst := generate(rng, cfg.MaxNodes)
 		rep.Instances++
 		rep.ByShape[inst.shape]++
-		if err := checkInstance(rng, inst, cfg, &rep); err != nil {
+		if err := checkInstance(rng, inst, cfg, &rep, &scr); err != nil {
 			rep.Failures = append(rep.Failures, Failure{
 				Index: idx, Shape: inst.shape, Nodes: inst.g.NumNodes(), Err: err.Error(),
 			})
@@ -176,26 +227,35 @@ func Run(cfg Config) (Report, error) {
 	return rep, nil
 }
 
+// scratch is replay state reused across instances: one bitset execution
+// state plus the model-profile buffer, Reset-rebound per dag so the hot
+// loops of the harness do not allocate.
+type scratch struct {
+	st   sched.State
+	prof []int
+}
+
 // checkInstance runs every cross-layer and property check on one
 // generated instance.
-func checkInstance(rng *rand.Rand, inst instance, cfg Config, rep *Report) error {
+func checkInstance(rng *rand.Rand, inst instance, cfg Config, rep *Report, scr *scratch) error {
 	g := inst.g
-	var lat *opt.Lattice
-	if g.NumNodes() <= opt.MaxNodes {
-		l, err := opt.Analyze(g)
-		if err != nil {
-			return fmt.Errorf("oracle: %w", err)
-		}
-		lat = l
+	lat, err := cfg.analyze(g)
+	if err != nil {
+		return fmt.Errorf("oracle: %w", err)
 	}
-	order, oracleOptimal := chooseOrder(rng, g, lat)
-	if err := sched.Validate(g, order); err != nil {
+	order, oracleOptimal := chooseOrder(rng, g, lat, &scr.st)
+	if len(order) != g.NumNodes() {
+		return fmt.Errorf("generated order has %d nodes, dag has %d", len(order), g.NumNodes())
+	}
+	scr.st.Reset(g)
+	if err := scr.st.Replay(order); err != nil {
 		return fmt.Errorf("generated order illegal: %w", err)
 	}
-	want, err := sched.Profile(g, order)
+	want, err := scr.st.ProfileInto(order, scr.prof)
 	if err != nil {
 		return fmt.Errorf("model profile: %w", err)
 	}
+	scr.prof = want
 	ref := refValues(g)
 
 	// Cross-layer: all three layers must realize the schedule, agree on
@@ -235,7 +295,7 @@ func checkInstance(rng *rand.Rand, inst instance, cfg Config, rep *Report) error
 			}
 		}
 	}
-	if err := checkDuality(g, order, oracleOptimal, rep); err != nil {
+	if err := checkDuality(g, order, oracleOptimal, cfg, rep); err != nil {
 		return fmt.Errorf("duality: %w", err)
 	}
 	if err := checkPrioDuality(rng, rep); err != nil {
@@ -256,24 +316,24 @@ func checkInstance(rng *rand.Rand, inst instance, cfg Config, rep *Report) error
 // half the time the oracle's IC-optimal schedule (when one exists), the
 // other half a uniformly random legal order, so both the optimal and the
 // arbitrary-legal regimes are exercised.
-func chooseOrder(rng *rand.Rand, g *dag.Dag, lat *opt.Lattice) ([]dag.NodeID, bool) {
+func chooseOrder(rng *rand.Rand, g *dag.Dag, lat oracle, st *sched.State) ([]dag.NodeID, bool) {
 	if lat != nil && rng.Intn(2) == 0 {
 		if o, ok := lat.OptimalSchedule(); ok {
 			return o, true
 		}
 	}
-	return randomLegalOrder(rng, g), false
+	return randomLegalOrder(rng, g, st), false
 }
 
 // randomLegalOrder draws a legal full execution order by repeatedly
-// executing a uniformly chosen ELIGIBLE node.
-func randomLegalOrder(rng *rand.Rand, g *dag.Dag) []dag.NodeID {
-	st := sched.NewState(g)
+// executing a uniformly chosen ELIGIBLE node (popcount select on the
+// reused bitset state — the loop allocates only the order itself).
+func randomLegalOrder(rng *rand.Rand, g *dag.Dag, st *sched.State) []dag.NodeID {
+	st.Reset(g)
 	order := make([]dag.NodeID, 0, g.NumNodes())
 	for !st.Done() {
-		el := st.Eligible()
-		v := el[rng.Intn(len(el))]
-		if _, err := st.Execute(v); err != nil {
+		v := st.EligibleAt(rng.Intn(st.NumEligible()))
+		if err := st.Advance(v); err != nil {
 			panic("difftest: eligible node rejected: " + err.Error())
 		}
 		order = append(order, v)
@@ -579,7 +639,7 @@ func driveBatched(g *dag.Dag, order []dag.NodeID, ref []uint64, nextK func() int
 // dag, and IC-optimal on it when the original schedule was.  Orders
 // whose nonsink prefix interleaves sinks fall outside the [MRY06]
 // nonsink convention and are skipped.
-func checkDuality(g *dag.Dag, order []dag.NodeID, oracleOptimal bool, rep *Report) error {
+func checkDuality(g *dag.Dag, order []dag.NodeID, oracleOptimal bool, cfg Config, rep *Report) error {
 	nonsinks := sched.NonsinkPrefix(g, order)
 	if _, err := sched.NonsinkProfile(g, nonsinks); err != nil {
 		return nil // interleaved-sink order: duality precondition not met
@@ -593,12 +653,15 @@ func checkDuality(g *dag.Dag, order []dag.NodeID, oracleOptimal bool, rep *Repor
 		return fmt.Errorf("Theorem 2.2 violated: dual schedule illegal on dual dag: %w", err)
 	}
 	rep.Duality++
-	if !oracleOptimal || d.NumNodes() > opt.MaxNodes {
+	if !oracleOptimal {
 		return nil
 	}
-	dl, err := opt.Analyze(d)
+	dl, err := cfg.analyze(d)
 	if err != nil {
 		return fmt.Errorf("dual oracle: %w", err)
+	}
+	if dl == nil {
+		return nil // dual lattice out of oracle reach
 	}
 	ok, step, err := dl.IsOptimal(sched.Complete(d, dualNS))
 	if err != nil {
@@ -717,7 +780,7 @@ func checkMonotonicity(rng *rand.Rand, rep *Report) error {
 // checkLinearity exercises Theorem 2.1 on a ⇑-composed instance: when
 // the composition verifies as ▷-linear, its composition schedule must be
 // IC-optimal by the exact oracle.
-func checkLinearity(c *compose.Composer, lat *opt.Lattice, rep *Report) error {
+func checkLinearity(c *compose.Composer, lat oracle, rep *Report) error {
 	linear, err := c.VerifyLinear()
 	if err != nil {
 		return err

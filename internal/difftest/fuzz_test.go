@@ -9,6 +9,7 @@ import (
 	"icsched/internal/heur"
 	"icsched/internal/icserver"
 	"icsched/internal/obs"
+	"icsched/internal/sched"
 )
 
 // FuzzInstance feeds arbitrary master seeds to the full harness: one
@@ -50,7 +51,7 @@ func FuzzServerProtocol(f *testing.F) {
 		now := time.Unix(1, 0)
 		const lease = time.Second
 		tr := obs.NewTrace()
-		srv := icserver.New(g, heur.Static("fuzz", randomLegalOrder(rng, g)),
+		srv := icserver.New(g, heur.Static("fuzz", randomLegalOrder(rng, g, new(sched.State))),
 			icserver.WithLease(lease), icserver.WithMaxAttempts(2),
 			icserver.WithClock(func() time.Time { return now }), icserver.WithTrace(tr))
 		var granted []dag.NodeID

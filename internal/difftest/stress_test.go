@@ -33,7 +33,7 @@ func TestServerStressConcurrentClients(t *testing.T) {
 	g := dag.RandomLayered(rng, []int{6, 10, 10, 8, 6}, 3)
 	ref := refValues(g)
 	tr := obs.NewTrace()
-	srv := icserver.New(g, heur.Static("stress", randomLegalOrder(rng, g)),
+	srv := icserver.New(g, heur.Static("stress", randomLegalOrder(rng, g, new(sched.State))),
 		icserver.WithLease(0), icserver.WithTrace(tr))
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -129,7 +129,7 @@ func TestServerStressConcurrentBatchedChaos(t *testing.T) {
 	n := g.NumNodes()
 	ref := refValues(g)
 	tr := obs.NewTrace()
-	srv := icserver.New(g, heur.Static("stress-batched", randomLegalOrder(rng, g)),
+	srv := icserver.New(g, heur.Static("stress-batched", randomLegalOrder(rng, g, new(sched.State))),
 		icserver.WithLease(40*time.Millisecond), icserver.WithMaxAttempts(3),
 		icserver.WithTrace(tr))
 	ts := httptest.NewServer(srv.Handler())

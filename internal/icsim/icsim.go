@@ -31,6 +31,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"icsched/internal/dag"
 	"icsched/internal/faults"
@@ -38,6 +39,11 @@ import (
 	"icsched/internal/obs"
 	"icsched/internal/sched"
 )
+
+// statePool recycles execution states across simulation runs: churn and
+// difftest soaks call Run thousands of times on small dags, and Reset
+// rebinds a pooled State without reallocating its bitsets.
+var statePool = sync.Pool{New: func() any { return new(sched.State) }}
 
 // ChurnEvent schedules a client crash or join at a simulated time.
 type ChurnEvent struct {
@@ -199,7 +205,9 @@ func Run(g *dag.Dag, p heur.Policy, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	st := sched.NewState(g)
+	st := statePool.Get().(*sched.State)
+	st.Reset(g)
+	defer statePool.Put(st)
 	inst := p.Start(g)
 	inst.Offer(st.Eligible())
 	available := st.NumEligible() // ELIGIBLE and unallocated

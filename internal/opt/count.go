@@ -1,6 +1,9 @@
 package opt
 
-import "math/big"
+import (
+	"math/big"
+	"math/bits"
+)
 
 // Schedule counting over the ideal lattice: CountSchedules counts all
 // legal execution orders (the linear extensions of the dag's precedence
@@ -8,6 +11,11 @@ import "math/big"
 // quantifies how demanding IC optimality is — from "every schedule is
 // optimal" (uniform out-trees, ratio 1) down to 0 for the dags of §8
 // item 2 that admit none.
+//
+// Like Analyze, the counters are frontier-compressed: only one layer of
+// (ideal, eligibility, path-count) triples is live at a time, and each
+// ideal's ELIGIBLE mask is carried forward incrementally rather than
+// looked up in a retained lattice.
 
 // CountSchedules returns the number of legal execution orders of the dag.
 func (l *Lattice) CountSchedules() *big.Int {
@@ -17,39 +25,40 @@ func (l *Lattice) CountSchedules() *big.Int {
 // CountOptimal returns the number of IC-optimal schedules of the dag
 // (zero when none exists).
 func (l *Lattice) CountOptimal() *big.Int {
-	return l.countPaths(func(mask uint64, size int) bool {
-		return l.elig[mask] >= l.maxE[size]
+	return l.countPaths(func(elig uint64, size int) bool {
+		return bits.OnesCount64(elig) >= l.maxE[size]
 	})
 }
 
-// countPaths counts monotone chains ∅ ⊂ … ⊂ full through the ideals that
-// satisfy keep at every size.
-func (l *Lattice) countPaths(keep func(mask uint64, size int) bool) *big.Int {
-	n := l.g.NumNodes()
-	counts := map[uint64]*big.Int{0: big.NewInt(1)}
-	if !keep(0, 0) {
+// pathState is the frontier record of one ideal during counting: its
+// ELIGIBLE mask and the number of kept chains ∅ ⊂ … reaching it.
+type pathState struct {
+	elig  uint64
+	count *big.Int
+}
+
+// countPaths counts monotone chains ∅ ⊂ … ⊂ full through the ideals
+// whose ELIGIBLE mask satisfies keep at every size.
+func (l *Lattice) countPaths(keep func(elig uint64, size int) bool) *big.Int {
+	n := l.n
+	if !keep(l.srcElig, 0) {
 		return big.NewInt(0)
 	}
+	counts := map[uint64]pathState{0: {l.srcElig, big.NewInt(1)}}
 	for t := 0; t < n; t++ {
-		next := make(map[uint64]*big.Int)
-		for _, mask := range l.ideals[t] {
-			c, ok := counts[mask]
-			if !ok {
-				continue
-			}
-			for v := 0; v < n; v++ {
-				bit := uint64(1) << uint(v)
-				if mask&bit != 0 || l.parentMask[v]&^mask != 0 {
-					continue
-				}
-				succ := mask | bit
-				if !keep(succ, t+1) {
+		next := make(map[uint64]pathState, len(counts))
+		for mask, st := range counts {
+			for e := st.elig; e != 0; e &= e - 1 {
+				v := bits.TrailingZeros64(e)
+				succ := mask | 1<<uint(v)
+				nelig := l.succElig(succ, st.elig, v)
+				if !keep(nelig, t+1) {
 					continue
 				}
 				if acc, ok := next[succ]; ok {
-					acc.Add(acc, c)
+					acc.count.Add(acc.count, st.count)
 				} else {
-					next[succ] = new(big.Int).Set(c)
+					next[succ] = pathState{nelig, new(big.Int).Set(st.count)}
 				}
 			}
 		}
@@ -62,8 +71,8 @@ func (l *Lattice) countPaths(keep func(mask uint64, size int) bool) *big.Int {
 	if n > 0 {
 		full = (uint64(1) << uint(n)) - 1
 	}
-	if c, ok := counts[full]; ok {
-		return c
+	if st, ok := counts[full]; ok {
+		return st.count
 	}
 	return big.NewInt(0)
 }

@@ -7,10 +7,17 @@
 // node is ELIGIBLE when it is unexecuted and all of its parents have been
 // executed; executing a node removes its eligibility permanently (no
 // recomputation).
+//
+// State is word-backed: the executed and ELIGIBLE sets are []uint64
+// bitsets, NumEligible is a maintained popcount, and a State can be
+// rebound to a dag with Reset for allocation-free replay — Profile,
+// Validate and the difftest replay loops run on the hot path without
+// touching the heap (see ProfileInto, Replay, ExecuteInto).
 package sched
 
 import (
 	"fmt"
+	"math/bits"
 
 	"icsched/internal/dag"
 )
@@ -20,9 +27,9 @@ import (
 // executor.  States are not safe for concurrent use.
 type State struct {
 	g         *dag.Dag
-	remaining []int32 // unexecuted parents per node
-	executed  []bool
-	eligible  []bool
+	remaining []int32  // unexecuted parents per node
+	executed  []uint64 // bitset of executed nodes
+	eligible  []uint64 // bitset of ELIGIBLE nodes
 	numElig   int
 	numExec   int
 }
@@ -30,21 +37,43 @@ type State struct {
 // NewState returns the initial execution state of g: nothing executed,
 // exactly the sources eligible.
 func NewState(g *dag.Dag) *State {
+	s := &State{}
+	s.Reset(g)
+	return s
+}
+
+// Reset rebinds the state to g and restores the initial execution state,
+// reusing the existing storage when it is large enough.  A Reset state is
+// indistinguishable from a fresh NewState(g).
+func (s *State) Reset(g *dag.Dag) {
 	n := g.NumNodes()
-	s := &State{
-		g:         g,
-		remaining: make([]int32, n),
-		executed:  make([]bool, n),
-		eligible:  make([]bool, n),
+	words := (n + 63) / 64
+	s.g = g
+	if cap(s.remaining) < n {
+		s.remaining = make([]int32, n)
+	} else {
+		s.remaining = s.remaining[:n]
 	}
+	if cap(s.executed) < words {
+		s.executed = make([]uint64, words)
+		s.eligible = make([]uint64, words)
+	} else {
+		s.executed = s.executed[:words]
+		s.eligible = s.eligible[:words]
+		for i := range s.executed {
+			s.executed[i] = 0
+			s.eligible[i] = 0
+		}
+	}
+	s.numElig = 0
+	s.numExec = 0
 	for v := 0; v < n; v++ {
 		s.remaining[v] = int32(g.InDegree(dag.NodeID(v)))
 		if s.remaining[v] == 0 {
-			s.eligible[v] = true
+			s.eligible[v>>6] |= 1 << uint(v&63)
 			s.numElig++
 		}
 	}
-	return s
 }
 
 // Dag returns the dag being executed.
@@ -60,62 +89,149 @@ func (s *State) NumExecuted() int { return s.numExec }
 func (s *State) Done() bool { return s.numExec == s.g.NumNodes() }
 
 // IsEligible reports whether v is currently ELIGIBLE.
-func (s *State) IsEligible(v dag.NodeID) bool { return s.eligible[v] }
+func (s *State) IsEligible(v dag.NodeID) bool {
+	return s.eligible[v>>6]&(1<<uint(v&63)) != 0
+}
 
 // IsExecuted reports whether v has been executed.
-func (s *State) IsExecuted(v dag.NodeID) bool { return s.executed[v] }
+func (s *State) IsExecuted(v dag.NodeID) bool {
+	return s.executed[v>>6]&(1<<uint(v&63)) != 0
+}
 
 // Eligible returns the currently ELIGIBLE nodes in increasing ID order.
 func (s *State) Eligible() []dag.NodeID {
-	out := make([]dag.NodeID, 0, s.numElig)
-	for v := 0; v < s.g.NumNodes(); v++ {
-		if s.eligible[v] {
-			out = append(out, dag.NodeID(v))
+	return s.AppendEligible(make([]dag.NodeID, 0, s.numElig))
+}
+
+// AppendEligible appends the currently ELIGIBLE nodes to buf in
+// increasing ID order and returns the extended slice.  With a buffer of
+// capacity NumEligible it performs no allocation.
+func (s *State) AppendEligible(buf []dag.NodeID) []dag.NodeID {
+	for w, word := range s.eligible {
+		for ; word != 0; word &= word - 1 {
+			buf = append(buf, dag.NodeID(w<<6+bits.TrailingZeros64(word)))
 		}
 	}
-	return out
+	return buf
+}
+
+// EligibleAt returns the k-th ELIGIBLE node in increasing ID order
+// (popcount select), or -1 if k is out of range.  It lets replay loops
+// draw a random eligible node without materializing the ELIGIBLE set.
+func (s *State) EligibleAt(k int) dag.NodeID {
+	if k < 0 || k >= s.numElig {
+		return -1
+	}
+	for w, word := range s.eligible {
+		c := bits.OnesCount64(word)
+		if k >= c {
+			k -= c
+			continue
+		}
+		for ; ; word &= word - 1 {
+			if k == 0 {
+				return dag.NodeID(w<<6 + bits.TrailingZeros64(word))
+			}
+			k--
+		}
+	}
+	return -1 // unreachable: numElig matches the set bits
+}
+
+// step is the shared execution core: it validates and executes v, and
+// when collect is set appends the nodes newly rendered ELIGIBLE to buf
+// in children-adjacency order.
+func (s *State) step(v dag.NodeID, buf []dag.NodeID, collect bool) ([]dag.NodeID, error) {
+	if int(v) < 0 || int(v) >= s.g.NumNodes() {
+		return buf, fmt.Errorf("sched: node %d out of range", v)
+	}
+	w, b := v>>6, uint(v&63)
+	if s.executed[w]&(1<<b) != 0 {
+		return buf, fmt.Errorf("sched: node %s executed twice", s.g.Name(v))
+	}
+	if s.eligible[w]&(1<<b) == 0 {
+		return buf, fmt.Errorf("sched: node %s executed while not ELIGIBLE", s.g.Name(v))
+	}
+	s.executed[w] |= 1 << b
+	s.eligible[w] &^= 1 << b
+	s.numElig--
+	s.numExec++
+	for _, c := range s.g.Children(v) {
+		s.remaining[c]--
+		if s.remaining[c] == 0 {
+			s.eligible[c>>6] |= 1 << uint(c&63)
+			s.numElig++
+			if collect {
+				buf = append(buf, c)
+			}
+		}
+	}
+	return buf, nil
 }
 
 // Execute executes v and returns the packet of nodes newly rendered
 // ELIGIBLE by this execution (possibly empty), in increasing ID order.  It
-// fails if v is not currently ELIGIBLE.
+// fails if v is not currently ELIGIBLE.  The packet is freshly allocated
+// and safe for the caller to retain; use ExecuteInto to reuse a buffer.
 func (s *State) Execute(v dag.NodeID) ([]dag.NodeID, error) {
-	if int(v) < 0 || int(v) >= s.g.NumNodes() {
-		return nil, fmt.Errorf("sched: node %d out of range", v)
-	}
-	if s.executed[v] {
-		return nil, fmt.Errorf("sched: node %s executed twice", s.g.Name(v))
-	}
-	if !s.eligible[v] {
-		return nil, fmt.Errorf("sched: node %s executed while not ELIGIBLE", s.g.Name(v))
-	}
-	s.executed[v] = true
-	s.eligible[v] = false
-	s.numElig--
-	s.numExec++
-	var packet []dag.NodeID
-	for _, c := range s.g.Children(v) {
-		s.remaining[c]--
-		if s.remaining[c] == 0 {
-			s.eligible[c] = true
-			s.numElig++
-			packet = append(packet, c)
+	return s.step(v, nil, true)
+}
+
+// ExecuteInto is Execute appending the packet to buf instead of
+// allocating a fresh slice.  The extended buf is returned; it must not
+// be retained past the next ExecuteInto call on the same buffer.
+func (s *State) ExecuteInto(v dag.NodeID, buf []dag.NodeID) ([]dag.NodeID, error) {
+	return s.step(v, buf, true)
+}
+
+// Advance executes v without collecting the packet — the zero-allocation
+// path for replay loops that only need the eligibility counters.
+func (s *State) Advance(v dag.NodeID) error {
+	_, err := s.step(v, nil, false)
+	return err
+}
+
+// Replay resets the state and executes the full order against it,
+// failing on the first illegal step.  It allocates nothing.
+func (s *State) Replay(order []dag.NodeID) error {
+	s.Reset(s.g)
+	for i, v := range order {
+		if _, err := s.step(v, nil, false); err != nil {
+			return fmt.Errorf("sched: step %d: %w", i, err)
 		}
 	}
-	return packet, nil
+	return nil
+}
+
+// ProfileInto resets the state, replays the full order, and appends the
+// eligibility profile to prof[:0]: prof[t] = |ELIGIBLE| after t
+// executions.  With a buffer of capacity len(order)+1 it allocates
+// nothing.  It fails if the order is not a legal full schedule.
+func (s *State) ProfileInto(order []dag.NodeID, prof []int) ([]int, error) {
+	s.Reset(s.g)
+	prof = append(prof[:0], s.numElig)
+	for i, v := range order {
+		if _, err := s.step(v, nil, false); err != nil {
+			return nil, fmt.Errorf("sched: step %d: %w", i, err)
+		}
+		prof = append(prof, s.numElig)
+	}
+	if !s.Done() {
+		return nil, fmt.Errorf("sched: order executes %d of %d nodes", s.numExec, s.g.NumNodes())
+	}
+	return prof, nil
 }
 
 // Clone returns an independent copy of the state.
 func (s *State) Clone() *State {
-	c := &State{
+	return &State{
 		g:         s.g,
 		remaining: append([]int32(nil), s.remaining...),
-		executed:  append([]bool(nil), s.executed...),
-		eligible:  append([]bool(nil), s.eligible...),
+		executed:  append([]uint64(nil), s.executed...),
+		eligible:  append([]uint64(nil), s.eligible...),
 		numElig:   s.numElig,
 		numExec:   s.numExec,
 	}
-	return c
 }
 
 // Validate checks that order is a legal schedule for g: a permutation of
@@ -126,7 +242,7 @@ func Validate(g *dag.Dag, order []dag.NodeID) error {
 	}
 	s := NewState(g)
 	for i, v := range order {
-		if _, err := s.Execute(v); err != nil {
+		if _, err := s.step(v, nil, false); err != nil {
 			return fmt.Errorf("sched: step %d: %w", i, err)
 		}
 	}
@@ -137,19 +253,7 @@ func Validate(g *dag.Dag, order []dag.NodeID) error {
 // Profile[t] = |ELIGIBLE| after t executions, for t in [0, len(order)].
 // It fails if the order is not a legal schedule.
 func Profile(g *dag.Dag, order []dag.NodeID) ([]int, error) {
-	s := NewState(g)
-	prof := make([]int, 0, len(order)+1)
-	prof = append(prof, s.NumEligible())
-	for i, v := range order {
-		if _, err := s.Execute(v); err != nil {
-			return nil, fmt.Errorf("sched: step %d: %w", i, err)
-		}
-		prof = append(prof, s.NumEligible())
-	}
-	if !s.Done() {
-		return nil, fmt.Errorf("sched: order executes %d of %d nodes", s.NumExecuted(), g.NumNodes())
-	}
-	return prof, nil
+	return NewState(g).ProfileInto(order, make([]int, 0, len(order)+1))
 }
 
 // NonsinkProfile returns the E_Σ profile in the convention of [MRY06] used
@@ -169,7 +273,7 @@ func NonsinkProfile(g *dag.Dag, nonsinks []dag.NodeID) ([]int, error) {
 		if g.IsSink(v) {
 			return nil, fmt.Errorf("sched: step %d executes sink %s", i, g.Name(v))
 		}
-		if _, err := s.Execute(v); err != nil {
+		if _, err := s.step(v, nil, false); err != nil {
 			return nil, fmt.Errorf("sched: step %d: %w", i, err)
 		}
 		prof = append(prof, s.NumEligible())

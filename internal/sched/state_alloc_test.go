@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"icsched/internal/dag"
+)
+
+// layered24 is the 24-node random layered dag used by the allocation
+// regression tests (same family as the oracle benchmarks).
+func layered24() *dag.Dag {
+	rng := rand.New(rand.NewSource(1))
+	return dag.RandomLayered(rng, []int{4, 5, 5, 5, 5}, 3)
+}
+
+func legalOrder(t testing.TB, g *dag.Dag) []dag.NodeID {
+	t.Helper()
+	order := Complete(g, AnyTopoNonsinks(g))
+	if err := Validate(g, order); err != nil {
+		t.Fatalf("topo order illegal: %v", err)
+	}
+	return order
+}
+
+// TestProfileIntoZeroAlloc is the allocation-count regression test for
+// the bitset replay core: with a reused State and a preallocated profile
+// buffer, profiling a 24-node dag must not touch the heap.
+func TestProfileIntoZeroAlloc(t *testing.T) {
+	g := layered24()
+	if g.NumNodes() != 24 {
+		t.Fatalf("dag has %d nodes, want 24", g.NumNodes())
+	}
+	order := legalOrder(t, g)
+	st := NewState(g)
+	prof := make([]int, 0, len(order)+1)
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		prof, err = st.ProfileInto(order, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ProfileInto allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestReplayZeroAlloc checks the validation-only replay path.
+func TestReplayZeroAlloc(t *testing.T) {
+	g := layered24()
+	order := legalOrder(t, g)
+	st := NewState(g)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := st.Replay(order); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Replay allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestResetMatchesNewState replays random prefixes on a Reset state and a
+// fresh state and requires identical observable behaviour.
+func TestResetMatchesNewState(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		g := dag.Random(rng, 1+rng.Intn(40), 0.2)
+		st := NewState(dag.Random(rng, 1+rng.Intn(10), 0.3)) // bind to some other dag first
+		st.Reset(g)
+		fresh := NewState(g)
+		for !fresh.Done() {
+			// Pick a random eligible node via popcount select and check it
+			// against the materialized ELIGIBLE set.
+			k := rng.Intn(fresh.NumEligible())
+			v := fresh.EligibleAt(k)
+			if want := fresh.Eligible()[k]; v != want {
+				t.Fatalf("EligibleAt(%d) = %d, want %d", k, v, want)
+			}
+			p1, err1 := fresh.Execute(v)
+			p2, err2 := st.ExecuteInto(v, nil)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("Execute err %v vs ExecuteInto err %v", err1, err2)
+			}
+			if len(p1) != len(p2) {
+				t.Fatalf("packet %v vs %v", p1, p2)
+			}
+			for j := range p1 {
+				if p1[j] != p2[j] {
+					t.Fatalf("packet %v vs %v", p1, p2)
+				}
+			}
+			if fresh.NumEligible() != st.NumEligible() || fresh.NumExecuted() != st.NumExecuted() {
+				t.Fatalf("counters diverge: (%d,%d) vs (%d,%d)",
+					fresh.NumEligible(), fresh.NumExecuted(), st.NumEligible(), st.NumExecuted())
+			}
+		}
+		if !st.Done() {
+			t.Fatal("reset state not done")
+		}
+		if st.EligibleAt(0) != -1 {
+			t.Fatal("EligibleAt on empty set should be -1")
+		}
+	}
+}
+
+// TestBitsetWideDag exercises the multi-word bitset path (> 64 nodes).
+func TestBitsetWideDag(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := dag.RandomLayered(rng, []int{40, 40, 40}, 2)
+	if g.NumNodes() != 120 {
+		t.Fatalf("dag has %d nodes, want 120", g.NumNodes())
+	}
+	order := legalOrder(t, g)
+	prof, err := Profile(g, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != g.NumNodes()+1 || prof[g.NumNodes()] != 0 {
+		t.Fatalf("malformed profile: len=%d last=%d", len(prof), prof[len(prof)-1])
+	}
+	st := NewState(g)
+	buf := make([]dag.NodeID, 0, g.NumNodes())
+	if got := st.AppendEligible(buf); len(got) != st.NumEligible() {
+		t.Fatalf("AppendEligible returned %d nodes, NumEligible %d", len(got), st.NumEligible())
+	}
+	for _, v := range order {
+		if err := st.Advance(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !st.Done() || st.NumEligible() != 0 {
+		t.Fatal("state not drained after full replay")
+	}
+}
