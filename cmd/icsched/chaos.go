@@ -23,6 +23,7 @@ func cmdChaos(args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
 	traceOut := fs.String("trace", "", "write the task trace to this file (.json for chrome://tracing, .jsonl for raw events)")
 	batch := fs.Int("batch", 0, "use the batched protocol with this per-grant cap (0 = legacy protocol)")
+	kills := fs.Int("kills", 0, "additionally run the server-kill lane: SIGKILL/journal-restart the server this many times mid-run on a 32×32 wavefront")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +52,14 @@ func cmdChaos(args []string) error {
 	reports, err := chaos.RunAll(cfg)
 	if err != nil {
 		return err
+	}
+	if *kills > 0 {
+		fmt.Printf("server-kill lane: %d SIGKILL/journal-restart cycles on a 32x32 wavefront\n", *kills)
+		rep, err := chaos.ServerKill(cfg, 32, *kills)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
 	}
 	lost := 0
 	for _, r := range reports {

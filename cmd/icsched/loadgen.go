@@ -49,6 +49,10 @@ type loadgenResult struct {
 	LockHoldP99Micros float64 `json:"lockHoldP99Micros"`
 	Reissues          int     `json:"reissues"`
 	Quarantined       int     `json:"quarantined"`
+	// Resyncs counts stale-epoch rejections the fleet recovered from
+	// mid-run (409 → re-read epoch → re-send); nonzero only when the
+	// server restarted from its journal during the cell.
+	Resyncs int `json:"resyncs"`
 }
 
 // loadgenFile is the BENCH_throughput.json document.
@@ -168,6 +172,7 @@ func runCell(fam loadgenFamily, clients, batch int, ref []uint64) (loadgenResult
 	start := time.Now()
 	var wg sync.WaitGroup
 	errs := make([]error, clients)
+	stats := make([]icserver.Stats, clients)
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -185,7 +190,7 @@ func runCell(fam loadgenFamily, clients, batch int, ref []uint64) (loadgenResult
 				ID:          fmt.Sprintf("loadgen-%d", c),
 				Seed:        int64(c + 1),
 			}
-			_, errs[c] = cl.Run(ctx)
+			stats[c], errs[c] = cl.Run(ctx)
 		}(c)
 	}
 	wg.Wait()
@@ -231,6 +236,10 @@ func runCell(fam loadgenFamily, clients, batch int, ref []uint64) (loadgenResult
 	if batch > 0 {
 		protocol = "batched"
 	}
+	resyncs := 0
+	for _, cst := range stats {
+		resyncs += cst.Resyncs
+	}
 	return loadgenResult{
 		Family:            fam.name,
 		Size:              fam.size,
@@ -247,6 +256,7 @@ func runCell(fam loadgenFamily, clients, batch int, ref []uint64) (loadgenResult
 		LockHoldP99Micros: 1e6 * lockHold.Quantile(0.99),
 		Reissues:          st.Reissues,
 		Quarantined:       st.Quarantined,
+		Resyncs:           resyncs,
 	}, nil
 }
 

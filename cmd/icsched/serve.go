@@ -15,6 +15,7 @@ import (
 	"icsched/internal/heur"
 	"icsched/internal/icserver"
 	"icsched/internal/sched"
+	"icsched/internal/wal"
 )
 
 // cmdServe runs the Internet-computing task server for a family on the
@@ -28,6 +29,7 @@ import (
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	withPprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	walDir := fs.String("wal", "", "crash-safe mode: journal every state change to this directory and resume from it on restart")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,8 +48,20 @@ func cmdServe(args []string) error {
 	}
 	lease := time.Minute
 	order := sched.Complete(g, nonsinks)
-	srv := icserver.New(g, heur.Static("IC-OPTIMAL", order),
-		icserver.WithLease(lease))
+	var srv *icserver.Server
+	if *walDir != "" {
+		srv, err = icserver.Recover(*walDir, g, heur.Static("IC-OPTIMAL", order),
+			wal.Options{}, icserver.WithLease(lease))
+		if err != nil {
+			return err
+		}
+		st := srv.Status()
+		fmt.Printf("journal: %s (epoch %d, resuming at %d/%d tasks)\n",
+			*walDir, st.Epoch, st.Completed, st.Total)
+	} else {
+		srv = icserver.New(g, heur.Static("IC-OPTIMAL", order),
+			icserver.WithLease(lease))
+	}
 	fmt.Printf("serving %s (size %d, %d tasks) on %s\n", f.name, size, g.NumNodes(), addr)
 	fmt.Println("protocol: POST /task | POST /done {\"task\": id} | POST /failed {\"task\": id} | GET /status | GET /healthz | GET /metrics")
 

@@ -133,14 +133,22 @@ type Report struct {
 	// Quarantined counts tasks the server gave up on — 0 on a healthy
 	// recovery.
 	Quarantined int
+	// Kills counts server SIGKILL/restart cycles (ServerKill lane only),
+	// Resyncs the stale-epoch rejections clients recovered from by
+	// re-reading the fencing token and re-sending their reports.
+	Kills   int
+	Resyncs int
 	// Elapsed is the wall-clock execution time.
 	Elapsed time.Duration
 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("%-10s %4d/%4d tasks, %3d crashes, %3d hand-backs, %3d reissues, %3d retries, %d quarantined, %v",
-		r.Workload, r.Completed, r.Tasks, r.Crashes, r.HandBacks, r.Reissues, r.Retries, r.Quarantined,
-		r.Elapsed.Round(time.Millisecond))
+	s := fmt.Sprintf("%-10s %4d/%4d tasks, %3d crashes, %3d hand-backs, %3d reissues, %3d retries, %d quarantined",
+		r.Workload, r.Completed, r.Tasks, r.Crashes, r.HandBacks, r.Reissues, r.Retries, r.Quarantined)
+	if r.Kills > 0 {
+		s += fmt.Sprintf(", %d server kills, %d resyncs", r.Kills, r.Resyncs)
+	}
+	return s + fmt.Sprintf(", %v", r.Elapsed.Round(time.Millisecond))
 }
 
 // merge folds one fleet execution into an aggregate workload report.
@@ -152,6 +160,8 @@ func (r *Report) merge(o Report) {
 	r.Retries += o.Retries
 	r.Reissues += o.Reissues
 	r.Quarantined += o.Quarantined
+	r.Kills += o.Kills
+	r.Resyncs += o.Resyncs
 	r.Elapsed += o.Elapsed
 }
 

@@ -72,6 +72,50 @@ func TestChaosHighFaultPressure(t *testing.T) {
 	}
 }
 
+// TestServerKillRecovery is the crash-safe-server acceptance proof: the
+// 32×32 grid wavefront survives 3 seeded SIGKILL/restart cycles — each
+// restart rebuilding the scheduler from the write-ahead journal and
+// fencing the dead incarnation's clients behind a bumped epoch — with
+// FNV node values bit-identical to the uncrashed serial reference, zero
+// quarantined tasks, final epoch 4, and the journal's done order
+// replaying to exactly the eligibility profile the obs trace
+// reconstructs.
+func TestServerKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	rep, err := chaos.ServerKill(chaos.Config{Seed: 7}, 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.Kills != 3 {
+		t.Errorf("fired %d of 3 scheduled kills", rep.Kills)
+	}
+	if rep.Completed != rep.Tasks {
+		t.Errorf("completed %d of %d tasks", rep.Completed, rep.Tasks)
+	}
+}
+
+// TestServerKillBatchedProtocol reruns the kill lane over the batched
+// wire protocol: a restart can now orphan whole multi-task grants at
+// once, and the /report that tries to ack them must survive the
+// stale-epoch rejection, resync the fencing token, and be absorbed by
+// the successor as applications or idempotent duplicates.
+func TestServerKillBatchedProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	rep, err := chaos.ServerKill(chaos.Config{Seed: 11, Batch: 8}, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.Kills != 2 {
+		t.Errorf("fired %d of 2 scheduled kills", rep.Kills)
+	}
+}
+
 // TestChaosBatchedProtocol reruns the wavefront recovery proof over the
 // batched wire protocol: crashes now abandon whole grants at once, and
 // /report retries after dropped responses replay entire mixed batches —

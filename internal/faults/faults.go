@@ -19,6 +19,7 @@ package faults
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -40,6 +41,10 @@ const (
 	HTTPError
 	// Latency: a latency spike delays the request.
 	Latency
+	// ServerKill: the task server itself dies without warning (SIGKILL —
+	// no drain, no final flush) and must restart from its write-ahead
+	// journal.  Not rate-driven: kill moments come from KillPoints.
+	ServerKill
 
 	numKinds
 )
@@ -57,6 +62,8 @@ func (k Kind) String() string {
 		return "http-error"
 	case Latency:
 		return "latency"
+	case ServerKill:
+		return "server-kill"
 	}
 	return fmt.Sprintf("faults.Kind(%d)", int(k))
 }
@@ -174,6 +181,35 @@ func (p *Plan) Summary() string {
 		return "no decisions"
 	}
 	return s
+}
+
+// KillPoints returns n distinct task-completion thresholds in
+// [1, total-1], sorted ascending, at which a chaos harness kills the
+// server mid-run.  Like Decide outcomes they are a pure function of the
+// seed (drawn from the ServerKill decision stream), so two same-seed
+// runs kill the server at the same progress points.  n is clamped to
+// the number of distinct interior thresholds; total < 2 yields none.
+func KillPoints(seed int64, n, total int) []int {
+	if n <= 0 || total < 2 {
+		return nil
+	}
+	if n > total-1 {
+		n = total - 1
+	}
+	seen := make(map[int]bool, n)
+	out := make([]int, 0, n)
+	for i := uint64(0); len(out) < n; i++ {
+		p := 1 + int(unit(seed, ServerKill, i)*float64(total-1))
+		if p > total-1 {
+			p = total - 1
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // unit hashes (seed, kind, n) to a uniform float64 in [0, 1) via

@@ -103,6 +103,10 @@ type Stats struct {
 	// Batches counts /tasks grants that returned at least one task
 	// (always zero under the legacy protocol).
 	Batches int
+	// Resyncs counts stale-epoch rejections handled: the server restarted
+	// under a bumped fencing token and the client re-read the epoch (GET
+	// /status) and re-sent its report under it.
+	Resyncs int
 }
 
 func (c *Client) defaults() (idle, idleMax, retry, retryMax time.Duration, attempts int, httpc *http.Client) {
@@ -158,6 +162,35 @@ func (c *Client) jitter(d time.Duration) time.Duration {
 	return half + time.Duration(c.rng.Int63n(int64(half)))
 }
 
+// isStaleEpoch reports whether a response is the server's typed 409
+// stale-epoch rejection (as opposed to an ordinary 409 state conflict).
+func isStaleEpoch(code int, body []byte) bool {
+	if code != http.StatusConflict {
+		return false
+	}
+	var rej staleEpochResponse
+	return json.Unmarshal(body, &rej) == nil && rej.Error == staleEpochError
+}
+
+// resyncEpoch refreshes the client's fencing token after a stale-epoch
+// rejection: per protocol via GET /status, falling back to the epoch
+// carried in the rejection body when /status is unreachable (the server
+// may be mid-restart again).
+func (c *Client) resyncEpoch(ctx context.Context, httpc *http.Client, body []byte, stats *Stats) (uint64, error) {
+	stats.Resyncs++
+	if st, err := FetchStatus(ctx, httpc, c.BaseURL); err == nil && st.Epoch != 0 {
+		return st.Epoch, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	var rej staleEpochResponse
+	if json.Unmarshal(body, &rej) == nil && rej.Epoch != 0 {
+		return rej.Epoch, nil
+	}
+	return 0, fmt.Errorf("icserver client: stale-epoch rejection without a recoverable epoch")
+}
+
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
 	defer t.Stop()
@@ -178,6 +211,7 @@ func (c *Client) Run(ctx context.Context) (Stats, error) {
 	}
 	idleBase, idleMax, retryBase, retryMax, maxAttempts, httpc := c.defaults()
 	var stats Stats
+	var epoch uint64 // fencing token of the last grant; 0 until first grant
 	idle := idleBase
 	for {
 		if err := ctx.Err(); err != nil {
@@ -208,6 +242,9 @@ func (c *Client) Run(ctx context.Context) (Stats, error) {
 		if err := json.Unmarshal(body, &task); err != nil {
 			return stats, fmt.Errorf("icserver client: %w", err)
 		}
+		if task.Epoch != 0 {
+			epoch = task.Epoch
+		}
 		if c.Compute != nil {
 			if err := c.Compute(task.Task, task.Name); err != nil {
 				if errors.Is(err, ErrCrash) {
@@ -215,34 +252,53 @@ func (c *Client) Run(ctx context.Context) (Stats, error) {
 				}
 				// Hand the task back early so the server requeues it now
 				// instead of waiting out the lease.
-				payload, merr := json.Marshal(doneRequest{Task: task.Task})
-				if merr != nil {
-					return stats, merr
-				}
-				code, body, rerr := c.postRetry(ctx, httpc, "/failed", payload, retryBase, retryMax, maxAttempts, &stats)
-				if rerr != nil {
-					return stats, rerr
-				}
-				if code != http.StatusOK {
-					return stats, fmt.Errorf("icserver client: /failed returned %d: %s", code, body)
+				if epoch, err = c.postFenced(ctx, httpc, "/failed", task.Task, epoch,
+					retryBase, retryMax, maxAttempts, &stats); err != nil {
+					return stats, err
 				}
 				stats.Failed++
 				continue
 			}
 		}
-		payload, err := json.Marshal(doneRequest{Task: task.Task})
-		if err != nil {
-			return stats, err
-		}
-		code, body, err = c.postRetry(ctx, httpc, "/done", payload, retryBase, retryMax, maxAttempts, &stats)
-		if err != nil {
-			return stats, err
-		}
-		if code != http.StatusOK {
-			return stats, fmt.Errorf("icserver client: /done returned %d: %s", code, body)
+		var err2 error
+		if epoch, err2 = c.postFenced(ctx, httpc, "/done", task.Task, epoch,
+			retryBase, retryMax, maxAttempts, &stats); err2 != nil {
+			return stats, err2
 		}
 		stats.Completed++
 	}
+}
+
+// postFenced sends a single-task report (/done or /failed) carrying the
+// client's fencing token, resyncing and re-sending across server epoch
+// bumps: a stale-epoch 409 means the server restarted since the grant,
+// so the client re-reads the epoch and repeats the report under it —
+// the restarted server either applies it (the task came back requeued)
+// or absorbs it as an idempotent duplicate (it was journaled before the
+// crash).  Returns the adopted epoch.
+func (c *Client) postFenced(ctx context.Context, httpc *http.Client, path string, task dag.NodeID, epoch uint64,
+	retryBase, retryMax time.Duration, attempts int, stats *Stats) (uint64, error) {
+	for try := 0; try < attempts; try++ {
+		payload, err := json.Marshal(doneRequest{Task: task, Epoch: epoch})
+		if err != nil {
+			return epoch, err
+		}
+		code, body, err := c.postRetry(ctx, httpc, path, payload, retryBase, retryMax, attempts, stats)
+		if err != nil {
+			return epoch, err
+		}
+		if isStaleEpoch(code, body) {
+			if epoch, err = c.resyncEpoch(ctx, httpc, body, stats); err != nil {
+				return epoch, err
+			}
+			continue
+		}
+		if code != http.StatusOK {
+			return epoch, fmt.Errorf("icserver client: %s returned %d: %s", path, code, body)
+		}
+		return epoch, nil
+	}
+	return epoch, fmt.Errorf("icserver client: %s kept hitting stale epochs after %d resyncs", path, attempts)
 }
 
 // runBatched is the batched-protocol loop: ask for up to `ask` tasks in
@@ -258,6 +314,7 @@ func (c *Client) Run(ctx context.Context) (Stats, error) {
 func (c *Client) runBatched(ctx context.Context) (Stats, error) {
 	idleBase, idleMax, retryBase, retryMax, maxAttempts, httpc := c.defaults()
 	var stats Stats
+	var epoch uint64 // fencing token of the last grant; 0 until first grant
 	idle := idleBase
 	ask := 1
 	var batch []taskResponse // granted but not yet computed
@@ -286,6 +343,9 @@ func (c *Client) runBatched(ctx context.Context) (Stats, error) {
 			var grant tasksResponse
 			if err := json.Unmarshal(body, &grant); err != nil {
 				return stats, fmt.Errorf("icserver client: %w", err)
+			}
+			if grant.Epoch != 0 {
+				epoch = grant.Epoch
 			}
 			if len(grant.Tasks) == 0 {
 				stats.IdlePolls++
@@ -328,20 +388,40 @@ func (c *Client) runBatched(ctx context.Context) (Stats, error) {
 		// would pin the whole fleet to one-task asks on any dag whose
 		// frontier is narrower than clients × Batch.
 		report.K = ask // piggyback the next ask on the ack
-		payload, err := json.Marshal(report)
-		if err != nil {
-			return stats, err
-		}
-		code, body, err := c.postRetry(ctx, httpc, "/report", payload, retryBase, retryMax, maxAttempts, &stats)
-		if err != nil {
-			return stats, err
-		}
-		if code != http.StatusOK {
-			return stats, fmt.Errorf("icserver client: /report returned %d: %s", code, body)
-		}
 		var acked reportResponse
-		if err := json.Unmarshal(body, &acked); err != nil {
-			return stats, fmt.Errorf("icserver client: %w", err)
+		for try := 0; ; try++ {
+			report.Epoch = epoch
+			payload, err := json.Marshal(report)
+			if err != nil {
+				return stats, err
+			}
+			code, body, err := c.postRetry(ctx, httpc, "/report", payload, retryBase, retryMax, maxAttempts, &stats)
+			if err != nil {
+				return stats, err
+			}
+			if isStaleEpoch(code, body) {
+				// The server restarted since the grant: resync the fencing
+				// token and repeat the same report under it.  The recovered
+				// server applies it (the tasks came back requeued) or absorbs
+				// it as idempotent duplicates (journaled before the crash).
+				if try+1 >= maxAttempts {
+					return stats, fmt.Errorf("icserver client: /report kept hitting stale epochs after %d resyncs", try+1)
+				}
+				if epoch, err = c.resyncEpoch(ctx, httpc, body, &stats); err != nil {
+					return stats, err
+				}
+				continue
+			}
+			if code != http.StatusOK {
+				return stats, fmt.Errorf("icserver client: /report returned %d: %s", code, body)
+			}
+			if err := json.Unmarshal(body, &acked); err != nil {
+				return stats, fmt.Errorf("icserver client: %w", err)
+			}
+			break
+		}
+		if acked.Epoch != 0 {
+			epoch = acked.Epoch
 		}
 		stats.Completed += len(report.Done)
 		stats.Failed += len(report.Failed)

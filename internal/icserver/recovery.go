@@ -1,0 +1,201 @@
+package icserver
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"icsched/internal/dag"
+	"icsched/internal/heur"
+	"icsched/internal/obs"
+	"icsched/internal/wal"
+)
+
+// walAppendLocked journals one event of this incarnation (caller holds
+// s.mu).  A memory-only server (nil wal) skips silently; the first
+// append failure wounds the server — the in-memory state is then ahead
+// of the durable one, so every later mutating request is refused (see
+// unavailable) rather than widening the divergence.
+func (s *Server) walAppendLocked(k wal.Kind, v dag.NodeID, attempt uint32) {
+	if s.wal == nil || s.walErr != nil {
+		return
+	}
+	if _, err := s.wal.Append(wal.Record{Epoch: s.epoch, Kind: k, Task: int64(v), Attempt: attempt}); err != nil {
+		s.walErr = err
+	}
+}
+
+// maybeSnapshotLocked writes a compacting snapshot when the journal's
+// policy asks for one (caller holds s.mu).
+func (s *Server) maybeSnapshotLocked() {
+	if s.wal == nil || s.walErr != nil || !s.wal.SnapshotDue() {
+		return
+	}
+	if err := s.wal.Snapshot(s.snapshotLocked()); err != nil {
+		s.walErr = err
+	}
+}
+
+// snapshotLocked captures the full scheduler state as a wal.Snapshot
+// (caller holds s.mu).  In-flight leases are listed in grant order so a
+// recovering server requeues them in the order they went out.
+func (s *Server) snapshotLocked() wal.Snapshot {
+	n := s.g.NumNodes()
+	snap := wal.Snapshot{
+		Epoch:    s.epoch,
+		Nodes:    n,
+		Executed: s.st.ExecutedWords(nil),
+		Attempts: make([]uint32, n),
+		Stalls:   uint64(s.stalls),
+		Reissues: uint64(s.reissues),
+		Failed:   uint64(s.failed),
+	}
+	for v, a := range s.attempts {
+		snap.Attempts[v] = uint32(a)
+	}
+	for v := range s.quarantined {
+		snap.Quarantined = append(snap.Quarantined, int64(v))
+	}
+	sort.Slice(snap.Quarantined, func(i, j int) bool { return snap.Quarantined[i] < snap.Quarantined[j] })
+	seen := make(map[dag.NodeID]bool, len(s.returned))
+	for _, v := range s.returned {
+		if s.done[v] || s.quarantined[v] || seen[v] {
+			continue // lazily-invalidated queue entries; skip like allocation does
+		}
+		seen[v] = true
+		snap.Returned = append(snap.Returned, int64(v))
+	}
+	inflight := make([]leaseEntry, 0, len(s.leases))
+	for v, t := range s.leases {
+		inflight = append(inflight, leaseEntry{v: v, granted: t})
+	}
+	sort.Slice(inflight, func(i, j int) bool {
+		if !inflight[i].granted.Equal(inflight[j].granted) {
+			return inflight[i].granted.Before(inflight[j].granted)
+		}
+		return inflight[i].v < inflight[j].v
+	})
+	for _, e := range inflight {
+		snap.InFlight = append(snap.InFlight, int64(e.v))
+	}
+	return snap
+}
+
+// Recover builds a crash-safe server backed by the journal directory
+// dir.  An empty (or absent) directory starts a fresh epoch-1 execution
+// of g; otherwise the pre-crash state is rebuilt exactly — snapshot
+// load plus journal replay — and the epoch is bumped, fencing every
+// client of the dead incarnation: executed tasks stay executed, tasks
+// that were in flight are requeued (their lease holders can no longer
+// report under the old epoch), the quarantine list, attempt counts, and
+// Status counters carry over.  The new epoch is journaled and fsynced
+// before the server is returned, so a successor always sees the bump.
+//
+// The dag must be the same one the journal was written against;
+// recovery fails on any mismatch (wrong size, non-closed executed set,
+// schema violations in the journal).
+func Recover(dir string, g *dag.Dag, policy heur.Policy, wopts wal.Options, opts ...Option) (*Server, error) {
+	s := newCore(g, policy, opts...)
+	began := time.Now()
+	userFsync, userAppend := wopts.FsyncObserver, wopts.AppendObserver
+	wopts.FsyncObserver = func(d time.Duration) {
+		s.m.walFsync.Observe(d.Seconds())
+		if userFsync != nil {
+			userFsync(d)
+		}
+	}
+	wopts.AppendObserver = func(b int) {
+		s.m.walBytes.Add(float64(b))
+		if userAppend != nil {
+			userAppend(b)
+		}
+	}
+	l, rec, err := wal.Open(dir, wopts)
+	if err != nil {
+		return nil, err
+	}
+	fold, err := rec.Fold(g.NumNodes())
+	if err != nil {
+		l.Close()
+		return nil, fmt.Errorf("icserver: journal replay: %w", err)
+	}
+	s.wal = l
+	fresh := rec.Snap == nil && len(rec.Records) == 0
+	if fresh {
+		s.inst.Offer(s.st.Eligible())
+	} else {
+		s.epoch = fold.Epoch + 1
+		if err := s.restoreFold(fold); err != nil {
+			l.Close()
+			return nil, err
+		}
+	}
+	// Fence durably before serving: a successor must see this incarnation
+	// existed even if it never grants a task.
+	s.walAppendLocked(wal.KindEpoch, -1, 0)
+	if s.walErr == nil {
+		if err := l.Sync(); err != nil {
+			s.walErr = err
+		}
+	}
+	if s.walErr != nil {
+		l.Close()
+		return nil, fmt.Errorf("icserver: journal fence: %w", s.walErr)
+	}
+	s.syncGaugesLocked()
+	s.m.recoverySeconds.Set(time.Since(began).Seconds())
+	// Only the first incarnation records the run start; successors join
+	// the same logical run, keeping a shared trace reconstructible.
+	if fresh && s.trace != nil {
+		s.trace.Record(obs.Event{Phase: obs.PhaseRunStart, Task: -1, Actor: "server",
+			Eligible: s.st.NumEligible()})
+	}
+	return s, nil
+}
+
+// restoreFold loads a folded journal state into the fresh server core.
+func (s *Server) restoreFold(fold *wal.Snapshot) error {
+	if err := s.st.Restore(s.g, fold.Executed); err != nil {
+		return fmt.Errorf("icserver: recovered executed set invalid: %w", err)
+	}
+	for v, a := range fold.Attempts {
+		if a > 0 {
+			s.attempts[dag.NodeID(v)] = int(a)
+		}
+	}
+	for v := 0; v < s.g.NumNodes(); v++ {
+		if s.st.IsExecuted(dag.NodeID(v)) {
+			s.done[dag.NodeID(v)] = true
+		}
+	}
+	for _, v := range fold.Quarantined {
+		s.quarantined[dag.NodeID(v)] = true
+	}
+	// Requeue order: explicit hand-backs first (they were already queued
+	// pre-crash), then fenced in-flight grants in grant order.
+	queued := make(map[dag.NodeID]bool)
+	requeue := func(list []int64) {
+		for _, raw := range list {
+			v := dag.NodeID(raw)
+			if s.done[v] || s.quarantined[v] || queued[v] {
+				continue
+			}
+			queued[v] = true
+			s.returned = append(s.returned, v)
+		}
+	}
+	requeue(fold.Returned)
+	requeue(fold.InFlight)
+	s.stalls, s.reissues, s.failed = int(fold.Stalls), int(fold.Reissues), int(fold.Failed)
+	// The policy pool gets exactly the never-granted ELIGIBLE tasks: the
+	// granted-but-unfinished ones live in the requeue (as on the live
+	// server, where the policy emitted them already).
+	var offer []dag.NodeID
+	for _, v := range s.st.Eligible() {
+		if !queued[v] && !s.quarantined[v] {
+			offer = append(offer, v)
+		}
+	}
+	s.inst.Offer(offer)
+	return nil
+}

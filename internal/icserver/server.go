@@ -83,6 +83,7 @@ import (
 	"icsched/internal/heur"
 	"icsched/internal/obs"
 	"icsched/internal/sched"
+	"icsched/internal/wal"
 )
 
 // clientHeader is the optional request header naming the client for
@@ -115,6 +116,18 @@ type Server struct {
 	draining    bool
 	degraded    bool // terminal with a non-empty quarantined set
 
+	// Durability state (nil wal = memory-only server).  The epoch is the
+	// fencing token of this incarnation: fixed at construction, bumped
+	// once per Recover, stamped on every grant and checked on every
+	// nonzero-epoch report.
+	epoch        uint64
+	wal          *wal.Log
+	walErr       error // first journal append failure; wounds the server
+	staleReports int   // reports rejected for carrying a stale epoch
+	killed       bool  // Kill happened: refuse all mutating requests
+	shutdownDone chan struct{}
+	shutdownErr  error
+
 	reg        *obs.Registry // always non-nil; serves GET /metrics
 	trace      *obs.Trace    // optional task-trace recorder
 	traceEnded bool          // run-end recorded
@@ -137,10 +150,15 @@ type serverMetrics struct {
 	leaseExpiries               *obs.Counter // leases reclaimed after expiry
 	quarantines                 *obs.Counter // tasks ever quarantined
 	rescues                     *obs.Counter // quarantined tasks rescued by a late /done
+	staleReports                *obs.Counter // reports rejected on a stale epoch
 	eligible                    *obs.Gauge   // live |ELIGIBLE| (§2.2)
 	leases                      *obs.Gauge   // outstanding allocations
 	quarantined                 *obs.Gauge   // current quarantined set size
 	completed                   *obs.Gauge   // tasks executed
+	epoch                       *obs.Gauge   // fencing token of this incarnation
+	recoverySeconds             *obs.Gauge   // wall time of the last Recover
+	walBytes                    *obs.Counter // journal bytes appended
+	walFsync                    *obs.Histogram
 
 	latTask, latDone, latFailed *obs.Histogram // per-endpoint handler latency
 	latTasks, latReport         *obs.Histogram
@@ -189,10 +207,17 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		leaseExpiries: reg.Counter("icserver_lease_expiries_total", "leases reclaimed after expiry"),
 		quarantines:   reg.Counter("icserver_quarantines_total", "tasks quarantined (MaxAttempts exhausted)"),
 		rescues:       reg.Counter("icserver_quarantine_rescues_total", "quarantined tasks rescued by a late completion"),
+		staleReports:  reg.Counter("icserver_stale_epoch_rejections_total", "reports rejected for carrying a stale epoch"),
 		eligible:      reg.Gauge("icserver_eligible", "live |ELIGIBLE| count (the §2.2 quality measure)"),
 		leases:        reg.Gauge("icserver_leases", "outstanding allocation leases"),
 		quarantined:   reg.Gauge("icserver_quarantined", "current quarantined set size"),
 		completed:     reg.Gauge("icserver_completed", "tasks completed"),
+		epoch:         reg.Gauge("icserver_epoch", "fencing token of the serving incarnation"),
+		recoverySeconds: reg.Gauge("icserver_recovery_seconds",
+			"wall time of the last snapshot-load + journal-replay recovery"),
+		walBytes: reg.Counter("icserver_wal_bytes_total", "journal bytes appended"),
+		walFsync: reg.Histogram("icserver_wal_fsync_seconds",
+			"journal fsync latency (group commit)", latencyBuckets),
 	}
 }
 
@@ -224,8 +249,10 @@ func WithTrace(tr *obs.Trace) Option {
 	return func(s *Server) { s.trace = tr }
 }
 
-// New builds a server for one execution of g under the policy.
-func New(g *dag.Dag, policy heur.Policy, opts ...Option) *Server {
+// newCore builds the server skeleton shared by New and Recover: struct,
+// options, metrics, clock — but no policy offer, no trace events, and
+// no journal.
+func newCore(g *dag.Dag, policy heur.Policy, opts ...Option) *Server {
 	s := &Server{
 		g:           g,
 		st:          sched.NewState(g),
@@ -233,6 +260,7 @@ func New(g *dag.Dag, policy heur.Policy, opts ...Option) *Server {
 		lease:       30 * time.Second,
 		maxAttempts: 5,
 		now:         time.Now,
+		epoch:       1,
 		leases:      make(map[dag.NodeID]time.Time),
 		attempts:    make(map[dag.NodeID]int),
 		quarantined: make(map[dag.NodeID]bool),
@@ -244,6 +272,14 @@ func New(g *dag.Dag, policy heur.Policy, opts ...Option) *Server {
 	}
 	s.m = newServerMetrics(s.reg)
 	s.start = s.now()
+	return s
+}
+
+// New builds a memory-only server for one fresh execution of g under the
+// policy.  For a crash-safe server backed by a journal directory — fresh
+// or recovered — use Recover.
+func New(g *dag.Dag, policy heur.Policy, opts ...Option) *Server {
+	s := newCore(g, policy, opts...)
 	s.inst.Offer(s.st.Eligible())
 	s.syncGaugesLocked()
 	if s.trace != nil {
@@ -280,15 +316,21 @@ func timed(lat *obs.Histogram, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// taskResponse is the /task payload.
+// taskResponse is the /task payload; Epoch is the fencing token the
+// report for this grant must carry.
 type taskResponse struct {
-	Task dag.NodeID `json:"task"`
-	Name string     `json:"name"`
+	Task  dag.NodeID `json:"task"`
+	Name  string     `json:"name"`
+	Epoch uint64     `json:"epoch,omitempty"`
 }
 
-// doneRequest is the /done and /failed payload.
+// doneRequest is the /done and /failed payload.  A zero Epoch is a
+// legacy (pre-fencing) client and is accepted unchecked; a nonzero
+// epoch must match the serving incarnation or the report is rejected
+// with 409 stale-epoch.
 type doneRequest struct {
-	Task dag.NodeID `json:"task"`
+	Task  dag.NodeID `json:"task"`
+	Epoch uint64     `json:"epoch,omitempty"`
 }
 
 // doneResponse reports the packet size.
@@ -311,6 +353,7 @@ type tasksRequest struct {
 // eligible (the batched analog of the legacy 204).
 type tasksResponse struct {
 	Tasks []taskResponse `json:"tasks"`
+	Epoch uint64         `json:"epoch,omitempty"`
 }
 
 // reportRequest is the batched /report payload: a mixed batch of
@@ -322,6 +365,7 @@ type reportRequest struct {
 	Done   []dag.NodeID `json:"done"`
 	Failed []dag.NodeID `json:"failed"`
 	K      int          `json:"k,omitempty"`
+	Epoch  uint64       `json:"epoch,omitempty"`
 }
 
 // reportResponse is the /report reply: the batch summary plus, when the
@@ -332,6 +376,7 @@ type reportResponse struct {
 	BatchReport
 	Tasks    []taskResponse `json:"tasks,omitempty"`
 	Finished bool           `json:"finished,omitempty"`
+	Epoch    uint64         `json:"epoch,omitempty"`
 }
 
 // BatchReport summarizes what a /report batch did; it is also the
@@ -356,20 +401,91 @@ type healthResponse struct {
 	Total         int     `json:"total"`
 }
 
-// Status is the /status payload.
+// Status is the /status payload.  Epoch is the serving incarnation's
+// fencing token — a fenced client resyncs by reading it here.
 type Status struct {
-	Total       int `json:"total"`
-	Completed   int `json:"completed"`
-	Eligible    int `json:"eligible"`
-	Allocated   int `json:"allocated"`
-	Stalls      int `json:"stalls"`
-	Reissues    int `json:"reissues"`
-	Failed      int `json:"failed"`
-	Quarantined int `json:"quarantined"`
+	Total        int    `json:"total"`
+	Completed    int    `json:"completed"`
+	Eligible     int    `json:"eligible"`
+	Allocated    int    `json:"allocated"`
+	Stalls       int    `json:"stalls"`
+	Reissues     int    `json:"reissues"`
+	Failed       int    `json:"failed"`
+	Quarantined  int    `json:"quarantined"`
+	Epoch        uint64 `json:"epoch"`
+	StaleReports int    `json:"staleReports"`
+}
+
+// unavailable reports whether the server must refuse mutating requests:
+// it was killed, or a journal append failed (the in-memory state is then
+// ahead of the durable one, so granting or acking more would make the
+// journal lie).
+func (s *Server) unavailable() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.unavailableLocked(); err != nil {
+		return true, err.Error()
+	}
+	return false, ""
+}
+
+// errKilled and errJournalFailed mark mutating operations refused on a
+// dead or wounded incarnation; handlers map them to 503 so clients
+// retry against the successor instead of treating them as conflicts.
+var (
+	errKilled        = errors.New("icserver: server killed")
+	errJournalFailed = errors.New("icserver: journal failed")
+)
+
+// unavailableLocked is the in-lock form of unavailable (caller holds
+// s.mu).  Kill takes the same lock, so every mutating core that checks
+// this first is atomic against it: an operation either completed fully
+// before the kill (and was journaled) or is refused in full — no grant
+// or ack can escape in memory only, invisible to recovery.
+func (s *Server) unavailableLocked() error {
+	switch {
+	case s.killed:
+		return errKilled
+	case s.walErr != nil:
+		return fmt.Errorf("%w: %v", errJournalFailed, s.walErr)
+	}
+	return nil
+}
+
+// staleEpochError is the typed 409 body marker a fenced client resyncs
+// on (via GET /status).
+const staleEpochError = "stale epoch"
+
+// staleEpochResponse is the 409 payload rejecting a stale-epoch report.
+type staleEpochResponse struct {
+	Error string `json:"error"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// fenceStale rejects a nonzero request epoch that does not match the
+// serving incarnation.  The epoch is fixed per incarnation, so the
+// unlocked read is safe; a zero epoch is a legacy client, accepted
+// unchecked for wire compatibility.
+func (s *Server) fenceStale(w http.ResponseWriter, reqEpoch uint64) bool {
+	if reqEpoch == 0 || reqEpoch == s.epoch {
+		return false
+	}
+	s.mu.Lock()
+	s.staleReports++
+	s.mu.Unlock()
+	s.m.staleReports.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusConflict)
+	_ = json.NewEncoder(w).Encode(staleEpochResponse{Error: staleEpochError, Epoch: s.epoch})
+	return true
 }
 
 func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 	s.m.reqTask.Inc()
+	if down, msg := s.unavailable(); down {
+		http.Error(w, msg, http.StatusServiceUnavailable)
+		return
+	}
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
@@ -380,7 +496,7 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 	v, state := s.allocate(r.Header.Get(clientHeader))
 	switch state {
 	case AllocOK:
-		writeJSON(w, taskResponse{Task: v, Name: s.g.Name(v)})
+		writeJSON(w, taskResponse{Task: v, Name: s.g.Name(v), Epoch: s.epoch})
 	case AllocEmpty:
 		w.WriteHeader(http.StatusNoContent)
 	case AllocFinished:
@@ -390,13 +506,13 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 
 // decodeTask reads a bounded {"task": id} body, distinguishing empty and
 // oversized bodies from malformed JSON only in the error text.
-func decodeTask(w http.ResponseWriter, r *http.Request) (dag.NodeID, bool) {
+func decodeTask(w http.ResponseWriter, r *http.Request) (doneRequest, bool) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req doneRequest
 	err := json.NewDecoder(r.Body).Decode(&req)
 	switch {
 	case err == nil:
-		return req.Task, true
+		return req, true
 	case errors.Is(err, io.EOF):
 		http.Error(w, "icserver: empty request body", http.StatusBadRequest)
 	default:
@@ -408,18 +524,25 @@ func decodeTask(w http.ResponseWriter, r *http.Request) (dag.NodeID, bool) {
 			http.Error(w, "icserver: malformed request body: "+err.Error(), http.StatusBadRequest)
 		}
 	}
-	return 0, false
+	return doneRequest{}, false
 }
 
 func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
 	s.m.reqDone.Inc()
-	v, ok := decodeTask(w, r)
+	req, ok := decodeTask(w, r)
 	if !ok {
 		return
 	}
-	k, err := s.complete(v, r.Header.Get(clientHeader))
+	if down, msg := s.unavailable(); down {
+		http.Error(w, msg, http.StatusServiceUnavailable)
+		return
+	}
+	if s.fenceStale(w, req.Epoch) {
+		return
+	}
+	k, err := s.complete(req.Task, r.Header.Get(clientHeader))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		http.Error(w, err.Error(), conflictCode(err))
 		return
 	}
 	writeJSON(w, doneResponse{NewlyEligible: k})
@@ -427,13 +550,20 @@ func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleFailed(w http.ResponseWriter, r *http.Request) {
 	s.m.reqFailed.Inc()
-	v, ok := decodeTask(w, r)
+	req, ok := decodeTask(w, r)
 	if !ok {
 		return
 	}
-	requeued, quarantined, err := s.fail(v, r.Header.Get(clientHeader))
+	if down, msg := s.unavailable(); down {
+		http.Error(w, msg, http.StatusServiceUnavailable)
+		return
+	}
+	if s.fenceStale(w, req.Epoch) {
+		return
+	}
+	requeued, quarantined, err := s.fail(req.Task, r.Header.Get(clientHeader))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		http.Error(w, err.Error(), conflictCode(err))
 		return
 	}
 	writeJSON(w, failedResponse{Requeued: requeued, Quarantined: quarantined})
@@ -451,6 +581,10 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("icserver: batch size %d < 1", req.K), http.StatusBadRequest)
 		return
 	}
+	if down, msg := s.unavailable(); down {
+		http.Error(w, msg, http.StatusServiceUnavailable)
+		return
+	}
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
@@ -463,9 +597,9 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusGone)
 		return
 	}
-	resp := tasksResponse{Tasks: make([]taskResponse, len(batch))}
+	resp := tasksResponse{Tasks: make([]taskResponse, len(batch)), Epoch: s.epoch}
 	for i, v := range batch {
-		resp.Tasks[i] = taskResponse{Task: v, Name: s.g.Name(v)}
+		resp.Tasks[i] = taskResponse{Task: v, Name: s.g.Name(v), Epoch: s.epoch}
 	}
 	writeJSON(w, resp)
 }
@@ -482,6 +616,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("icserver: piggyback batch size %d < 0", req.K), http.StatusBadRequest)
 		return
 	}
+	if down, msg := s.unavailable(); down {
+		http.Error(w, msg, http.StatusServiceUnavailable)
+		return
+	}
+	if s.fenceStale(w, req.Epoch) {
+		return
+	}
 	actor := r.Header.Get(clientHeader)
 	s.mu.Lock()
 	draining := s.draining
@@ -496,7 +637,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 			writeReportError(w, err)
 			return
 		}
-		writeJSON(w, reportResponse{BatchReport: rep})
+		writeJSON(w, reportResponse{BatchReport: rep, Epoch: s.epoch})
 		return
 	}
 	rep, batch, state, err := s.reportAllocate(req.Done, req.Failed, k, actor)
@@ -504,22 +645,32 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeReportError(w, err)
 		return
 	}
-	resp := reportResponse{BatchReport: rep, Finished: state == AllocFinished}
+	resp := reportResponse{BatchReport: rep, Finished: state == AllocFinished, Epoch: s.epoch}
 	for _, v := range batch {
-		resp.Tasks = append(resp.Tasks, taskResponse{Task: v, Name: s.g.Name(v)})
+		resp.Tasks = append(resp.Tasks, taskResponse{Task: v, Name: s.g.Name(v), Epoch: s.epoch})
 	}
 	writeJSON(w, resp)
 }
 
 // writeReportError maps a rejected report batch onto HTTP: a batch that
 // acks the same task twice is malformed (400); everything else is a state
-// conflict (409).
+// conflict (409) — unless the server itself is down (503).
 func writeReportError(w http.ResponseWriter, err error) {
-	code := http.StatusConflict
+	code := conflictCode(err)
 	if errors.Is(err, errDuplicateAck) {
 		code = http.StatusBadRequest
 	}
 	http.Error(w, err.Error(), code)
+}
+
+// conflictCode maps a mutating-core error onto HTTP: a dead or wounded
+// incarnation is 503 (retryable — the successor will answer), anything
+// else a 409 state conflict.
+func conflictCode(err error) int {
+	if errors.Is(err, errKilled) || errors.Is(err, errJournalFailed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusConflict
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -572,6 +723,9 @@ func (s *Server) Allocate() (dag.NodeID, AllocState) { return s.allocate("") }
 func (s *Server) allocate(actor string) (dag.NodeID, AllocState) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.unavailableLocked() != nil {
+		return 0, AllocEmpty // not a stall: the incarnation is dead or wounded
+	}
 	held := time.Now()
 	v, state := s.allocateOneLocked(s.now(), actor)
 	if state == AllocEmpty {
@@ -579,6 +733,7 @@ func (s *Server) allocate(actor string) (dag.NodeID, AllocState) {
 		s.m.stalls.Inc()
 	}
 	s.syncGaugesLocked()
+	s.maybeSnapshotLocked()
 	s.m.lockHold.Observe(time.Since(held).Seconds())
 	return v, state
 }
@@ -594,8 +749,12 @@ func (s *Server) AllocateBatch(k int) ([]dag.NodeID, AllocState) { return s.allo
 func (s *Server) allocateBatch(k int, actor string) ([]dag.NodeID, AllocState) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.unavailableLocked() != nil {
+		return nil, AllocEmpty // not a stall: the incarnation is dead or wounded
+	}
 	held := time.Now()
 	batch, state := s.allocateBatchLocked(k, actor)
+	s.maybeSnapshotLocked()
 	s.m.lockHold.Observe(time.Since(held).Seconds())
 	return batch, state
 }
@@ -652,6 +811,7 @@ func (s *Server) allocateOneLocked(now time.Time, actor string) (dag.NodeID, All
 			}
 			heap.Pop(&s.expiry)
 			s.m.leaseExpiries.Inc()
+			s.walAppendLocked(wal.KindExpiry, top.v, 0)
 			if s.maxAttempts > 0 && s.attempts[top.v] >= s.maxAttempts {
 				delete(s.leases, top.v)
 				s.quarantineLocked(top.v, "server")
@@ -702,6 +862,7 @@ func (s *Server) grantLocked(v dag.NodeID, now time.Time, actor string) {
 	if s.lease > 0 {
 		heap.Push(&s.expiry, leaseEntry{v: v, granted: now})
 	}
+	s.walAppendLocked(wal.KindGrant, v, uint32(s.attempts[v]))
 	s.m.allocations.Inc()
 	if s.trace != nil {
 		s.trace.Record(obs.Event{Phase: obs.PhaseAllocate, Task: int(v), Name: s.g.Name(v),
@@ -713,6 +874,7 @@ func (s *Server) grantLocked(v dag.NodeID, now time.Time, actor string) {
 // and has already removed any lease).
 func (s *Server) quarantineLocked(v dag.NodeID, actor string) {
 	s.quarantined[v] = true
+	s.walAppendLocked(wal.KindQuarantine, v, 0)
 	s.m.quarantines.Inc()
 	if s.trace != nil {
 		s.trace.Record(obs.Event{Phase: obs.PhaseQuarantine, Task: int(v), Name: s.g.Name(v),
@@ -729,6 +891,10 @@ func (s *Server) Complete(v dag.NodeID) (int, error) { return s.complete(v, "") 
 func (s *Server) complete(v dag.NodeID, actor string) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.unavailableLocked(); err != nil {
+		return 0, err
+	}
+	defer s.maybeSnapshotLocked()
 	defer s.syncGaugesLocked()
 	return s.completeLocked(v, actor)
 }
@@ -754,6 +920,7 @@ func (s *Server) completeLocked(v dag.NodeID, actor string) (int, error) {
 		delete(s.quarantined, v) // a late result rescues a quarantined task
 		s.m.rescues.Inc()
 	}
+	s.walAppendLocked(wal.KindDone, v, 0)
 	s.inst.Offer(packet)
 	s.m.completions.Inc()
 	if s.trace != nil {
@@ -777,6 +944,10 @@ func (s *Server) Fail(v dag.NodeID) (requeued, quarantined bool, err error) {
 func (s *Server) fail(v dag.NodeID, actor string) (requeued, quarantined bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.unavailableLocked(); err != nil {
+		return false, false, err
+	}
+	defer s.maybeSnapshotLocked()
 	defer s.syncGaugesLocked()
 	return s.failLocked(v, actor)
 }
@@ -794,6 +965,7 @@ func (s *Server) failLocked(v dag.NodeID, actor string) (requeued, quarantined b
 	s.failed++
 	s.m.failed.Inc()
 	delete(s.leases, v)
+	s.walAppendLocked(wal.KindFailed, v, 0)
 	if s.quarantined[v] {
 		return false, true, nil
 	}
@@ -827,6 +999,10 @@ func (s *Server) Report(done, failed []dag.NodeID) (BatchReport, error) {
 func (s *Server) report(done, failed []dag.NodeID, actor string) (BatchReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.unavailableLocked(); err != nil {
+		return BatchReport{}, err
+	}
+	defer s.maybeSnapshotLocked()
 	defer s.syncGaugesLocked()
 	return s.reportLocked(done, failed, actor)
 }
@@ -844,6 +1020,9 @@ func (s *Server) ReportAllocate(done, failed []dag.NodeID, k int) (BatchReport, 
 func (s *Server) reportAllocate(done, failed []dag.NodeID, k int, actor string) (BatchReport, []dag.NodeID, AllocState, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.unavailableLocked(); err != nil {
+		return BatchReport{}, nil, AllocEmpty, err
+	}
 	held := time.Now()
 	rep, err := s.reportLocked(done, failed, actor)
 	if err != nil {
@@ -851,6 +1030,7 @@ func (s *Server) reportAllocate(done, failed []dag.NodeID, k int, actor string) 
 		return rep, nil, AllocEmpty, err
 	}
 	batch, state := s.allocateBatchLocked(k, actor)
+	s.maybeSnapshotLocked()
 	s.m.lockHold.Observe(time.Since(held).Seconds())
 	return rep, batch, state, nil
 }
@@ -910,6 +1090,7 @@ func (s *Server) syncGaugesLocked() {
 	s.m.leases.Set(float64(len(s.leases)))
 	s.m.quarantined.Set(float64(len(s.quarantined)))
 	s.m.completed.Set(float64(s.st.NumExecuted()))
+	s.m.epoch.Set(float64(s.epoch))
 }
 
 // recordRunEndLocked records the terminal trace event once (caller holds
@@ -928,13 +1109,52 @@ func (s *Server) recordRunEndLocked() {
 	s.trace.Record(ev)
 }
 
-// Shutdown drains the server gracefully: new /task requests get 503 while
-// in-flight leases may still complete (or fail).  It returns once no
-// lease is outstanding, or with an error when ctx expires first.
+// Shutdown drains the server gracefully: new /task requests get 503
+// while in-flight leases may still complete (or fail).  Once no lease is
+// outstanding (or ctx expires first), the journal — if any — gets a
+// drain record, a final flush, and is closed, so a clean shutdown is
+// durably distinguishable from a crash.  Shutdown is idempotent: a
+// second call performs no work and waits for the first to finish (or
+// for its own ctx), returning the first call's result.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
+	if s.shutdownDone != nil {
+		done := s.shutdownDone
+		s.mu.Unlock()
+		select {
+		case <-done:
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.shutdownErr
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	s.shutdownDone = make(chan struct{})
 	s.draining = true
 	s.mu.Unlock()
+
+	err := s.awaitDrain(ctx)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Journal the drain and flush even on a drain timeout: what happened
+	// is durable either way, only the drain marker tells a clean story.
+	if s.wal != nil && !s.killed {
+		if err == nil {
+			s.walAppendLocked(wal.KindDrain, -1, 0)
+			err = s.walErr
+		}
+		if cerr := s.wal.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.shutdownErr = err
+	close(s.shutdownDone)
+	return err
+}
+
+// awaitDrain blocks until no lease is outstanding or ctx expires.
+func (s *Server) awaitDrain(ctx context.Context) error {
 	tick := time.NewTicker(2 * time.Millisecond)
 	defer tick.Stop()
 	for {
@@ -952,21 +1172,43 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// Kill terminates the incarnation abruptly — the in-process stand-in
+// for SIGKILL in crash harnesses.  The journal (if any) is severed
+// without a final flush, every subsequent request gets 503, and the
+// in-memory state is abandoned; a successor rebuilds it with Recover.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.killed {
+		return
+	}
+	s.killed = true
+	if s.wal != nil {
+		s.wal.Kill()
+	}
+}
+
 // Status snapshots the execution.
 func (s *Server) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Status{
-		Total:       s.g.NumNodes(),
-		Completed:   s.st.NumExecuted(),
-		Eligible:    s.st.NumEligible(),
-		Allocated:   len(s.leases),
-		Stalls:      s.stalls,
-		Reissues:    s.reissues,
-		Failed:      s.failed,
-		Quarantined: len(s.quarantined),
+		Total:        s.g.NumNodes(),
+		Completed:    s.st.NumExecuted(),
+		Eligible:     s.st.NumEligible(),
+		Allocated:    len(s.leases),
+		Stalls:       s.stalls,
+		Reissues:     s.reissues,
+		Failed:       s.failed,
+		Quarantined:  len(s.quarantined),
+		Epoch:        s.epoch,
+		StaleReports: s.staleReports,
 	}
 }
+
+// Epoch returns this incarnation's fencing token (1 for a fresh run,
+// bumped once per Recover).
+func (s *Server) Epoch() uint64 { return s.epoch }
 
 // Finished reports whether the execution is terminal: every task
 // completed, or no further progress is possible (the remaining tasks are

@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icsched/internal/dag"
+)
+
+// TestRestoreRoundTrip checks that ExecutedWords/Restore reproduce a
+// mid-execution state exactly: same counters, same ELIGIBLE set, and
+// the restored state accepts precisely the same continuations.
+func TestRestoreRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := dag.Random(r, 1+r.Intn(20), 0.3)
+		live := NewState(g)
+		steps := r.Intn(g.NumNodes() + 1)
+		for i := 0; i < steps; i++ {
+			if err := live.Advance(live.EligibleAt(r.Intn(live.NumEligible()))); err != nil {
+				return false
+			}
+		}
+		restored := new(State)
+		if err := restored.Restore(g, live.ExecutedWords(nil)); err != nil {
+			return false
+		}
+		if restored.NumExecuted() != live.NumExecuted() || restored.NumEligible() != live.NumEligible() {
+			return false
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			id := dag.NodeID(v)
+			if restored.IsExecuted(id) != live.IsExecuted(id) || restored.IsEligible(id) != live.IsEligible(id) {
+				return false
+			}
+		}
+		// Both states must accept the same completion.
+		for !live.Done() {
+			v := live.EligibleAt(r.Intn(live.NumEligible()))
+			if live.Advance(v) != nil || restored.Advance(v) != nil {
+				return false
+			}
+		}
+		return restored.Done()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreRejectsNonClosedSet rejects an executed set that is not
+// downward-closed, leaving the state freshly reset.
+func TestRestoreRejectsNonClosedSet(t *testing.T) {
+	g := buildVee() // 0 -> 1, 0 -> 2
+	s := new(State)
+	if err := s.Restore(g, []uint64{0b010}); err == nil {
+		t.Fatal("restore accepted child executed without its parent")
+	}
+	if s.NumExecuted() != 0 || s.NumEligible() != 1 || !s.IsEligible(0) {
+		t.Fatal("failed restore did not reset the state")
+	}
+}
+
+// TestRestoreRejectsBadWords rejects wrong word counts and bits set
+// past the node range.
+func TestRestoreRejectsBadWords(t *testing.T) {
+	g := buildVee()
+	s := new(State)
+	if err := s.Restore(g, nil); err == nil {
+		t.Fatal("restore accepted a short word slice")
+	}
+	if err := s.Restore(g, []uint64{0, 0}); err == nil {
+		t.Fatal("restore accepted a long word slice")
+	}
+	if err := s.Restore(g, []uint64{1 << 5}); err == nil {
+		t.Fatal("restore accepted a bit past NumNodes")
+	}
+}
+
+// TestRestoreEmptyAndFull covers the boundary states: nothing
+// executed restores to the initial state, everything executed to the
+// terminal one.
+func TestRestoreEmptyAndFull(t *testing.T) {
+	g := buildLambda()
+	s := new(State)
+	if err := s.Restore(g, []uint64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumExecuted() != 0 || s.NumEligible() != 2 {
+		t.Fatalf("empty restore: exec=%d elig=%d", s.NumExecuted(), s.NumEligible())
+	}
+	if err := s.Restore(g, []uint64{0b111}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() || s.NumEligible() != 0 {
+		t.Fatal("full restore not terminal")
+	}
+}

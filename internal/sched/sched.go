@@ -222,6 +222,67 @@ func (s *State) ProfileInto(order []dag.NodeID, prof []int) ([]int, error) {
 	return prof, nil
 }
 
+// ExecutedWords appends the executed-set bitset words to buf and
+// returns the extended slice — the durable representation used by the
+// crash-recovery snapshot.  Word i bit b covers node i*64+b; bits past
+// NumNodes are zero.
+func (s *State) ExecutedWords(buf []uint64) []uint64 {
+	return append(buf, s.executed...)
+}
+
+// Restore rebinds the state to g and rebuilds it from an executed-set
+// bitset as produced by ExecutedWords: remaining parent counts and the
+// ELIGIBLE set are recomputed from scratch.  The executed set must be
+// downward-closed (every executed node's parents executed) and must
+// not set bits at or past NumNodes; otherwise the state is reset to
+// the initial execution state and an error is returned.
+func (s *State) Restore(g *dag.Dag, words []uint64) error {
+	s.Reset(g)
+	n := g.NumNodes()
+	if len(words) != (n+63)/64 {
+		return fmt.Errorf("sched: restore of %d words onto a %d-node dag (want %d)", len(words), n, (n+63)/64)
+	}
+	for w, word := range words {
+		if hi := (w + 1) * 64; hi > n && word>>(uint(n)&63) != 0 {
+			return fmt.Errorf("sched: restore sets bits past node %d", n-1)
+		}
+		for ; word != 0; word &= word - 1 {
+			v := dag.NodeID(w<<6 + bits.TrailingZeros64(word))
+			for _, p := range g.Parents(v) {
+				if words[p>>6]&(1<<uint(p&63)) == 0 {
+					s.Reset(g)
+					return fmt.Errorf("sched: restore: node %s executed but parent %s is not", g.Name(v), g.Name(p))
+				}
+			}
+		}
+	}
+	copy(s.executed, words)
+	s.numExec = 0
+	s.numElig = 0
+	for i := range s.eligible {
+		s.eligible[i] = 0
+	}
+	for v := 0; v < n; v++ {
+		if s.executed[v>>6]&(1<<uint(v&63)) != 0 {
+			s.numExec++
+			s.remaining[v] = 0
+			continue
+		}
+		r := int32(0)
+		for _, p := range g.Parents(dag.NodeID(v)) {
+			if s.executed[p>>6]&(1<<uint(p&63)) == 0 {
+				r++
+			}
+		}
+		s.remaining[v] = r
+		if r == 0 {
+			s.eligible[v>>6] |= 1 << uint(v&63)
+			s.numElig++
+		}
+	}
+	return nil
+}
+
 // Clone returns an independent copy of the state.
 func (s *State) Clone() *State {
 	return &State{
