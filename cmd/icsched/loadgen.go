@@ -188,7 +188,9 @@ func runCell(fam loadgenFamily, clients, batch int, ref []uint64) (loadgenResult
 				IdleWait:    100 * time.Microsecond,
 				IdleWaitMax: time.Millisecond,
 				ID:          fmt.Sprintf("loadgen-%d", c),
-				Seed:        int64(c + 1),
+				// Seeds derive from (cell family, client): the bare c+1
+				// collided across cells, synchronizing their backoff.
+				Seed: derivedSeed(fam.name, c),
 			}
 			stats[c], errs[c] = cl.Run(ctx)
 		}(c)
@@ -241,19 +243,21 @@ func runCell(fam loadgenFamily, clients, batch int, ref []uint64) (loadgenResult
 		resyncs += cst.Resyncs
 	}
 	return loadgenResult{
-		Family:            fam.name,
-		Size:              fam.size,
-		Nodes:             g.NumNodes(),
-		Protocol:          protocol,
-		Batch:             batch,
-		WallMillis:        float64(wall.Microseconds()) / 1000,
-		TasksPerSec:       float64(g.NumNodes()) / wall.Seconds(),
-		AllocRequests:     requests,
-		GrantsPerRequest:  grants,
-		AllocP50Micros:    1e6 * allocLat.Quantile(0.50),
-		AllocP99Micros:    1e6 * allocLat.Quantile(0.99),
-		LockHoldP50Micros: 1e6 * lockHold.Quantile(0.50),
-		LockHoldP99Micros: 1e6 * lockHold.Quantile(0.99),
+		Family:           fam.name,
+		Size:             fam.size,
+		Nodes:            g.NumNodes(),
+		Protocol:         protocol,
+		Batch:            batch,
+		WallMillis:       float64(wall.Microseconds()) / 1000,
+		TasksPerSec:      float64(g.NumNodes()) / wall.Seconds(),
+		AllocRequests:    requests,
+		GrantsPerRequest: grants,
+		// QuantileOr: an empty histogram yields the NaN sentinel, which
+		// does not marshal to JSON — report 0 instead.
+		AllocP50Micros:    1e6 * allocLat.QuantileOr(0.50, 0),
+		AllocP99Micros:    1e6 * allocLat.QuantileOr(0.99, 0),
+		LockHoldP50Micros: 1e6 * lockHold.QuantileOr(0.50, 0),
+		LockHoldP99Micros: 1e6 * lockHold.QuantileOr(0.99, 0),
 		Reissues:          st.Reissues,
 		Quarantined:       st.Quarantined,
 		Resyncs:           resyncs,
@@ -302,10 +306,16 @@ func runLoadgen(cfg loadgenConfig) (loadgenFile, error) {
 // -minspeedup turns the run into a CI regression guard.
 func cmdLoadgen(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_throughput.json", "output JSON file (- for stdout)")
-	clients := fs.Int("clients", 16, "concurrent clients per cell")
+	out := fs.String("out", "", "output JSON file (- for stdout; default BENCH_throughput.json, stream mode BENCH_stream.json)")
+	clients := fs.Int("clients", 16, "concurrent clients per cell (stream mode: fleet size)")
 	smoke := fs.Bool("smoke", false, "CI smoke sizes (one batched cap, smaller fftconv/prefix)")
 	minSpeedup := fs.Float64("minspeedup", 0, "fail unless wavefront batched ≥ this × single-task tasks/sec (0 = off)")
+	stream := fs.Bool("stream", false, "Poisson job-arrival stream mode through the multi-tenant job service")
+	tenants := fs.Int("tenants", 4, "stream mode: submitting tenants")
+	jobsPer := fs.Int("jobs", 12, "stream mode: jobs per tenant")
+	rate := fs.Float64("rate", 25, "stream mode: mean Poisson arrivals/sec per tenant (0 = back-to-back)")
+	seed := fs.Int64("seed", 1, "stream mode: arrival-process seed")
+	maxSkew := fs.Float64("maxskew", 2, "stream mode: fail if max/min completed-jobs ratio exceeds this (0 = off)")
 	var batches intsFlag
 	fs.Var(&batches, "batches", "comma-separated batched grant caps (default 4,16,64; smoke 16)")
 	if err := fs.Parse(args); err != nil {
@@ -313,6 +323,26 @@ func cmdLoadgen(args []string) error {
 	}
 	if *clients < 1 {
 		return fmt.Errorf("loadgen: %d clients", *clients)
+	}
+	if *stream {
+		if *tenants < 1 || *jobsPer < 1 {
+			return fmt.Errorf("loadgen: stream needs ≥1 tenant and ≥1 job per tenant")
+		}
+		if *out == "" {
+			*out = "BENCH_stream.json"
+		}
+		doc, err := runStream(streamConfig{
+			clients: *clients, tenants: *tenants, jobsPerTenant: *jobsPer,
+			rate: *rate, seed: *seed, maxSkew: *maxSkew, smoke: *smoke,
+		})
+		// Write whatever was measured even on failure, for CI diagnosis.
+		if werr := writeStream(doc, *out); werr != nil && err == nil {
+			err = werr
+		}
+		return err
+	}
+	if *out == "" {
+		*out = "BENCH_throughput.json"
 	}
 	if len(batches) == 0 {
 		batches = intsFlag{4, 16, 64}

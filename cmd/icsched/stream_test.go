@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDerivedSeedDeterministicAndDistinct is the regression guard for
+// the jitter-seed derivation: the old bare per-process counter handed
+// the same seed sequence to every same-sized fleet, so two tenants'
+// fleets (or two benchmark cells) backed off in lockstep.  Seeds must
+// be a pure function of (tenant, client), distinct across every pair in
+// a realistic fleet, and never zero (zero falls back to the counter).
+func TestDerivedSeedDeterministicAndDistinct(t *testing.T) {
+	tenants := []string{"tenant-0", "tenant-1", "tenant-2", "tenant-3",
+		"wavefront", "fftconv", "prefix", "fleet", "a", "ab", "b"}
+	seen := map[int64]string{}
+	for _, tenant := range tenants {
+		for c := 0; c < 64; c++ {
+			s := derivedSeed(tenant, c)
+			if s <= 0 {
+				t.Fatalf("derivedSeed(%q, %d) = %d, want positive", tenant, c, s)
+			}
+			if s != derivedSeed(tenant, c) {
+				t.Fatalf("derivedSeed(%q, %d) not deterministic", tenant, c)
+			}
+			key := tenant + "/" + string(rune(c))
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s and %s both derive %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	cases := []struct {
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{nil, 0.5, 0},
+		{[]float64{7}, 0.5, 7},
+		{[]float64{1, 2, 3, 4}, 0.5, 2},
+		{[]float64{1, 2, 3, 4}, 0.99, 4},
+		{[]float64{1, 2, 3, 4}, 0, 1},
+		{[]float64{1, 2, 3, 4}, 1, 4},
+	}
+	for _, c := range cases {
+		if got := percentile(c.sorted, c.q); got != c.want {
+			t.Fatalf("percentile(%v, %v) = %v, want %v", c.sorted, c.q, got, c.want)
+		}
+	}
+}
+
+// TestRunStreamSmoke is the acceptance scenario end to end: a 4-tenant
+// Poisson stream of mixed wavefront/fftconv/prefix jobs through the
+// multi-tenant service, killed and recovered once mid-stream, with
+// every job verified bit-identical against the serial exec.Run
+// reference inside runStream and the equal-weight fairness guard armed.
+func TestRunStreamSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full stream benchmark")
+	}
+	doc, err := runStream(streamConfig{
+		clients: 6, tenants: 4, jobsPerTenant: 4,
+		rate: 200, seed: 7, maxSkew: 2, smoke: true,
+	})
+	if err != nil {
+		t.Fatalf("runStream: %v", err)
+	}
+	if doc.Jobs != 16 || doc.Finished != 16 {
+		t.Fatalf("finished %d of %d jobs", doc.Finished, doc.Jobs)
+	}
+	if !doc.MidStreamRecover {
+		t.Fatal("stream completed without the mid-stream recovery")
+	}
+	if doc.FairnessRatio > 2 {
+		t.Fatalf("fairness ratio %.2f > 2 at equal weights", doc.FairnessRatio)
+	}
+	if len(doc.PerTenant) != 4 {
+		t.Fatalf("per-tenant rows: %d", len(doc.PerTenant))
+	}
+	for _, tr := range doc.PerTenant {
+		if tr.Submitted != 4 || tr.Completed != 4 {
+			t.Fatalf("tenant %s: %d submitted / %d completed, want 4/4", tr.Tenant, tr.Submitted, tr.Completed)
+		}
+		if tr.LatencyP50Millis <= 0 || tr.LatencyP99Millis < tr.LatencyP50Millis {
+			t.Fatalf("tenant %s: implausible latencies %+v", tr.Tenant, tr)
+		}
+	}
+}
+
+// TestWriteStreamSchema checks BENCH_stream.json round-trips with the
+// fields the CI schema validation reads.
+func TestWriteStreamSchema(t *testing.T) {
+	doc := streamFile{
+		Clients: 8, Tenants: 4, JobsPerTenant: 6, Smoke: true, Seed: 1,
+		Jobs: 24, Finished: 24, WallMillis: 210.4, JobsPerSec: 114.1,
+		MidStreamRecover: true, Resyncs: 3, FairnessRatio: 1.0,
+		PerTenant: []streamTenantResult{{
+			Tenant: "tenant-0", Weight: 1, Submitted: 6, Completed: 6,
+			LatencyP50Millis: 7.1, LatencyP99Millis: 31.9,
+		}},
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_stream.json")
+	if err := writeStream(doc, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got streamFile
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("written file is not valid JSON: %v", err)
+	}
+	if !got.MidStreamRecover || got.Finished != 24 || len(got.PerTenant) != 1 ||
+		got.PerTenant[0].LatencyP99Millis != 31.9 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+}

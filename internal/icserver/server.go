@@ -60,6 +60,14 @@
 // single-task endpoints remain wire-compatible; both client generations
 // can share one server.
 //
+// Every 503 carries one typed JSON body {"error": "unavailable",
+// "reason": "draining" | "killed" | "journal-failed", "detail": ...}:
+// the drain check and the killed/wounded check happen under one lock
+// acquisition, so a request cannot observe "not draining" and then be
+// granted by a drained (or dead) incarnation.  Draining refuses only
+// new grants (/task, /tasks, and the piggybacked grant of /report);
+// completions stay welcome so in-flight leases can land.
+//
 // POST requests may carry an X-IC-Client header naming the client; the
 // name is attached to trace events so per-client activity is visible in
 // chrome://tracing.
@@ -416,17 +424,58 @@ type Status struct {
 	StaleReports int    `json:"staleReports"`
 }
 
-// unavailable reports whether the server must refuse mutating requests:
-// it was killed, or a journal append failed (the in-memory state is then
-// ahead of the durable one, so granting or acking more would make the
-// journal lie).
-func (s *Server) unavailable() (bool, string) {
+// unavailableResponse is the one typed 503 body every refusal path
+// emits: Reason distinguishes a draining server (come back to the same
+// incarnation for completions, or not at all for grants) from a killed
+// or journal-wounded one (retry against the successor).
+type unavailableResponse struct {
+	Error  string `json:"error"`  // always "unavailable"
+	Reason string `json:"reason"` // "draining" | "killed" | "journal-failed"
+	Detail string `json:"detail,omitempty"`
+}
+
+// unavailableError is the Error field of every 503 body.
+const unavailableError = "unavailable"
+
+// Refusal reasons.
+const (
+	ReasonDraining      = "draining"
+	ReasonKilled        = "killed"
+	ReasonJournalFailed = "journal-failed"
+)
+
+// writeUnavailable emits the typed 503 body.
+func writeUnavailable(w http.ResponseWriter, reason, detail string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(unavailableResponse{Error: unavailableError, Reason: reason, Detail: detail})
+}
+
+// refuse checks every unavailability condition under ONE lock
+// acquisition — the same discipline the epoch fence gets from its
+// immutable read — and writes the typed 503 when the request must be
+// refused.  checkDrain marks allocation paths (/task, /tasks): a
+// draining server refuses new grants but still takes completions.
+// The returned draining flag lets /report suppress its piggybacked
+// grant while accepting the ack.
+func (s *Server) refuse(w http.ResponseWriter, checkDrain bool) (refused, draining bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.unavailableLocked(); err != nil {
-		return true, err.Error()
+	err := s.unavailableLocked()
+	draining = s.draining
+	s.mu.Unlock()
+	if err != nil {
+		reason := ReasonKilled
+		if errors.Is(err, errJournalFailed) {
+			reason = ReasonJournalFailed
+		}
+		writeUnavailable(w, reason, err.Error())
+		return true, draining
 	}
-	return false, ""
+	if checkDrain && draining {
+		writeUnavailable(w, ReasonDraining, "icserver: draining, no new grants")
+		return true, draining
+	}
+	return false, draining
 }
 
 // errKilled and errJournalFailed mark mutating operations refused on a
@@ -450,6 +499,18 @@ func (s *Server) unavailableLocked() error {
 		return fmt.Errorf("%w: %v", errJournalFailed, s.walErr)
 	}
 	return nil
+}
+
+// IsDuplicateAck reports whether err is the duplicate-ack batch
+// rejection (the same task acked twice in ONE report) — a malformed
+// request (400), not a state conflict.  Exported so layers composing
+// this server (internal/jobs) classify Report errors identically.
+func IsDuplicateAck(err error) bool { return errors.Is(err, errDuplicateAck) }
+
+// IsUnavailable reports whether err marks a dead or journal-wounded
+// incarnation — a 503 for composing layers.
+func IsUnavailable(err error) bool {
+	return errors.Is(err, errKilled) || errors.Is(err, errJournalFailed)
 }
 
 // staleEpochError is the typed 409 body marker a fenced client resyncs
@@ -482,15 +543,7 @@ func (s *Server) fenceStale(w http.ResponseWriter, reqEpoch uint64) bool {
 
 func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 	s.m.reqTask.Inc()
-	if down, msg := s.unavailable(); down {
-		http.Error(w, msg, http.StatusServiceUnavailable)
-		return
-	}
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
-	if draining {
-		http.Error(w, "icserver: draining", http.StatusServiceUnavailable)
+	if refused, _ := s.refuse(w, true); refused {
 		return
 	}
 	v, state := s.allocate(r.Header.Get(clientHeader))
@@ -533,8 +586,7 @@ func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if down, msg := s.unavailable(); down {
-		http.Error(w, msg, http.StatusServiceUnavailable)
+	if refused, _ := s.refuse(w, false); refused {
 		return
 	}
 	if s.fenceStale(w, req.Epoch) {
@@ -542,7 +594,7 @@ func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
 	}
 	k, err := s.complete(req.Task, r.Header.Get(clientHeader))
 	if err != nil {
-		http.Error(w, err.Error(), conflictCode(err))
+		writeCoreError(w, err)
 		return
 	}
 	writeJSON(w, doneResponse{NewlyEligible: k})
@@ -554,8 +606,7 @@ func (s *Server) handleFailed(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if down, msg := s.unavailable(); down {
-		http.Error(w, msg, http.StatusServiceUnavailable)
+	if refused, _ := s.refuse(w, false); refused {
 		return
 	}
 	if s.fenceStale(w, req.Epoch) {
@@ -563,7 +614,7 @@ func (s *Server) handleFailed(w http.ResponseWriter, r *http.Request) {
 	}
 	requeued, quarantined, err := s.fail(req.Task, r.Header.Get(clientHeader))
 	if err != nil {
-		http.Error(w, err.Error(), conflictCode(err))
+		writeCoreError(w, err)
 		return
 	}
 	writeJSON(w, failedResponse{Requeued: requeued, Quarantined: quarantined})
@@ -581,15 +632,7 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("icserver: batch size %d < 1", req.K), http.StatusBadRequest)
 		return
 	}
-	if down, msg := s.unavailable(); down {
-		http.Error(w, msg, http.StatusServiceUnavailable)
-		return
-	}
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
-	if draining {
-		http.Error(w, "icserver: draining", http.StatusServiceUnavailable)
+	if refused, _ := s.refuse(w, true); refused {
 		return
 	}
 	batch, state := s.allocateBatch(req.K, r.Header.Get(clientHeader))
@@ -616,17 +659,14 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("icserver: piggyback batch size %d < 0", req.K), http.StatusBadRequest)
 		return
 	}
-	if down, msg := s.unavailable(); down {
-		http.Error(w, msg, http.StatusServiceUnavailable)
+	refused, draining := s.refuse(w, false)
+	if refused {
 		return
 	}
 	if s.fenceStale(w, req.Epoch) {
 		return
 	}
 	actor := r.Header.Get(clientHeader)
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
 	k := req.K
 	if draining {
 		k = 0 // completions are welcome during drain; new grants are not
@@ -654,23 +694,27 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 
 // writeReportError maps a rejected report batch onto HTTP: a batch that
 // acks the same task twice is malformed (400); everything else is a state
-// conflict (409) — unless the server itself is down (503).
+// conflict (409) — unless the server itself is down (typed 503).
 func writeReportError(w http.ResponseWriter, err error) {
-	code := conflictCode(err)
 	if errors.Is(err, errDuplicateAck) {
-		code = http.StatusBadRequest
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
-	http.Error(w, err.Error(), code)
+	writeCoreError(w, err)
 }
 
-// conflictCode maps a mutating-core error onto HTTP: a dead or wounded
-// incarnation is 503 (retryable — the successor will answer), anything
-// else a 409 state conflict.
-func conflictCode(err error) int {
-	if errors.Is(err, errKilled) || errors.Is(err, errJournalFailed) {
-		return http.StatusServiceUnavailable
+// writeCoreError maps a mutating-core error onto HTTP: a dead or wounded
+// incarnation gets the typed 503 body (retryable — the successor will
+// answer), anything else a 409 state conflict.
+func writeCoreError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errKilled):
+		writeUnavailable(w, ReasonKilled, err.Error())
+	case errors.Is(err, errJournalFailed):
+		writeUnavailable(w, ReasonJournalFailed, err.Error())
+	default:
+		http.Error(w, err.Error(), http.StatusConflict)
 	}
-	return http.StatusConflict
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {

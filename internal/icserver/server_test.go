@@ -438,6 +438,12 @@ func TestHealthzAndDrain(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("draining /task -> %d, want 503", resp.StatusCode)
 	}
+	// /status keeps answering while draining, so operators and resyncing
+	// clients can still see progress and the epoch.
+	st, err := icserver.FetchStatus(ctx, nil, ts.URL)
+	if err != nil || st.Total != 2 || st.Epoch == 0 {
+		t.Fatalf("draining /status = %+v, %v", st, err)
+	}
 	select {
 	case err := <-done:
 		t.Fatalf("Shutdown returned %v with a lease in flight", err)

@@ -1,0 +1,94 @@
+package jobs
+
+import (
+	"fmt"
+
+	"icsched/internal/butterfly"
+	"icsched/internal/dag"
+	"icsched/internal/dagio"
+	"icsched/internal/heur"
+	"icsched/internal/mesh"
+	"icsched/internal/prefix"
+	"icsched/internal/sched"
+)
+
+// maxJobNodes bounds one job's dag so a single submission cannot pin the
+// builder stage (or the registry's memory) arbitrarily long.
+const maxJobNodes = 1 << 20
+
+// familyBuilder builds one named dag family at a size, returning the dag
+// and the IC-optimal nonsink allocation prefix the analyzer completes.
+type familyBuilder struct {
+	desc     string
+	min, max int
+	build    func(size int) (*dag.Dag, []dag.NodeID)
+}
+
+// familyBuilders are the named families a job submission may reference —
+// the paper's three production workloads (§4–§6), at caller-chosen sizes.
+var familyBuilders = map[string]familyBuilder{
+	"wavefront": {"s×s grid dag (§4 dynamic-programming wavefront)", 2, 512,
+		func(s int) (*dag.Dag, []dag.NodeID) {
+			return mesh.Grid(s, s), mesh.GridDiagonalNonsinks(s, s)
+		}},
+	"fftconv": {"d-dimensional FFT butterfly network (§5)", 1, 16,
+		func(d int) (*dag.Dag, []dag.NodeID) {
+			return butterfly.Network(d), butterfly.Nonsinks(d)
+		}},
+	"prefix": {"n-input parallel-prefix network (§6)", 2, 4096,
+		func(n int) (*dag.Dag, []dag.NodeID) {
+			return prefix.Network(n), prefix.Nonsinks(n)
+		}},
+}
+
+// buildJob is the builder stage's work: resolve a Spec into a dag plus
+// (for named families) the IC-optimal nonsink prefix.  A panicking
+// family constructor is reported as a build error, not a crashed stage.
+func buildJob(sp Spec) (g *dag.Dag, nonsinks []dag.NodeID, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g, nonsinks, err = nil, nil, fmt.Errorf("jobs: build panic: %v", r)
+		}
+	}()
+	switch {
+	case len(sp.Dag) > 0:
+		g, err = dagio.UnmarshalJSON(sp.Dag)
+		if err != nil {
+			return nil, nil, err
+		}
+		if g.NumNodes() == 0 {
+			return nil, nil, fmt.Errorf("jobs: empty dag")
+		}
+	default:
+		fb, ok := familyBuilders[sp.Family]
+		if !ok {
+			return nil, nil, fmt.Errorf("jobs: unknown family %q", sp.Family)
+		}
+		if sp.Size < fb.min || sp.Size > fb.max {
+			return nil, nil, fmt.Errorf("jobs: family %s size %d outside [%d, %d]",
+				sp.Family, sp.Size, fb.min, fb.max)
+		}
+		g, nonsinks = fb.build(sp.Size)
+	}
+	if g.NumNodes() > maxJobNodes {
+		return nil, nil, fmt.Errorf("jobs: dag has %d nodes, cap %d", g.NumNodes(), maxJobNodes)
+	}
+	return g, nonsinks, nil
+}
+
+// analyzeJob is the analyzer stage's work: compute the allocation order
+// the job's scheduler replays.  Named families complete their IC-optimal
+// nonsink prefix (the paper's schedule); raw dagio payloads get the
+// strongest online heuristic (MAX-NEW-ELIGIBLE) as their analysis.
+// Deterministic for a given Spec, so a recovered job re-derives the
+// identical order its journal was written against.
+func analyzeJob(g *dag.Dag, nonsinks []dag.NodeID) ([]dag.NodeID, error) {
+	if nonsinks != nil {
+		return sched.Complete(g, nonsinks), nil
+	}
+	order, err := heur.RunOrder(g, heur.MaxNewEligible())
+	if err != nil {
+		return nil, fmt.Errorf("jobs: analyze: %w", err)
+	}
+	return order, nil
+}

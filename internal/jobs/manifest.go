@@ -1,0 +1,133 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// manifestName is the job-lifecycle journal inside a jobs directory; the
+// per-job task journals live in sibling job-<id>/ subdirectories, so the
+// two layers compose: the manifest says WHICH jobs existed (and their
+// specs), each job's wal says what happened to its tasks.
+const manifestName = "manifest.jsonl"
+
+// manifestEvent is one JSONL line of the job-lifecycle journal.
+type manifestEvent struct {
+	// Event is "submit", "activate", or "finish" ("finish" with a
+	// non-empty Error records a failed build/analysis).
+	Event string `json:"event"`
+	// At is the server-clock timestamp (unix nanoseconds); it survives
+	// recovery so per-job latency stays measurable across restarts.
+	At  int64  `json:"at"`
+	Job string `json:"job"`
+	// Submit events carry the full spec, so a recovering server can
+	// re-derive the dag and schedule deterministically.
+	Tenant string          `json:"tenant,omitempty"`
+	Weight int             `json:"weight,omitempty"`
+	Family string          `json:"family,omitempty"`
+	Size   int             `json:"size,omitempty"`
+	Dag    json.RawMessage `json:"dag,omitempty"`
+	// Finish events carry the terminal accounting.
+	Nodes       int    `json:"nodes,omitempty"`
+	Completed   int    `json:"completed,omitempty"`
+	Quarantined int    `json:"quarantined,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// manifest is the append-only, per-append-fsynced job-lifecycle journal.
+// Job events are orders of magnitude rarer than task events, so unlike
+// the group-committed task wal every append is synced before it is
+// acknowledged: an acked submission is never lost.
+type manifest struct {
+	f      *os.File
+	closed bool
+}
+
+func openManifest(dir string) (*manifest, error) {
+	f, err := os.OpenFile(filepath.Join(dir, manifestName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: manifest: %w", err)
+	}
+	return &manifest{f: f}, nil
+}
+
+// append journals one event durably (write + fsync).
+func (m *manifest) append(ev manifestEvent) error {
+	if m == nil {
+		return nil // memory-only server
+	}
+	if m.closed {
+		return fmt.Errorf("jobs: manifest closed")
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := m.f.Write(data); err != nil {
+		return fmt.Errorf("jobs: manifest append: %w", err)
+	}
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: manifest fsync: %w", err)
+	}
+	return nil
+}
+
+// close flushes and closes the manifest (idempotent).
+func (m *manifest) close() error {
+	if m == nil || m.closed {
+		return nil
+	}
+	m.closed = true
+	return m.f.Close()
+}
+
+// kill severs the manifest without a final fsync — the in-process
+// SIGKILL stand-in; bytes already written survive in the page cache.
+func (m *manifest) kill() {
+	if m == nil || m.closed {
+		return
+	}
+	m.closed = true
+	m.f.Close()
+}
+
+// readManifest scans a jobs directory's manifest, tolerating a torn
+// final line (a kill mid-append): the longest valid prefix of events is
+// returned, and interior corruption is an error — it means the file was
+// edited, not torn.
+func readManifest(dir string) (events []manifestEvent, err error) {
+	f, err := os.Open(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	} else if err != nil {
+		return nil, fmt.Errorf("jobs: manifest: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var pendingErr error
+	for sc.Scan() {
+		if pendingErr != nil {
+			// A bad line followed by more lines is interior corruption.
+			return nil, pendingErr
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev manifestEvent
+		if uerr := json.Unmarshal(line, &ev); uerr != nil {
+			pendingErr = fmt.Errorf("jobs: manifest line %d: %w", len(events)+1, uerr)
+			continue
+		}
+		events = append(events, ev)
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, fmt.Errorf("jobs: manifest: %w", serr)
+	}
+	return events, nil
+}

@@ -278,17 +278,28 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
-// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts,
+// Quantile estimates the q-quantile from the bucket counts,
 // interpolating linearly within the bucket that contains the target rank
 // — the same estimate Prometheus's histogram_quantile gives.  The lowest
 // bucket interpolates from zero (bounds are assumed non-negative, as for
 // latencies); a rank landing in the +Inf bucket is clamped to the
-// largest finite bound.  Returns 0 when the histogram is empty.
+// largest finite bound.
+//
+// Edge cases are fully defined:
+//   - an empty histogram (no observations, or no finite buckets) returns
+//     NaN — the documented "no data" sentinel, distinguishable from a
+//     real 0-valued quantile (callers writing JSON must guard it, e.g.
+//     with QuantileOr);
+//   - a NaN q returns NaN;
+//   - q is clamped to [0, 1]: q ≤ 0 returns the lower edge of the first
+//     occupied bucket (the distribution's minimum edge, never the upper
+//     edge of an empty leading bucket), q ≥ 1 the upper edge of the last
+//     occupied finite bucket.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.total == 0 || len(h.bounds) == 0 || h.counts == nil {
-		return 0
+	if h.total == 0 || len(h.bounds) == 0 || h.counts == nil || math.IsNaN(q) {
+		return math.NaN()
 	}
 	if q < 0 {
 		q = 0
@@ -301,18 +312,34 @@ func (h *Histogram) Quantile(q float64) float64 {
 	for i, bound := range h.bounds {
 		prev := float64(cum)
 		cum += h.counts[i]
+		if h.counts[i] == 0 {
+			// An empty bucket holds no rank: skipping it keeps q=0 (and any
+			// rank tied to a cumulative edge) off the upper edge of a bucket
+			// nothing landed in.
+			continue
+		}
 		if float64(cum) >= rank {
 			lo := 0.0
 			if i > 0 {
 				lo = h.bounds[i-1]
 			}
-			if h.counts[i] == 0 {
-				return bound
+			if rank <= prev {
+				return lo // rank at the bucket's lower cumulative edge
 			}
 			return lo + (bound-lo)*(rank-prev)/float64(h.counts[i])
 		}
 	}
 	return h.bounds[len(h.bounds)-1]
+}
+
+// QuantileOr is Quantile with the empty-histogram NaN sentinel replaced
+// by fallback — the form JSON-writing callers want, since NaN does not
+// marshal.
+func (h *Histogram) QuantileOr(q, fallback float64) float64 {
+	if v := h.Quantile(q); !math.IsNaN(v) {
+		return v
+	}
+	return fallback
 }
 
 // write renders the histogram series under its (possibly labeled) name.

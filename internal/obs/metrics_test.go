@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -129,8 +130,8 @@ func TestMetricsHandler(t *testing.T) {
 
 func TestHistogramQuantile(t *testing.T) {
 	h := NewRegistry().Histogram("lat", "", []float64{1, 2, 4, 8})
-	if got := h.Quantile(0.5); got != 0 {
-		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram quantile = %v, want NaN sentinel", got)
 	}
 	// 4 observations in (0,1], 4 in (1,2]: ranks interpolate linearly
 	// within each bucket.
@@ -155,5 +156,61 @@ func TestHistogramQuantile(t *testing.T) {
 	h.Observe(100)
 	if got := h.Quantile(1); got != 8 {
 		t.Fatalf("Quantile(1) with +Inf mass = %v, want 8", got)
+	}
+}
+
+// TestHistogramQuantileEdgeCases pins the documented behavior for the
+// degenerate inputs that used to be bucket-edge/NaN-prone: empty
+// histograms, out-of-range and NaN q, and ranks landing on (or before)
+// empty leading buckets.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	mk := func(obs ...float64) *Histogram {
+		h := NewRegistry().Histogram("lat", "", []float64{1, 2, 4, 8})
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return h
+	}
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want float64 // NaN means "want the NaN sentinel"
+	}{
+		{"empty q=0.5", mk(), 0.5, nan},
+		{"empty q=0", mk(), 0, nan},
+		{"empty q>1", mk(), 2, nan},
+		{"no buckets", NewRegistry().Histogram("b", "", nil), 0.5, nan},
+		{"NaN q", mk(1.5), nan, nan},
+		// q outside [0,1] clamps instead of extrapolating.
+		{"q<0 clamps to min edge", mk(1.5, 1.5), -3, 1},
+		{"q>1 clamps to max", mk(1.5, 1.5), 7, 2},
+		// All mass past an empty leading bucket: q=0 must report the lower
+		// edge of the first OCCUPIED bucket (1), not the upper edge of the
+		// empty first bucket.
+		{"q=0 skips empty leading bucket", mk(1.5, 1.7, 1.9), 0, 1},
+		{"q=0 with occupied first bucket", mk(0.5, 1.5), 0, 0},
+		{"q=1 interpolates to top", mk(0.5, 1.5), 1, 2},
+	}
+	for _, c := range cases {
+		got := c.h.Quantile(c.q)
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: Quantile(%v) = %v, want NaN", c.name, c.q, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", c.name, c.q, got, c.want)
+		}
+	}
+	// QuantileOr is the JSON-safe form: the sentinel becomes the fallback,
+	// real values pass through.
+	if got := mk().QuantileOr(0.5, 0); got != 0 {
+		t.Errorf("empty QuantileOr = %v, want fallback 0", got)
+	}
+	if got := mk(0.5, 1.5).QuantileOr(1, -1); got != 2 {
+		t.Errorf("QuantileOr passthrough = %v, want 2", got)
 	}
 }
