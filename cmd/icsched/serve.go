@@ -30,6 +30,7 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	withPprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	walDir := fs.String("wal", "", "crash-safe mode: journal every state change to this directory and resume from it on restart")
+	relaxedShards := fs.Int("relaxed", 0, "grant through the lock-free k-relaxed core with this shard count (0 = exact locked path; 1 is bit-identical to it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,10 +49,14 @@ func cmdServe(args []string) error {
 	}
 	lease := time.Minute
 	order := sched.Complete(g, nonsinks)
+	opts := []icserver.Option{icserver.WithLease(lease)}
+	if *relaxedShards > 0 {
+		opts = append(opts, icserver.WithRelaxed(*relaxedShards))
+	}
 	var srv *icserver.Server
 	if *walDir != "" {
 		srv, err = icserver.Recover(*walDir, g, heur.Static("IC-OPTIMAL", order),
-			wal.Options{}, icserver.WithLease(lease))
+			wal.Options{}, opts...)
 		if err != nil {
 			return err
 		}
@@ -59,8 +64,10 @@ func cmdServe(args []string) error {
 		fmt.Printf("journal: %s (epoch %d, resuming at %d/%d tasks)\n",
 			*walDir, st.Epoch, st.Completed, st.Total)
 	} else {
-		srv = icserver.New(g, heur.Static("IC-OPTIMAL", order),
-			icserver.WithLease(lease))
+		srv = icserver.New(g, heur.Static("IC-OPTIMAL", order), opts...)
+	}
+	if *relaxedShards > 0 {
+		fmt.Printf("grant path: lock-free relaxed core, %d shards\n", *relaxedShards)
 	}
 	fmt.Printf("serving %s (size %d, %d tasks) on %s\n", f.name, size, g.NumNodes(), addr)
 	fmt.Println("protocol: POST /task | POST /done {\"task\": id} | POST /failed {\"task\": id} | GET /status | GET /healthz | GET /metrics")

@@ -106,13 +106,49 @@ func ServerKill(cfg Config, size, kills int) (Report, error) {
 	// One trace shared by every incarnation: only the first records the
 	// run start, so the eligibility profile stays reconstructible.
 	tr := obs.NewTrace()
+	var (
+		srv *icserver.Server
+		smu sync.Mutex
+	)
+	current := func() *icserver.Server {
+		smu.Lock()
+		defer smu.Unlock()
+		return srv
+	}
+
+	// With the relaxed core, kills are armed on the pop hook: the next
+	// lock-free shard claim kills the incarnation before its grant reaches
+	// the journal, so recovery must re-derive the popped task as eligible.
+	var (
+		armed atomic.Int32
+		fmu   sync.Mutex
+		fired chan struct{}
+	)
+	popHook := func(dag.NodeID) {
+		if armed.CompareAndSwap(1, 0) {
+			current().Kill() // dies mid-window: claimed, never journaled
+			fmu.Lock()
+			if fired != nil {
+				close(fired)
+				fired = nil
+			}
+			fmu.Unlock()
+		}
+	}
 	newServer := func() (*icserver.Server, error) {
-		return icserver.Recover(dir, g, heur.Static("IC-OPTIMAL", order), wopts,
+		opts := []icserver.Option{
 			icserver.WithLease(cfg.Lease),
 			icserver.WithMaxAttempts(cfg.MaxAttempts),
-			icserver.WithTrace(tr))
+			icserver.WithTrace(tr),
+		}
+		if cfg.Relaxed > 0 {
+			opts = append(opts,
+				icserver.WithRelaxed(cfg.Relaxed),
+				icserver.WithRelaxedPopHook(popHook))
+		}
+		return icserver.Recover(dir, g, heur.Static("IC-OPTIMAL", order), wopts, opts...)
 	}
-	srv, err := newServer()
+	srv, err = newServer()
 	if err != nil {
 		return Report{}, err
 	}
@@ -131,13 +167,6 @@ func ServerKill(cfg Config, size, kills int) (Report, error) {
 		handler.Load().(handlerBox).h.ServeHTTP(w, r)
 	}))
 	defer ts.Close()
-
-	var smu sync.Mutex
-	current := func() *icserver.Server {
-		smu.Lock()
-		defer smu.Unlock()
-		return srv
-	}
 
 	var cmu sync.Mutex
 	vals := make([]uint64, g.NumNodes())
@@ -167,8 +196,32 @@ func ServerKill(cfg Config, size, kills int) (Report, error) {
 				}
 				time.Sleep(200 * time.Microsecond)
 			}
-			handler.Store(down)
-			current().Kill()
+			if cfg.Relaxed > 0 {
+				// Arm the mid-window trigger and wait for a pop to trip it.
+				ch := make(chan struct{})
+				fmu.Lock()
+				fired = ch
+				fmu.Unlock()
+				armed.Store(1)
+				select {
+				case <-ch:
+				case <-time.After(2 * time.Second):
+					// Endgame with nothing left to pop: disarm and kill
+					// directly — unless the hook won the race, then wait.
+					if armed.CompareAndSwap(1, 0) {
+						current().Kill()
+					} else {
+						<-ch
+					}
+				case <-ctx.Done():
+					killErr <- ctx.Err()
+					return
+				}
+				handler.Store(down)
+			} else {
+				handler.Store(down)
+				current().Kill()
+			}
 			next, err := newServer()
 			if err != nil {
 				killErr <- fmt.Errorf("chaos: recovery after kill %d: %w", killedCount.Load()+1, err)

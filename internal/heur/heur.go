@@ -295,10 +295,23 @@ func Static(name string, order []dag.NodeID) Policy {
 	return staticPolicy{name: name, order: order}
 }
 
+// Ordered is implemented by policies whose entire allocation priority is
+// a fixed schedule known before the run starts (Static).  Consumers that
+// need the full rank up front — e.g. the relaxed lock-free grant core,
+// which freezes priorities at construction — type-assert for it and fall
+// back to a topological order otherwise.
+type Ordered interface {
+	// Order returns the fixed allocation order (earlier = higher priority).
+	// The returned slice must not be mutated.
+	Order() []dag.NodeID
+}
+
 type staticPolicy struct {
 	name  string
 	order []dag.NodeID
 }
+
+func (p staticPolicy) Order() []dag.NodeID { return p.order }
 
 func (p staticPolicy) Name() string { return p.name }
 

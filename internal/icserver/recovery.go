@@ -122,7 +122,7 @@ func Recover(dir string, g *dag.Dag, policy heur.Policy, wopts wal.Options, opts
 	s.wal = l
 	fresh := rec.Snap == nil && len(rec.Records) == 0
 	if fresh {
-		s.inst.Offer(s.st.Eligible())
+		s.offerLocked(s.st.Eligible())
 	} else {
 		s.epoch = fold.Epoch + 1
 		if err := s.restoreFold(fold); err != nil {
@@ -187,6 +187,20 @@ func (s *Server) restoreFold(fold *wal.Snapshot) error {
 	requeue(fold.Returned)
 	requeue(fold.InFlight)
 	s.stalls, s.reissues, s.failed = int(fold.Stalls), int(fold.Reissues), int(fold.Failed)
+	if s.relax != nil {
+		// The relaxed core has no requeue lane: every unfinished ELIGIBLE
+		// task — never granted, handed back, or fenced in flight — goes
+		// back into the core and competes by rank again.  This also
+		// absorbs pops the dead incarnation never journaled: they are
+		// plain eligible tasks here.
+		s.returned = nil
+		for _, v := range s.st.Eligible() {
+			if !s.quarantined[v] {
+				s.relax.Push(v)
+			}
+		}
+		return nil
+	}
 	// The policy pool gets exactly the never-granted ELIGIBLE tasks: the
 	// granted-but-unfinished ones live in the requeue (as on the live
 	// server, where the policy emitted them already).

@@ -85,11 +85,13 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"icsched/internal/dag"
 	"icsched/internal/heur"
 	"icsched/internal/obs"
+	"icsched/internal/relaxed"
 	"icsched/internal/sched"
 	"icsched/internal/wal"
 )
@@ -135,6 +137,16 @@ type Server struct {
 	killed       bool  // Kill happened: refuse all mutating requests
 	shutdownDone chan struct{}
 	shutdownErr  error
+
+	// Relaxed grant path (nil relax = exact locked scheduler).  See
+	// relaxed.go: pops happen outside s.mu, everything durable stays
+	// under it.  relaxPending counts tasks claimed from the core but not
+	// yet granted or pushed back, so the terminal check cannot mistake an
+	// in-window pop for a lost task.
+	relax        *relaxed.Core
+	relaxShards  int
+	relaxPending atomic.Int64
+	relaxPopHook func(dag.NodeID) // test hook: between claim and journal
 
 	reg        *obs.Registry // always non-nil; serves GET /metrics
 	trace      *obs.Trace    // optional task-trace recorder
@@ -278,6 +290,9 @@ func newCore(g *dag.Dag, policy heur.Policy, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.relaxShards > 0 {
+		s.relax = newRelaxedCore(g, policy, s.relaxShards)
+	}
 	s.m = newServerMetrics(s.reg)
 	s.start = s.now()
 	return s
@@ -288,7 +303,7 @@ func newCore(g *dag.Dag, policy heur.Policy, opts ...Option) *Server {
 // or recovered — use Recover.
 func New(g *dag.Dag, policy heur.Policy, opts ...Option) *Server {
 	s := newCore(g, policy, opts...)
-	s.inst.Offer(s.st.Eligible())
+	s.offerLocked(s.st.Eligible())
 	s.syncGaugesLocked()
 	if s.trace != nil {
 		s.trace.Record(obs.Event{Phase: obs.PhaseRunStart, Task: -1, Actor: "server",
@@ -765,6 +780,13 @@ const (
 func (s *Server) Allocate() (dag.NodeID, AllocState) { return s.allocate("") }
 
 func (s *Server) allocate(actor string) (dag.NodeID, AllocState) {
+	if s.relax != nil {
+		batch, state := s.relaxedAllocateBatch(1, actor)
+		if state == AllocOK {
+			return batch[0], AllocOK
+		}
+		return 0, state
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.unavailableLocked() != nil {
@@ -791,6 +813,9 @@ func (s *Server) allocate(actor string) (dag.NodeID, AllocState) {
 func (s *Server) AllocateBatch(k int) ([]dag.NodeID, AllocState) { return s.allocateBatch(k, "") }
 
 func (s *Server) allocateBatch(k int, actor string) ([]dag.NodeID, AllocState) {
+	if s.relax != nil {
+		return s.relaxedAllocateBatch(k, actor)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.unavailableLocked() != nil {
@@ -965,7 +990,7 @@ func (s *Server) completeLocked(v dag.NodeID, actor string) (int, error) {
 		s.m.rescues.Inc()
 	}
 	s.walAppendLocked(wal.KindDone, v, 0)
-	s.inst.Offer(packet)
+	s.offerLocked(packet)
 	s.m.completions.Inc()
 	if s.trace != nil {
 		s.trace.Record(obs.Event{Phase: obs.PhaseDone, Task: int(v), Name: s.g.Name(v),
@@ -1017,7 +1042,11 @@ func (s *Server) failLocked(v dag.NodeID, actor string) (requeued, quarantined b
 		s.quarantineLocked(v, actor)
 		return false, true, nil
 	}
-	s.returned = append(s.returned, v)
+	if s.relax != nil {
+		s.relax.Push(v)
+	} else {
+		s.returned = append(s.returned, v)
+	}
 	if s.trace != nil {
 		s.trace.Record(obs.Event{Phase: obs.PhaseRetry, Task: int(v), Name: s.g.Name(v),
 			Actor: actor, Attempt: s.attempts[v], Eligible: s.st.NumEligible()})
@@ -1062,6 +1091,14 @@ func (s *Server) ReportAllocate(done, failed []dag.NodeID, k int) (BatchReport, 
 }
 
 func (s *Server) reportAllocate(done, failed []dag.NodeID, k int, actor string) (BatchReport, []dag.NodeID, AllocState, error) {
+	if s.relax != nil {
+		rep, err := s.report(done, failed, actor)
+		if err != nil {
+			return rep, nil, AllocEmpty, err
+		}
+		batch, state := s.relaxedAllocateBatch(k, actor)
+		return rep, batch, state, nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.unavailableLocked(); err != nil {

@@ -37,6 +37,7 @@ import (
 	"icsched/internal/heur"
 	"icsched/internal/icserver"
 	"icsched/internal/obs"
+	"icsched/internal/relaxed"
 	"icsched/internal/wal"
 
 	"encoding/json"
@@ -57,6 +58,11 @@ type Spec struct {
 	// Dag is a dagio JSON payload ({"nodes": n, "arcs": [[u,v],...]});
 	// such jobs are scheduled by the MAX-NEW-ELIGIBLE analysis.
 	Dag json.RawMessage `json:"dag,omitempty"`
+	// Relaxed opts this job into the lock-free k-relaxed grant core with
+	// the given shard count (0 = exact locked path; see internal/relaxed).
+	// The choice is journaled with the spec, so a recovered job keeps its
+	// grant path.
+	Relaxed int `json:"relaxed,omitempty"`
 }
 
 // Job states, as reported in JobStatus.
@@ -260,7 +266,8 @@ func Recover(dir string, cfg Config) (*Server, error) {
 			j := &Job{
 				id: ev.Job,
 				spec: Spec{Tenant: ev.Tenant, Weight: ev.Weight,
-					Family: ev.Family, Size: ev.Size, Dag: ev.Dag},
+					Family: ev.Family, Size: ev.Size, Dag: ev.Dag,
+					Relaxed: ev.Relaxed},
 				state:       StateQueued,
 				submittedAt: time.Unix(0, ev.At),
 			}
@@ -350,6 +357,9 @@ func (s *Server) jobCore(j *Job) (*icserver.Server, error) {
 	}
 	if s.cfg.Clock != nil {
 		opts = append(opts, icserver.WithClock(s.cfg.Clock))
+	}
+	if j.spec.Relaxed > 0 {
+		opts = append(opts, icserver.WithRelaxed(j.spec.Relaxed))
 	}
 	if s.dir == "" {
 		return icserver.New(j.g, policy, opts...), nil
@@ -495,6 +505,9 @@ func (s *Server) Submit(sp Spec) (JobStatus, error) {
 	if sp.Weight < 0 {
 		return JobStatus{}, fmt.Errorf("jobs: negative weight %d", sp.Weight)
 	}
+	if sp.Relaxed < 0 || sp.Relaxed > relaxed.MaxShards {
+		return JobStatus{}, fmt.Errorf("jobs: relaxed shard count %d outside [0, %d]", sp.Relaxed, relaxed.MaxShards)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.killed {
@@ -516,7 +529,7 @@ func (s *Server) Submit(sp Spec) (JobStatus, error) {
 	}
 	if err := s.man.append(manifestEvent{Event: "submit", At: j.submittedAt.UnixNano(),
 		Job: j.id, Tenant: sp.Tenant, Weight: sp.Weight,
-		Family: sp.Family, Size: sp.Size, Dag: sp.Dag}); err != nil {
+		Family: sp.Family, Size: sp.Size, Dag: sp.Dag, Relaxed: sp.Relaxed}); err != nil {
 		return JobStatus{}, err
 	}
 	select {

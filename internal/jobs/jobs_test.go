@@ -263,6 +263,71 @@ func TestPipelineRunsJobsToCompletion(t *testing.T) {
 	}
 }
 
+// TestRelaxedJob opts jobs into the lock-free relaxed grant core and
+// checks that they run to completion with bit-identical values next to
+// locked-path jobs, that the shard count is validated, and that the
+// choice survives manifest recovery.
+func TestRelaxedJob(t *testing.T) {
+	s := New(Config{})
+	h := newHarness(t, s)
+	specs := map[string]Spec{}
+	for _, sp := range []Spec{
+		{Tenant: "a", Family: "wavefront", Size: 4, Relaxed: 4},
+		{Tenant: "a", Family: "prefix", Size: 16},
+		{Tenant: "b", Dag: rawDag(5, [][2]int{{0, 2}, {1, 2}, {2, 3}, {2, 4}}), Relaxed: 2},
+	} {
+		specs[h.submit(sp)] = sp
+	}
+	h.drain(4)
+	h.checkValues(specs)
+	for id := range specs {
+		if st, _ := s.JobByID(id); st.State != StateFinished || st.Completed != st.Nodes {
+			t.Fatalf("job %s: %+v", id, st)
+		}
+	}
+	for _, bad := range []int{-1, 1000} {
+		if _, err := s.Submit(Spec{Tenant: "a", Family: "prefix", Size: 8, Relaxed: bad}); err == nil {
+			t.Errorf("relaxed=%d accepted, want error", bad)
+		}
+	}
+	if err := closeServer(s); err != nil {
+		t.Fatal(err)
+	}
+
+	// Durable: a mid-flight relaxed job keeps its grant path across
+	// recovery (the spec travels through the manifest).
+	dir := t.TempDir()
+	cfg := Config{Wal: wal.Options{SyncEvery: 1}}
+	ds, err := Recover(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dh := newHarness(t, ds)
+	sp := Spec{Tenant: "a", Family: "wavefront", Size: 8, Relaxed: 4}
+	id := dh.submit(sp)
+	waitState(t, ds, id, StateActive)
+	ds.Kill()
+	ds2, err := Recover(dir, cfg)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer closeServer(ds2)
+	ds2.mu.Lock()
+	j := ds2.jobs[id]
+	gotRelaxed, srv := j.spec.Relaxed, j.srv
+	ds2.mu.Unlock()
+	if gotRelaxed != 4 {
+		t.Fatalf("recovered spec relaxed = %d, want 4", gotRelaxed)
+	}
+	if srv == nil || srv.RelaxedShards() != 4 {
+		t.Fatalf("recovered job core not relaxed: %+v", srv)
+	}
+	dh2 := newHarness(t, ds2)
+	dh2.track(id, sp)
+	dh2.drain(4)
+	dh2.checkValues(map[string]Spec{id: sp})
+}
+
 // TestWeightedFairShare pins the stride policy: with wide-open dags
 // (every task eligible at once) a weight-2 tenant receives twice the
 // grant rate of a weight-1 tenant while both have work.

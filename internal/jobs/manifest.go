@@ -25,11 +25,12 @@ type manifestEvent struct {
 	Job string `json:"job"`
 	// Submit events carry the full spec, so a recovering server can
 	// re-derive the dag and schedule deterministically.
-	Tenant string          `json:"tenant,omitempty"`
-	Weight int             `json:"weight,omitempty"`
-	Family string          `json:"family,omitempty"`
-	Size   int             `json:"size,omitempty"`
-	Dag    json.RawMessage `json:"dag,omitempty"`
+	Tenant  string          `json:"tenant,omitempty"`
+	Weight  int             `json:"weight,omitempty"`
+	Family  string          `json:"family,omitempty"`
+	Size    int             `json:"size,omitempty"`
+	Dag     json.RawMessage `json:"dag,omitempty"`
+	Relaxed int             `json:"relaxed,omitempty"`
 	// Finish events carry the terminal accounting.
 	Nodes       int    `json:"nodes,omitempty"`
 	Completed   int    `json:"completed,omitempty"`

@@ -1,0 +1,166 @@
+package relaxed
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"icsched/internal/dag"
+	"icsched/internal/sched"
+)
+
+// FuzzRelaxedGrant drives grant/report/steal ops — first from a
+// fuzzer-chosen script, then from a small concurrent worker pool — against
+// a serial model replica (sched.State + a granted set), asserting after
+// the drain that no task was lost or duplicated and the realized order is
+// a legal schedule.
+func FuzzRelaxedGrant(f *testing.F) {
+	f.Add(int64(1), uint8(1), uint8(8), []byte{0, 1, 2, 0, 1})
+	f.Add(int64(2), uint8(4), uint8(20), []byte{0, 0, 0, 2, 2, 1, 1, 9, 13, 200})
+	f.Add(int64(3), uint8(16), uint8(40), []byte{5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0, 3})
+	f.Add(int64(-9), uint8(0), uint8(3), []byte{})
+	f.Add(int64(1<<40), uint8(255), uint8(60), []byte{1, 2, 3, 1, 2, 3, 1, 2, 3, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, seed int64, shards, nodes uint8, script []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nodes)%60
+		g := dag.Random(rng, n, 0.02+float64(((seed%7)+7)%7)*0.04)
+		order := g.TopoOrder()
+		s := 1 + int(shards)%17
+		c := New(g, order, s, seed)
+
+		st := sched.NewState(g)
+		granted := make(map[dag.NodeID]bool)
+		var inflight []dag.NodeID
+		var grantOrder []dag.NodeID
+		pops := 0
+		c.PushAll(st.Eligible())
+
+		grant := func(v dag.NodeID, ok bool) {
+			if !ok {
+				return
+			}
+			pops++
+			if granted[v] {
+				t.Fatalf("task %d granted twice", v)
+			}
+			if !st.IsEligible(v) {
+				t.Fatalf("task %d granted while not eligible", v)
+			}
+			granted[v] = true
+			grantOrder = append(grantOrder, v)
+			inflight = append(inflight, v)
+		}
+		complete := func(i int) {
+			if len(inflight) == 0 {
+				return
+			}
+			i %= len(inflight)
+			v := inflight[i]
+			inflight[i] = inflight[len(inflight)-1]
+			inflight = inflight[:len(inflight)-1]
+			packet, err := st.Execute(v)
+			if err != nil {
+				t.Fatalf("complete %d: %v", v, err)
+			}
+			c.PushAll(packet)
+		}
+
+		// Phase 1: scripted serial ops.
+		for _, b := range script {
+			switch b % 3 {
+			case 0:
+				grant(c.Pop())
+			case 1:
+				complete(int(b / 3))
+			case 2:
+				grant(c.PopShard(int(b/3) % s))
+			}
+		}
+
+		// Phase 2: concurrent grant/complete workers on the same core,
+		// sharing the model replica behind a mutex.
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		workers := 3
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lrng := rand.New(rand.NewSource(seed ^ int64(w*131)))
+				for {
+					var v dag.NodeID
+					var ok bool
+					if lrng.Intn(3) == 0 {
+						v, ok = c.PopShard(lrng.Intn(s))
+					} else {
+						v, ok = c.Pop()
+					}
+					mu.Lock()
+					if ok {
+						pops++
+						if granted[v] {
+							mu.Unlock()
+							t.Errorf("task %d granted twice (concurrent)", v)
+							return
+						}
+						if !st.IsEligible(v) {
+							mu.Unlock()
+							t.Errorf("task %d not eligible (concurrent)", v)
+							return
+						}
+						granted[v] = true
+						grantOrder = append(grantOrder, v)
+						packet, err := st.Execute(v)
+						if err != nil {
+							mu.Unlock()
+							t.Errorf("execute %d: %v", v, err)
+							return
+						}
+						mu.Unlock()
+						c.PushAll(packet)
+						continue
+					}
+					done := st.Done()
+					stalled := len(inflight) > 0 // phase-1 holds block successors
+					mu.Unlock()
+					if done || stalled {
+						return
+					}
+					runtime.Gosched()
+				}
+			}(w)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+
+		// Phase 3: serial drain — complete phase-1 holds, then pop/complete
+		// until nothing remains.
+		for len(inflight) > 0 {
+			complete(0)
+		}
+		for {
+			v, ok := c.Pop()
+			if !ok {
+				break
+			}
+			grant(v, true)
+			complete(len(inflight) - 1)
+		}
+
+		if !st.Done() {
+			t.Fatalf("%d tasks lost after drain", g.NumNodes()-st.NumExecuted())
+		}
+		if pops != g.NumNodes() {
+			t.Fatalf("%d pops for %d nodes", pops, g.NumNodes())
+		}
+		if err := sched.NewState(g).Replay(grantOrder); err != nil {
+			t.Fatalf("grant order does not replay: %v", err)
+		}
+		if !c.Empty() || c.Len() != 0 {
+			t.Fatal("core not empty after drain")
+		}
+	})
+}

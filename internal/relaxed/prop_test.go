@@ -1,0 +1,272 @@
+package relaxed
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"icsched/internal/dag"
+	"icsched/internal/sched"
+)
+
+// propDag draws a random dag of one of the generator families, mirroring
+// the difftest shape mix.
+func propDag(rng *rand.Rand) *dag.Dag {
+	switch rng.Intn(4) {
+	case 0:
+		return dag.Random(rng, 2+rng.Intn(40), 0.05+rng.Float64()*0.3)
+	case 1:
+		return dag.RandomConnected(rng, 2+rng.Intn(40), 0.05+rng.Float64()*0.3)
+	case 2:
+		layers := make([]int, 2+rng.Intn(4))
+		for i := range layers {
+			layers[i] = 1 + rng.Intn(6)
+		}
+		return dag.RandomLayered(rng, layers, 1+rng.Intn(3))
+	default:
+		return dag.RandomSeriesParallel(rng, 8+rng.Intn(30))
+	}
+}
+
+// propOrder returns either the topological order or a random legal order.
+func propOrder(rng *rand.Rand, g *dag.Dag) []dag.NodeID {
+	order := g.TopoOrder()
+	if rng.Intn(2) == 0 {
+		return order
+	}
+	// Random legal order: repeatedly execute a random eligible node.
+	st := sched.NewState(g)
+	out := make([]dag.NodeID, 0, g.NumNodes())
+	for !st.Done() {
+		elig := st.Eligible()
+		v := elig[rng.Intn(len(elig))]
+		if _, err := st.Execute(v); err != nil {
+			panic(err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// TestPropSerialInterleavings is the rapid-style generator lane: random
+// dags, random in-flight windows, random completion interleavings.  It
+// checks the three core properties of the issue: every grant was eligible
+// at grant time, no task is granted twice, and both the grant order and
+// the completion order Replay cleanly through sched.State.
+func TestPropSerialInterleavings(t *testing.T) {
+	const trials = 300
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < trials; trial++ {
+		g := propDag(rng)
+		order := propOrder(rng, g)
+		shards := 1 + rng.Intn(8)
+		c := New(g, order, shards, rng.Int63())
+		st := sched.NewState(g) // executed == completed tasks
+		c.PushAll(st.Eligible())
+
+		granted := make(map[dag.NodeID]bool)
+		var inflight []dag.NodeID
+		var grantOrder, doneOrder []dag.NodeID
+
+		complete := func(i int) {
+			v := inflight[i]
+			inflight[i] = inflight[len(inflight)-1]
+			inflight = inflight[:len(inflight)-1]
+			packet, err := st.Execute(v)
+			if err != nil {
+				t.Fatalf("trial %d: complete %d: %v", trial, v, err)
+			}
+			doneOrder = append(doneOrder, v)
+			c.PushAll(packet)
+		}
+
+		for st.NumExecuted() < g.NumNodes() {
+			if len(inflight) > 0 && rng.Intn(5) < 2 {
+				complete(rng.Intn(len(inflight)))
+				continue
+			}
+			var v dag.NodeID
+			var ok bool
+			if rng.Intn(4) == 0 {
+				v, ok = c.PopShard(rng.Intn(shards)) // steal flavor
+			}
+			if !ok {
+				v, ok = c.Pop() // a steal miss on one shard is not starvation
+			}
+			if !ok {
+				if len(inflight) == 0 {
+					t.Fatalf("trial %d: core empty with %d tasks unexecuted",
+						trial, g.NumNodes()-st.NumExecuted())
+				}
+				complete(rng.Intn(len(inflight)))
+				continue
+			}
+			if granted[v] {
+				t.Fatalf("trial %d: %d granted twice", trial, v)
+			}
+			if !st.IsEligible(v) {
+				t.Fatalf("trial %d: grant of %d not eligible at grant time", trial, v)
+			}
+			granted[v] = true
+			grantOrder = append(grantOrder, v)
+			inflight = append(inflight, v)
+		}
+
+		if len(grantOrder) != g.NumNodes() {
+			t.Fatalf("trial %d: %d grants for %d nodes", trial, len(grantOrder), g.NumNodes())
+		}
+		if err := sched.NewState(g).Replay(grantOrder); err != nil {
+			t.Fatalf("trial %d: grant order does not replay: %v", trial, err)
+		}
+		if err := sched.NewState(g).Replay(doneOrder); err != nil {
+			t.Fatalf("trial %d: completion order does not replay: %v", trial, err)
+		}
+		if !c.Empty() {
+			t.Fatalf("trial %d: core not empty after full drain", trial)
+		}
+	}
+}
+
+// TestPropTableDags pins exact k=1 grant orders on fixed shapes.
+func TestPropTableDags(t *testing.T) {
+	chain := dag.NewBuilder(4)
+	chain.AddArc(0, 1)
+	chain.AddArc(1, 2)
+	chain.AddArc(2, 3)
+	fan := dag.NewBuilder(5)
+	fan.AddArc(0, 1)
+	fan.AddArc(0, 2)
+	fan.AddArc(0, 3)
+	fan.AddArc(0, 4)
+	cases := []struct {
+		name  string
+		g     *dag.Dag
+		order []dag.NodeID
+	}{
+		{"chain", chain.MustBuild(), []dag.NodeID{0, 1, 2, 3}},
+		{"fan-reversed", fan.MustBuild(), []dag.NodeID{0, 4, 3, 2, 1}},
+		{"diamond", diamond(t), []dag.NodeID{0, 2, 1, 3}},
+	}
+	for _, tc := range cases {
+		c := New(tc.g, tc.order, 1, 0)
+		st := sched.NewState(tc.g)
+		c.PushAll(st.Eligible())
+		var got []dag.NodeID
+		for !st.Done() {
+			v, ok := c.Pop()
+			if !ok {
+				t.Fatalf("%s: stalled", tc.name)
+			}
+			got = append(got, v)
+			packet, err := st.Execute(v)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			c.PushAll(packet)
+		}
+		for i := range tc.order {
+			if got[i] != tc.order[i] {
+				t.Fatalf("%s: k=1 realized %v, want %v", tc.name, got, tc.order)
+			}
+		}
+	}
+}
+
+// TestPropConcurrentDrain runs G goroutines popping and completing against
+// one shared core under -race: no lost tasks, no duplicate grants, and the
+// realized completion order is a legal schedule.
+func TestPropConcurrentDrain(t *testing.T) {
+	workers := 8
+	if runtime.GOMAXPROCS(0) == 1 {
+		workers = 4
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		g := propDag(rng)
+		order := propOrder(rng, g)
+		shards := 1 + rng.Intn(8)
+		c := New(g, order, shards, rng.Int63())
+
+		var mu sync.Mutex // guards the model replica
+		st := sched.NewState(g)
+		granted := make(map[dag.NodeID]bool)
+		var doneOrder []dag.NodeID
+		c.PushAll(st.Eligible())
+
+		var wg sync.WaitGroup
+		errc := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lrng := rand.New(rand.NewSource(int64(trial*97 + w)))
+				for {
+					var v dag.NodeID
+					var ok bool
+					if lrng.Intn(4) == 0 {
+						v, ok = c.PopShard(lrng.Intn(shards))
+					} else {
+						v, ok = c.Pop()
+					}
+					if !ok {
+						mu.Lock()
+						done := st.Done()
+						mu.Unlock()
+						if done {
+							return
+						}
+						runtime.Gosched() // another worker still completing
+						continue
+					}
+					mu.Lock()
+					if granted[v] {
+						mu.Unlock()
+						errc <- errDuplicate(v)
+						return
+					}
+					granted[v] = true
+					if !st.IsEligible(v) {
+						mu.Unlock()
+						errc <- errIneligible(v)
+						return
+					}
+					packet, err := st.Execute(v)
+					if err != nil {
+						mu.Unlock()
+						errc <- err
+						return
+					}
+					doneOrder = append(doneOrder, v)
+					mu.Unlock()
+					c.PushAll(packet)
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !st.Done() {
+			t.Fatalf("trial %d: %d tasks lost", trial, g.NumNodes()-st.NumExecuted())
+		}
+		if len(doneOrder) != g.NumNodes() {
+			t.Fatalf("trial %d: %d completions for %d nodes", trial, len(doneOrder), g.NumNodes())
+		}
+		if err := sched.NewState(g).Replay(doneOrder); err != nil {
+			t.Fatalf("trial %d: realized order does not replay: %v", trial, err)
+		}
+		if !c.Empty() {
+			t.Fatalf("trial %d: core not empty after drain", trial)
+		}
+	}
+}
+
+type errDuplicate dag.NodeID
+
+func (e errDuplicate) Error() string { return "duplicate grant" }
+
+type errIneligible dag.NodeID
+
+func (e errIneligible) Error() string { return "ineligible grant" }

@@ -1,0 +1,193 @@
+package relaxed
+
+import (
+	"math/rand"
+	"testing"
+
+	"icsched/internal/dag"
+	"icsched/internal/sched"
+)
+
+// diamond returns the 4-node diamond 0 -> {1,2} -> 3.
+func diamond(t *testing.T) *dag.Dag {
+	t.Helper()
+	b := dag.NewBuilder(4)
+	b.AddArc(0, 1)
+	b.AddArc(0, 2)
+	b.AddArc(1, 3)
+	b.AddArc(2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewRanks(t *testing.T) {
+	g := diamond(t)
+	c := New(g, []dag.NodeID{0, 2, 1, 3}, 4, 7)
+	wantRank := map[dag.NodeID]int{0: 0, 2: 1, 1: 2, 3: 3}
+	for v, r := range wantRank {
+		if c.Rank(v) != r {
+			t.Errorf("Rank(%d) = %d, want %d", v, c.Rank(v), r)
+		}
+	}
+	if c.Shards() != 4 {
+		t.Errorf("Shards() = %d, want 4", c.Shards())
+	}
+	for v := dag.NodeID(0); v < 4; v++ {
+		if s := c.ShardOf(v); s < 0 || s >= 4 {
+			t.Errorf("ShardOf(%d) = %d out of range", v, s)
+		}
+	}
+}
+
+func TestNewPartialOrder(t *testing.T) {
+	g := diamond(t)
+	// Only node 2 listed: it ranks first, the rest follow by id.
+	c := New(g, []dag.NodeID{2}, 1, 0)
+	want := []int{1, 2, 0, 3} // node 0->1, 1->2, 2->0, 3->3
+	for v, r := range want {
+		if c.Rank(dag.NodeID(v)) != r {
+			t.Errorf("Rank(%d) = %d, want %d", v, c.Rank(dag.NodeID(v)), r)
+		}
+	}
+	// Duplicates and out-of-range entries are ignored.
+	c = New(g, []dag.NodeID{2, 2, 9, -1, 0}, 1, 0)
+	if c.Rank(2) != 0 || c.Rank(0) != 1 || c.Rank(1) != 2 || c.Rank(3) != 3 {
+		t.Errorf("dedup ranks = %d %d %d %d", c.Rank(0), c.Rank(1), c.Rank(2), c.Rank(3))
+	}
+}
+
+func TestSingleShardIsExactOrder(t *testing.T) {
+	g := diamond(t)
+	order := []dag.NodeID{0, 2, 1, 3}
+	c := New(g, order, 1, 0)
+	c.PushAll([]dag.NodeID{3, 1, 0, 2})
+	for i, want := range order {
+		v, ok := c.Pop()
+		if !ok || v != want {
+			t.Fatalf("pop %d = (%d, %v), want (%d, true)", i, v, ok, want)
+		}
+	}
+	if _, ok := c.Pop(); ok {
+		t.Fatal("pop on drained core succeeded")
+	}
+	if !c.Empty() || c.Len() != 0 {
+		t.Fatalf("drained core: Empty=%v Len=%d", c.Empty(), c.Len())
+	}
+}
+
+func TestPushIdempotent(t *testing.T) {
+	g := diamond(t)
+	c := New(g, []dag.NodeID{0, 1, 2, 3}, 2, 0)
+	c.Push(1)
+	c.Push(1)
+	c.Push(1)
+	if c.Len() != 1 {
+		t.Fatalf("Len after triple push = %d, want 1", c.Len())
+	}
+	if !c.Contains(1) || c.Contains(2) {
+		t.Fatalf("Contains(1)=%v Contains(2)=%v", c.Contains(1), c.Contains(2))
+	}
+	if v, ok := c.Pop(); !ok || v != 1 {
+		t.Fatalf("pop = (%d, %v)", v, ok)
+	}
+	if _, ok := c.Pop(); ok {
+		t.Fatal("second pop succeeded after idempotent pushes")
+	}
+}
+
+// TestFallbackFindsAnyShard pins the no-stranded-work guarantee: with many
+// shards and a single pushed task, every Pop must find it no matter which
+// shards the sampler draws.
+func TestFallbackFindsAnyShard(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := dag.Random(rng, 64, 0.1)
+	order := g.TopoOrder()
+	for trial := 0; trial < 200; trial++ {
+		c := New(g, order, 16, int64(trial))
+		v := dag.NodeID(rng.Intn(64))
+		c.Push(v)
+		got, ok := c.Pop()
+		if !ok || got != v {
+			t.Fatalf("trial %d: pop = (%d, %v), want (%d, true)", trial, got, ok, v)
+		}
+	}
+}
+
+// TestPopShardSteal drains one shard directly and checks it only yields
+// that shard's tasks, best rank first.
+func TestPopShardSteal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := dag.Random(rng, 128, 0.05)
+	order := g.TopoOrder()
+	c := New(g, order, 8, 3)
+	for v := dag.NodeID(0); v < 128; v++ {
+		c.Push(v)
+	}
+	last := -1
+	n := 0
+	for {
+		v, ok := c.PopShard(3)
+		if !ok {
+			break
+		}
+		n++
+		if c.ShardOf(v) != 3 {
+			t.Fatalf("PopShard(3) returned %d from shard %d", v, c.ShardOf(v))
+		}
+		if c.Rank(v) <= last {
+			t.Fatalf("PopShard(3) rank %d not increasing past %d", c.Rank(v), last)
+		}
+		last = c.Rank(v)
+	}
+	if n == 0 {
+		t.Fatal("shard 3 held no tasks")
+	}
+	if _, ok := c.PopShard(99); ok {
+		t.Fatal("PopShard out of range succeeded")
+	}
+}
+
+// TestShardMinInvariant: a serial pop always returns the best-ranked
+// available task of its own shard — the structural quality guarantee.
+func TestShardMinInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		g := dag.RandomConnected(rng, 40, 0.15)
+		order := g.TopoOrder()
+		shards := 1 + rng.Intn(6)
+		c := New(g, order, shards, int64(trial))
+		st := sched.NewState(g)
+		c.PushAll(st.Eligible())
+		avail := map[dag.NodeID]bool{}
+		for _, v := range st.Eligible() {
+			avail[v] = true
+		}
+		for !st.Done() {
+			v, ok := c.Pop()
+			if !ok {
+				t.Fatalf("trial %d: pop failed with %d nodes left", trial, g.NumNodes()-st.NumExecuted())
+			}
+			if !avail[v] {
+				t.Fatalf("trial %d: popped %d not available", trial, v)
+			}
+			for u := range avail {
+				if c.ShardOf(u) == c.ShardOf(v) && c.Rank(u) < c.Rank(v) {
+					t.Fatalf("trial %d: popped rank %d but rank %d available on same shard %d",
+						trial, c.Rank(v), c.Rank(u), c.ShardOf(v))
+				}
+			}
+			delete(avail, v)
+			packet, err := st.Execute(v)
+			if err != nil {
+				t.Fatalf("trial %d: execute %d: %v", trial, v, err)
+			}
+			c.PushAll(packet)
+			for _, u := range packet {
+				avail[u] = true
+			}
+		}
+	}
+}
