@@ -312,6 +312,11 @@ func cmdLoadgen(args []string) error {
 	minSpeedup := fs.Float64("minspeedup", 0, "fail unless wavefront batched ≥ this × single-task tasks/sec (0 = off)")
 	stream := fs.Bool("stream", false, "Poisson job-arrival stream mode through the multi-tenant job service")
 	relaxedMode := fs.Bool("relaxed", false, "relaxation sweep mode: in-process quality/throughput frontier of the lock-free k-relaxed core vs the locked path, written to BENCH_relaxed.json")
+	zipfMode := fs.Bool("zipf", false, "schedule-cache mode: Zipf-distributed raw-payload job mix through the cached job service, written to BENCH_cache.json")
+	zipfJobs := fs.Int("zipfjobs", 0, "zipf mode: total jobs (default 240; smoke 80)")
+	minHitRate := fs.Float64("minhitrate", 0, "zipf mode: fail if cache hit rate below this (0 = off)")
+	minAnalysisSpeedup := fs.Float64("minanalysisspeedup", 0, "zipf mode: fail if warm/cold analysis speedup below this (0 = off)")
+	maxReplayP99 := fs.Float64("maxreplayp99ratio", 0, "zipf mode: fail if replay grant p99 exceeds this × static grant p99 (0 = off)")
 	tenants := fs.Int("tenants", 4, "stream mode: submitting tenants")
 	jobsPer := fs.Int("jobs", 12, "stream mode: jobs per tenant")
 	rate := fs.Float64("rate", 25, "stream mode: mean Poisson arrivals/sec per tenant (0 = back-to-back)")
@@ -338,6 +343,30 @@ func cmdLoadgen(args []string) error {
 		})
 		// Write whatever was measured even on failure, for CI diagnosis.
 		if werr := writeStream(doc, *out); werr != nil && err == nil {
+			err = werr
+		}
+		return err
+	}
+	if *zipfMode {
+		if *out == "" {
+			*out = "BENCH_cache.json"
+		}
+		n := *zipfJobs
+		if n == 0 {
+			n = 240
+			if *smoke {
+				n = 80
+			}
+		}
+		doc, err := runZipf(zipfConfig{
+			jobs: n, workers: *clients, seed: *seed, smoke: *smoke,
+			minHitRate:        *minHitRate,
+			minAnalysisFactor: *minAnalysisSpeedup,
+			maxReplayP99Ratio: *maxReplayP99,
+		})
+		// Write whatever was measured even on a guard failure, for CI
+		// diagnosis.
+		if werr := writeZipf(doc, *out); werr != nil && err == nil {
 			err = werr
 		}
 		return err

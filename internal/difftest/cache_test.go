@@ -1,0 +1,59 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"icsched/internal/butterfly"
+	"icsched/internal/dag"
+	"icsched/internal/mesh"
+	"icsched/internal/prefix"
+	"icsched/internal/sched"
+)
+
+// TestCacheLaneEveryFamily runs the schedule-cache differential lane on
+// each of the paper's three production families with their IC-optimal
+// schedules: warm hits must be bit-identical to cold misses, the warm
+// order must replay exactly through the task server, and a near-miss
+// dag (same node count, one arc removed) must not hit.
+func TestCacheLaneEveryFamily(t *testing.T) {
+	cases := []struct {
+		name     string
+		g        *dag.Dag
+		nonsinks []dag.NodeID
+	}{
+		{"wavefront-6", mesh.Grid(6, 6), mesh.GridDiagonalNonsinks(6, 6)},
+		{"fftconv-3", butterfly.Network(3), butterfly.Nonsinks(3)},
+		{"prefix-16", prefix.Network(16), prefix.Nonsinks(16)},
+	}
+	for i, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			order := sched.Complete(c.g, c.nonsinks)
+			var st sched.State
+			st.Reset(c.g)
+			if err := st.Replay(order); err != nil {
+				t.Fatalf("IC-optimal order illegal: %v", err)
+			}
+			want, err := sched.Profile(c.g, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := refValues(c.g)
+			if err := checkCache(c.g, order, want, ref, rand.New(rand.NewSource(int64(i)))); err != nil {
+				t.Fatalf("cache lane: %v", err)
+			}
+		})
+	}
+}
+
+// TestCacheLaneFires: the lane must actually run on every harness
+// instance.
+func TestCacheLaneFires(t *testing.T) {
+	rep, err := Run(Config{Seed: 5, N: 30})
+	if err != nil {
+		t.Fatalf("harness failed:\n%s\nerr: %v", rep, err)
+	}
+	if rep.Cache != rep.Instances {
+		t.Fatalf("cache lane fired on %d of %d instances", rep.Cache, rep.Instances)
+	}
+}

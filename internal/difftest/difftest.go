@@ -157,6 +157,7 @@ type Report struct {
 	Monotonicity int // inequality (2.1) vs sum-dag profiles
 	Linearity    int // Theorem 2.1 on ▷-linear compositions
 	Relaxed      int // k-relaxed core vs exact scheduler (see relaxed.go)
+	Cache        int // schedule cache: warm/cold bit-identity, iso-twin hit, near-miss miss (see cache.go)
 	Failures     []Failure
 }
 
@@ -179,8 +180,8 @@ func (r Report) String() string {
 			b.WriteString(")")
 		}
 	}
-	fmt.Fprintf(&b, "\nproperties: oracle %d, duality %d, prio-duality %d, monotonicity %d, linearity %d, relaxed %d",
-		r.Oracle, r.Duality, r.PrioDuality, r.Monotonicity, r.Linearity, r.Relaxed)
+	fmt.Fprintf(&b, "\nproperties: oracle %d, duality %d, prio-duality %d, monotonicity %d, linearity %d, relaxed %d, cache %d",
+		r.Oracle, r.Duality, r.PrioDuality, r.Monotonicity, r.Linearity, r.Relaxed, r.Cache)
 	fmt.Fprintf(&b, "\nfailures: %d", len(r.Failures))
 	for _, f := range r.Failures {
 		fmt.Fprintf(&b, "\n  instance %d (%s, %d nodes): %s", f.Index, f.Shape, f.Nodes, f.Err)
@@ -287,6 +288,13 @@ func checkInstance(rng *rand.Rand, inst instance, cfg Config, rep *Report, scr *
 		return fmt.Errorf("relaxed: %w", err)
 	}
 	rep.Relaxed++
+
+	// Schedule-cache differential lane: cold/warm bit-identity, replay
+	// drive, isomorphic-twin translation, near-miss guard.
+	if err := checkCache(g, order, want, ref, rng); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	rep.Cache++
 
 	// Theory properties.
 	if lat != nil {

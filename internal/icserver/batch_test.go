@@ -293,9 +293,28 @@ func TestReportPiggybackGrant(t *testing.T) {
 
 // TestMixedLegacyAndBatchedClients runs both protocols against one
 // server at once: every task must complete exactly once and both client
-// kinds must make progress.
+// kinds must make progress.  Exactly-once and totals are hard invariants
+// of every attempt; "both kinds progressed" depends on goroutine
+// scheduling (batched clients can drain a small dag before a legacy
+// client lands its first grant), so that one property retries a few
+// fresh fleets before calling starvation a failure.
 func TestMixedLegacyAndBatchedClients(t *testing.T) {
 	levels := 9
+	const attempts = 5
+	for attempt := 1; attempt <= attempts; attempt++ {
+		legacy, batched := runMixedFleet(t, levels)
+		if legacy > 0 && batched > 0 {
+			return
+		}
+		t.Logf("attempt %d: one protocol starved: legacy=%d batched=%d", attempt, legacy, batched)
+	}
+	t.Fatalf("one protocol starved in all %d attempts", attempts)
+}
+
+// runMixedFleet drives one mixed fleet to completion, fatals on any
+// correctness violation, and returns the per-protocol completion split.
+func runMixedFleet(t *testing.T, levels int) (legacy, batched int) {
+	t.Helper()
 	g := mesh.OutMesh(levels)
 	srv := icserver.New(g, optimalMeshPolicy(levels), icserver.WithLease(0))
 	ts := httptest.NewServer(srv.Handler())
@@ -334,7 +353,7 @@ func TestMixedLegacyAndBatchedClients(t *testing.T) {
 	}
 	wg.Wait()
 
-	total, legacy, batched := 0, 0, 0
+	total := 0
 	for c := 0; c < fleet; c++ {
 		if errs[c] != nil {
 			t.Fatalf("client %d: %v", c, errs[c])
@@ -355,9 +374,6 @@ func TestMixedLegacyAndBatchedClients(t *testing.T) {
 	if total != g.NumNodes() {
 		t.Fatalf("fleet completed %d, want %d", total, g.NumNodes())
 	}
-	if legacy == 0 || batched == 0 {
-		t.Fatalf("one protocol starved: legacy=%d batched=%d", legacy, batched)
-	}
 	for v, n := range seen {
 		if n != 1 {
 			t.Fatalf("task %d computed %d times", v, n)
@@ -366,6 +382,7 @@ func TestMixedLegacyAndBatchedClients(t *testing.T) {
 	if !srv.Finished() {
 		t.Fatal("server not finished")
 	}
+	return legacy, batched
 }
 
 // TestGaugesAfterBatchGrant pins the wart fix: gauges are reconciled

@@ -50,6 +50,9 @@ func (s *Server) snapshotLocked() wal.Snapshot {
 		Reissues: uint64(s.reissues),
 		Failed:   uint64(s.failed),
 	}
+	if s.cursorInst != nil {
+		snap.Cursor = int64(s.cursorInst.Cursor())
+	}
 	for v, a := range s.attempts {
 		snap.Attempts[v] = uint32(a)
 	}
@@ -114,7 +117,17 @@ func Recover(dir string, g *dag.Dag, policy heur.Policy, wopts wal.Options, opts
 	if err != nil {
 		return nil, err
 	}
-	fold, err := rec.Fold(g.NumNodes())
+	// A cursor-journaled (schedule-cache replay) journal folds against
+	// the policy's static order; plain journals ignore it.
+	var order []int64
+	if s.cursorInst != nil {
+		if po, ok := policy.(heur.Ordered); ok {
+			for _, v := range po.Order() {
+				order = append(order, int64(v))
+			}
+		}
+	}
+	fold, err := rec.FoldOrdered(g.NumNodes(), order)
 	if err != nil {
 		l.Close()
 		return nil, fmt.Errorf("icserver: journal replay: %w", err)
@@ -187,6 +200,13 @@ func (s *Server) restoreFold(fold *wal.Snapshot) error {
 	requeue(fold.Returned)
 	requeue(fold.InFlight)
 	s.stalls, s.reissues, s.failed = int(fold.Stalls), int(fold.Reissues), int(fold.Failed)
+	if s.cursorInst != nil {
+		// The granted prefix of the static order belongs to previous
+		// incarnations; re-grants of its unfinished tasks flow through
+		// the requeue above, never through the policy.
+		s.cursorInst.SeekCursor(int(fold.Cursor))
+		s.lastCursor = fold.Cursor
+	}
 	if s.relax != nil {
 		// The relaxed core has no requeue lane: every unfinished ELIGIBLE
 		// task — never granted, handed back, or fenced in flight — goes

@@ -1,0 +1,218 @@
+package icserver
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"icsched/internal/dag"
+	"icsched/internal/schedcache"
+	"icsched/internal/wal"
+)
+
+// replayDag builds a small diamond-ladder dag with real parallelism.
+func replayDag() *dag.Dag {
+	b := dag.NewBuilder(10)
+	arcs := [][2]dag.NodeID{
+		{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}, {3, 5},
+		{4, 6}, {5, 6}, {6, 7}, {6, 8}, {7, 9}, {8, 9},
+	}
+	for _, a := range arcs {
+		b.AddArc(a[0], a[1])
+	}
+	return b.MustBuild()
+}
+
+func driveToCompletion(t *testing.T, s *Server, k int) []dag.NodeID {
+	t.Helper()
+	var realized []dag.NodeID
+	for i := 0; i < 10000; i++ {
+		batch, state := s.AllocateBatch(k)
+		switch state {
+		case AllocFinished:
+			return realized
+		case AllocEmpty:
+			t.Fatalf("server stalled after %d completions", len(realized))
+		}
+		for _, v := range batch {
+			if _, err := s.Complete(v); err != nil {
+				t.Fatalf("complete %d: %v", v, err)
+			}
+			realized = append(realized, v)
+		}
+	}
+	t.Fatalf("did not finish")
+	return nil
+}
+
+func journalKinds(t *testing.T, dir string) map[wal.Kind]int {
+	t.Helper()
+	rec, err := wal.ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[wal.Kind]int)
+	for _, r := range rec.Records {
+		kinds[r.Kind]++
+	}
+	return kinds
+}
+
+func TestReplayCursorJournaling(t *testing.T) {
+	g := replayDag()
+	order := g.TopoOrder()
+	dir := filepath.Join(t.TempDir(), "wal")
+	s, err := Recover(dir, g, schedcache.Replay("IC-CACHED", order), wal.Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	realized := driveToCompletion(t, s, 3)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Strict replay under serial drive realizes exactly the cached order.
+	for i := range order {
+		if realized[i] != order[i] {
+			t.Fatalf("realized[%d] = %d, want %d", i, realized[i], order[i])
+		}
+	}
+	kinds := journalKinds(t, dir)
+	if kinds[wal.KindGrant] != 0 {
+		t.Fatalf("replay run wrote %d per-task grant records", kinds[wal.KindGrant])
+	}
+	if kinds[wal.KindCursor] == 0 || kinds[wal.KindDone] != g.NumNodes() {
+		t.Fatalf("journal kinds: %v", kinds)
+	}
+	// The journal folds with the order and covers every grant.
+	rec, err := wal.ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order64 := make([]int64, len(order))
+	for i, v := range order {
+		order64[i] = int64(v)
+	}
+	fold, err := rec.FoldOrdered(g.NumNodes(), order64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fold.Cursor != int64(g.NumNodes()) || fold.NumExecuted() != g.NumNodes() {
+		t.Fatalf("fold: cursor %d, executed %d", fold.Cursor, fold.NumExecuted())
+	}
+}
+
+func TestReplayKillMidRunRecovers(t *testing.T) {
+	g := replayDag()
+	order := g.TopoOrder()
+	dir := filepath.Join(t.TempDir(), "wal")
+	policy := schedcache.Replay("IC-CACHED", order)
+	s, err := Recover(dir, g, policy, wal.Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grant a batch, complete only part of it, then die: the journal
+	// holds a cursor record whose tail tasks are still in flight.
+	batch, state := s.AllocateBatch(2)
+	if state != AllocOK || len(batch) == 0 {
+		t.Fatalf("first grant: %v %v", batch, state)
+	}
+	if _, err := s.Complete(batch[0]); err != nil {
+		t.Fatal(err)
+	}
+	s.Kill()
+
+	s2, err := Recover(dir, g, schedcache.Replay("IC-CACHED", order), wal.Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Epoch() != 2 {
+		t.Fatalf("epoch = %d", s2.Epoch())
+	}
+	st := s2.Status()
+	if st.Completed != 1 {
+		t.Fatalf("completed = %d", st.Completed)
+	}
+	realized := driveToCompletion(t, s2, 3)
+	if len(realized) != g.NumNodes()-1 {
+		t.Fatalf("second incarnation completed %d tasks", len(realized))
+	}
+	if err := s2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The fenced in-flight task was re-granted explicitly (attempt 2),
+	// everything else flowed through cursor records.
+	kinds := journalKinds(t, dir)
+	if kinds[wal.KindGrant] != len(batch)-1 {
+		t.Fatalf("re-grants: %d, want %d (kinds %v)", kinds[wal.KindGrant], len(batch)-1, kinds)
+	}
+	if kinds[wal.KindDone] != g.NumNodes() || kinds[wal.KindEpoch] != 2 {
+		t.Fatalf("journal kinds: %v", kinds)
+	}
+}
+
+func TestReplaySnapshotCarriesCursor(t *testing.T) {
+	g := replayDag()
+	order := g.TopoOrder()
+	dir := filepath.Join(t.TempDir(), "wal")
+	s, err := Recover(dir, g, schedcache.Replay("IC-CACHED", order), wal.Options{SnapshotEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every append triggers a snapshot, so recovery is dominated by
+	// snapshot state rather than record replay.
+	batch, _ := s.AllocateBatch(1)
+	if _, err := s.Complete(batch[0]); err != nil {
+		t.Fatal(err)
+	}
+	batch2, _ := s.AllocateBatch(2)
+	s.Kill()
+
+	s2, err := Recover(dir, g, schedcache.Replay("IC-CACHED", order), wal.Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Status().Completed; got != 1 {
+		t.Fatalf("completed = %d", got)
+	}
+	realized := driveToCompletion(t, s2, 4)
+	if len(realized) != g.NumNodes()-1 {
+		t.Fatalf("completed %d after recovery", len(realized))
+	}
+	_ = batch2
+	if err := s2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayExpiryReissueKeepsExplicitGrants(t *testing.T) {
+	g := replayDag()
+	order := g.TopoOrder()
+	dir := filepath.Join(t.TempDir(), "wal")
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	s, err := Recover(dir, g, schedcache.Replay("IC-CACHED", order), wal.Options{SnapshotEvery: -1},
+		WithLease(time.Second), WithMaxAttempts(5), WithClock(clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, state := s.AllocateBatch(1)
+	if state != AllocOK || batch[0] != order[0] {
+		t.Fatalf("grant: %v %v", batch, state)
+	}
+	now = now.Add(2 * time.Second) // expire the lease
+	batch2, state := s.AllocateBatch(1)
+	if state != AllocOK || batch2[0] != order[0] {
+		t.Fatalf("reissue: %v %v", batch2, state)
+	}
+	if _, err := s.Complete(batch2[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	kinds := journalKinds(t, dir)
+	if kinds[wal.KindExpiry] != 1 || kinds[wal.KindGrant] != 1 || kinds[wal.KindCursor] != 1 {
+		t.Fatalf("journal kinds: %v", kinds)
+	}
+}

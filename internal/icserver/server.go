@@ -148,6 +148,17 @@ type Server struct {
 	relaxPending atomic.Int64
 	relaxPopHook func(dag.NodeID) // test hook: between claim and journal
 
+	// Schedule-cache replay path (nil cursorInst = per-task grant
+	// journaling).  When the policy grants strictly along a cached
+	// static order (schedcache.Replay), first-time grants are journaled
+	// as cursor advances — one KindCursor record per allocation batch
+	// instead of one KindGrant per task — and recovery re-derives the
+	// granted prefix from (order, cursor).  Re-grants after expiry or
+	// hand-back keep explicit records.
+	cursorInst  cursorInstance
+	cursorDirty bool  // first-time grants since the last cursor record
+	lastCursor  int64 // cursor as of the last journaled cursor record
+
 	reg        *obs.Registry // always non-nil; serves GET /metrics
 	trace      *obs.Trace    // optional task-trace recorder
 	traceEnded bool          // run-end recorded
@@ -241,6 +252,19 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 	}
 }
 
+// cursorInstance is the contract a policy instance must satisfy for
+// cursor-journaled replay (schedcache.Replay implements it): grants are
+// issued strictly in static-order positions, so the first-time-granted
+// set is always exactly order[0:Cursor()].
+type cursorInstance interface {
+	heur.Instance
+	// Cursor reports how many first-time grants have been issued.
+	Cursor() int
+	// SeekCursor restores the cursor after recovery: the first c order
+	// positions were granted by a previous incarnation.
+	SeekCursor(c int)
+}
+
 // Option configures a Server.
 type Option func(*Server)
 
@@ -292,6 +316,10 @@ func newCore(g *dag.Dag, policy heur.Policy, opts ...Option) *Server {
 	}
 	if s.relaxShards > 0 {
 		s.relax = newRelaxedCore(g, policy, s.relaxShards)
+	} else if ci, ok := s.inst.(cursorInstance); ok {
+		// The relaxed core pops out of order, so cursor journaling only
+		// arms on the exact locked path.
+		s.cursorInst = ci
 	}
 	s.m = newServerMetrics(s.reg)
 	s.start = s.now()
@@ -794,6 +822,7 @@ func (s *Server) allocate(actor string) (dag.NodeID, AllocState) {
 	}
 	held := time.Now()
 	v, state := s.allocateOneLocked(s.now(), actor)
+	s.flushCursorLocked()
 	if state == AllocEmpty {
 		s.stalls++
 		s.m.stalls.Inc()
@@ -843,6 +872,7 @@ func (s *Server) allocateBatchLocked(k int, actor string) ([]dag.NodeID, AllocSt
 		}
 		batch = append(batch, v)
 	}
+	s.flushCursorLocked()
 	if len(batch) > 0 {
 		// A partial grant is not a stall and not terminal: the request got
 		// work, just less than it asked for.
@@ -931,12 +961,34 @@ func (s *Server) grantLocked(v dag.NodeID, now time.Time, actor string) {
 	if s.lease > 0 {
 		heap.Push(&s.expiry, leaseEntry{v: v, granted: now})
 	}
-	s.walAppendLocked(wal.KindGrant, v, uint32(s.attempts[v]))
+	if s.cursorInst != nil && s.attempts[v] == 1 {
+		// First-time grants under replay came from the cursor policy in
+		// strict order; the whole batch is journaled as one cursor
+		// advance by flushCursorLocked before the lock is released.
+		s.cursorDirty = true
+	} else {
+		s.walAppendLocked(wal.KindGrant, v, uint32(s.attempts[v]))
+	}
 	s.m.allocations.Inc()
 	if s.trace != nil {
 		s.trace.Record(obs.Event{Phase: obs.PhaseAllocate, Task: int(v), Name: s.g.Name(v),
 			Actor: actor, Attempt: s.attempts[v], Eligible: s.st.NumEligible()})
 	}
+}
+
+// flushCursorLocked journals the pending cursor advance as a single
+// KindCursor record (caller holds s.mu).  Every allocation path flushes
+// before releasing the lock, so a cursor grant is always durable before
+// its task can be reported done and before any snapshot covers it.
+func (s *Server) flushCursorLocked() {
+	if !s.cursorDirty {
+		return
+	}
+	s.cursorDirty = false
+	cur := s.cursorInst.Cursor()
+	delta := cur - int(s.lastCursor)
+	s.lastCursor = int64(cur)
+	s.walAppendLocked(wal.KindCursor, dag.NodeID(cur), uint32(delta))
 }
 
 // quarantineLocked moves v into the quarantined set (caller holds s.mu

@@ -76,6 +76,45 @@ func buildJob(sp Spec) (g *dag.Dag, nonsinks []dag.NodeID, err error) {
 	return g, nonsinks, nil
 }
 
+// cacheClass partitions the schedule cache by analysis kind: two dags of
+// identical shape still need separate entries when different analyses
+// would order them (a family's IC-optimal completion vs the raw-payload
+// heuristic).
+func cacheClass(sp Spec) string {
+	if sp.Family != "" {
+		return fmt.Sprintf("family/%s/%d", sp.Family, sp.Size)
+	}
+	return "heur/max-new-eligible"
+}
+
+// cacheProvenance labels how a cached order was derived.
+func cacheProvenance(sp Spec) string {
+	if sp.Family != "" {
+		return "ic-optimal"
+	}
+	return "max-new-eligible"
+}
+
+// recoverOrder re-derives a recovered job's allocation order.  It goes
+// through the cache (so recovering many same-shape jobs analyzes once),
+// but a job whose journal holds cursor records MUST get byte-for-byte
+// the order the journal was written against — analyzeJob's deterministic
+// output — so a non-exact (relabeled) cache hit falls back to a direct
+// recomputation rather than a translated order.
+func (s *Server) recoverOrder(j *Job) ([]dag.NodeID, error) {
+	res, err := s.cfg.Cache.GetOrCompute(j.g, cacheClass(j.spec), func() ([]dag.NodeID, string, error) {
+		order, err := analyzeJob(j.g, j.nonsinks)
+		return order, cacheProvenance(j.spec), err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if j.replay && !res.Exact {
+		return analyzeJob(j.g, j.nonsinks)
+	}
+	return res.Order, nil
+}
+
 // analyzeJob is the analyzer stage's work: compute the allocation order
 // the job's scheduler replays.  Named families complete their IC-optimal
 // nonsink prefix (the paper's schedule); raw dagio payloads get the

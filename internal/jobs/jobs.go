@@ -38,6 +38,7 @@ import (
 	"icsched/internal/icserver"
 	"icsched/internal/obs"
 	"icsched/internal/relaxed"
+	"icsched/internal/schedcache"
 	"icsched/internal/wal"
 
 	"encoding/json"
@@ -84,6 +85,8 @@ type Job struct {
 	nonsinks []dag.NodeID // family jobs: the IC-optimal nonsink prefix
 	order    []dag.NodeID
 	buildErr error
+	cacheHit bool // analysis served from the schedule cache
+	replay   bool // steady-state replay: cursor-journaled cached order
 
 	srv *icserver.Server // non-nil only while active
 
@@ -123,6 +126,10 @@ type Config struct {
 	// (default 256); submissions beyond it are refused with
 	// BackpressureError.
 	MaxQueued int
+	// Cache is the schedule cache the analyzer stage consults before
+	// computing an allocation order (nil = a private default-sized one).
+	// Sharing one cache across services shares the analyses.
+	Cache *schedcache.Cache
 	// Clock injects a time source (tests).
 	Clock func() time.Time
 }
@@ -130,6 +137,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.MaxQueued <= 0 {
 		c.MaxQueued = 256
+	}
+	if c.Cache == nil {
+		c.Cache = schedcache.New(schedcache.Options{})
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
@@ -283,6 +293,7 @@ func Recover(dir string, cfg Config) (*Server, error) {
 			if j := s.jobs[ev.Job]; j != nil && j.state == StateQueued {
 				j.activatedAt = time.Unix(0, ev.At)
 				j.state = StateActive // provisional; srv attached below
+				j.replay = ev.Replay  // journal format: cursor vs per-task grants
 				activated = append(activated, j)
 			}
 		case "finish":
@@ -313,7 +324,7 @@ func Recover(dir string, cfg Config) (*Server, error) {
 		g, nonsinks, berr := buildJob(j.spec)
 		if berr == nil {
 			j.g, j.nonsinks = g, nonsinks
-			j.order, berr = analyzeJob(g, nonsinks)
+			j.order, berr = s.recoverOrder(j)
 		}
 		if berr != nil {
 			return nil, fmt.Errorf("jobs: recover %s: %w", j.id, berr)
@@ -347,7 +358,12 @@ func Recover(dir string, cfg Config) (*Server, error) {
 // jobCore builds the per-job task server: memory-only under New,
 // journal-backed (fresh or replayed) under Recover.
 func (s *Server) jobCore(j *Job) (*icserver.Server, error) {
-	policy := heur.Static("IC-OPTIMAL", j.order)
+	var policy heur.Policy
+	if j.replay {
+		policy = schedcache.Replay("IC-CACHED", j.order)
+	} else {
+		policy = heur.Static("IC-OPTIMAL", j.order)
+	}
 	var opts []icserver.Option
 	if s.cfg.Lease > 0 {
 		opts = append(opts, icserver.WithLease(s.cfg.Lease))
@@ -369,6 +385,9 @@ func (s *Server) jobCore(j *Job) (*icserver.Server, error) {
 
 // Metrics returns the service's registry (GET /metrics serves it).
 func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// CacheStats snapshots the schedule cache's counters.
+func (s *Server) CacheStats() schedcache.Stats { return s.cfg.Cache.Stats() }
 
 // startPipeline launches the builder → analyzer → activator stages.
 func (s *Server) startPipeline() {
@@ -394,17 +413,42 @@ func (s *Server) builder() {
 	}
 }
 
-// analyzer computes each job's allocation order (the scheduling
-// analysis), still off the grant path.
+// analyzer resolves each job's allocation order (the scheduling
+// analysis), still off the grant path.  The schedule cache turns the
+// analysis into a canonical-hash lookup for repeated shapes: a warm hit
+// skips the computation entirely, and an exact (same-labeling) hit on a
+// non-relaxed job additionally arms steady-state replay — grants become
+// cursor walks over the cached order.
 func (s *Server) analyzer() {
 	defer s.wg.Done()
 	defer close(s.activateCh)
 	for j := range s.analyzeCh {
 		if j.buildErr == nil {
-			j.order, j.buildErr = analyzeJob(j.g, j.nonsinks)
+			j.buildErr = s.analyzeCached(j)
 		}
 		s.activateCh <- j
 	}
+}
+
+// analyzeCached runs the analyzer stage's work for one built job through
+// the schedule cache.
+func (s *Server) analyzeCached(j *Job) error {
+	res, err := s.cfg.Cache.GetOrCompute(j.g, cacheClass(j.spec), func() ([]dag.NodeID, string, error) {
+		order, err := analyzeJob(j.g, j.nonsinks)
+		return order, cacheProvenance(j.spec), err
+	})
+	if err != nil {
+		return err
+	}
+	j.order = res.Order
+	j.cacheHit = res.Hit
+	// Replay requires an exact-labeling entry: identity translation means
+	// the cached order is byte-for-byte what analyzeJob(g) re-derives, so
+	// a recovered incarnation folds the cursor journal against the very
+	// same order.  Relaxed jobs grant out of order and keep per-task
+	// records.
+	j.replay = j.spec.Relaxed == 0 && res.Exact
+	return nil
 }
 
 // activator attaches the per-job task server and admits the job to its
@@ -433,7 +477,8 @@ func (s *Server) activator() {
 		j.srv = srv
 		j.state = StateActive
 		j.activatedAt = s.now()
-		_ = s.man.append(manifestEvent{Event: "activate", At: j.activatedAt.UnixNano(), Job: j.id})
+		_ = s.man.append(manifestEvent{Event: "activate", At: j.activatedAt.UnixNano(),
+			Job: j.id, Replay: j.replay})
 		t := s.tenantFor(j.spec.Tenant, j.spec.Weight)
 		if len(t.active) == 0 {
 			// A tenant rejoining after idling must not cash in the pass it
@@ -728,6 +773,11 @@ type JobStatus struct {
 	Completed   int    `json:"completed,omitempty"`
 	Quarantined int    `json:"quarantined,omitempty"`
 	Epoch       uint64 `json:"epoch,omitempty"`
+	// CacheHit: analysis came from the schedule cache.  Replay: the job
+	// executes in steady-state replay mode (cursor-journaled cached
+	// order).
+	CacheHit bool `json:"cacheHit,omitempty"`
+	Replay   bool `json:"replay,omitempty"`
 
 	SubmittedMillis int64   `json:"submittedMillis"`
 	FinishedMillis  int64   `json:"finishedMillis,omitempty"`
@@ -739,6 +789,7 @@ func (s *Server) jobStatusLocked(j *Job) JobStatus {
 	st := JobStatus{
 		Job: j.id, Tenant: j.spec.Tenant, State: j.state,
 		Family: j.spec.Family, Size: j.spec.Size,
+		CacheHit: j.cacheHit, Replay: j.replay,
 		SubmittedMillis: j.submittedAt.UnixMilli(),
 		Error:           j.errMsg,
 	}

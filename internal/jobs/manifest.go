@@ -31,6 +31,11 @@ type manifestEvent struct {
 	Size    int             `json:"size,omitempty"`
 	Dag     json.RawMessage `json:"dag,omitempty"`
 	Relaxed int             `json:"relaxed,omitempty"`
+	// Activate events record whether the job runs in steady-state replay
+	// mode (cursor-journaled cached order): the decision depends on cache
+	// state at activation, so recovery must read it back rather than
+	// re-derive it — the journal's record format already committed to it.
+	Replay bool `json:"replay,omitempty"`
 	// Finish events carry the terminal accounting.
 	Nodes       int    `json:"nodes,omitempty"`
 	Completed   int    `json:"completed,omitempty"`

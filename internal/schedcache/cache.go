@@ -1,0 +1,300 @@
+package schedcache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icsched/internal/dag"
+	"icsched/internal/sched"
+)
+
+// Entry is one cached analysis: the static IC order in canonical
+// numbering, where it came from, and the eligibility (MaxE) profile it
+// realizes.  The Shape is kept for the collision guard; Exact
+// fingerprints the labeled dag the order was computed on.
+type Entry struct {
+	Shape      Shape
+	Exact      uint64
+	Order      []dag.NodeID // canonical numbering
+	Profile    []int
+	Provenance string
+}
+
+// Result is what a lookup hands back to the caller, translated into
+// the submitted dag's own numbering.
+type Result struct {
+	Order      []dag.NodeID
+	Profile    []int
+	Provenance string
+	Hash       uint64
+	Hit        bool // served from the cache (including singleflight waits)
+	Exact      bool // the entry was computed on this exact labeled dag
+}
+
+// Stats are exact, monotonically increasing counters.
+type Stats struct {
+	Hits       uint64 // table hits
+	Misses     uint64 // lookups that ran the compute function
+	Shared     uint64 // lookups that waited on another caller's compute
+	Evictions  uint64 // entries dropped by the LRU bound
+	Collisions uint64 // hash hits rejected by the isomorphism guard
+	Analyses   uint64 // compute invocations (== Misses when none fail)
+	ColdNanos  uint64 // cumulative wall time of miss lookups
+	WarmNanos  uint64 // cumulative wall time of hit lookups
+}
+
+// Lookups is the total number of GetOrCompute calls accounted so far.
+func (s Stats) Lookups() uint64 { return s.Hits + s.Misses + s.Shared + s.Collisions }
+
+// HitRate is the fraction of lookups served without running an
+// analysis (table hits plus singleflight waits).
+func (s Stats) HitRate() float64 {
+	l := s.Lookups()
+	if l == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Shared) / float64(l)
+}
+
+// Options configures a Cache.  Zero values pick the defaults.
+type Options struct {
+	Capacity int // total entries across all shards (default 256)
+	Shards   int // power of two recommended (default 8)
+}
+
+// Cache is a bounded, sharded LRU keyed by canonical dag hash, with
+// per-hash singleflight so concurrent submissions of the same shape
+// analyze once.
+type Cache struct {
+	shards      []*cacheShard
+	capPerShard int
+
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	shared     atomic.Uint64
+	evictions  atomic.Uint64
+	collisions atomic.Uint64
+	analyses   atomic.Uint64
+	coldNanos  atomic.Uint64
+	warmNanos  atomic.Uint64
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[uint64]*list.Element // hash -> element holding *lruItem
+	lru     list.List                // front = most recently used
+	flights map[uint64]*flight
+}
+
+type lruItem struct {
+	hash  uint64
+	entry *Entry
+}
+
+type flight struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// New builds a cache.
+func New(opts Options) *Cache {
+	if opts.Capacity <= 0 {
+		opts.Capacity = 256
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 8
+	}
+	if opts.Shards > opts.Capacity {
+		opts.Shards = opts.Capacity
+	}
+	c := &Cache{
+		shards:      make([]*cacheShard, opts.Shards),
+		capPerShard: (opts.Capacity + opts.Shards - 1) / opts.Shards,
+	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			entries: make(map[uint64]*list.Element),
+			flights: make(map[uint64]*flight),
+		}
+	}
+	return c
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Shared:     c.shared.Load(),
+		Evictions:  c.evictions.Load(),
+		Collisions: c.collisions.Load(),
+		Analyses:   c.analyses.Load(),
+		ColdNanos:  c.coldNanos.Load(),
+		WarmNanos:  c.warmNanos.Load(),
+	}
+}
+
+// Len reports the number of resident entries.
+func (c *Cache) Len() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+func (c *Cache) shard(h uint64) *cacheShard {
+	return c.shards[h%uint64(len(c.shards))]
+}
+
+// GetOrCompute canonicalizes g and serves the cached analysis for its
+// shape, running compute (which must return a complete legal schedule
+// of g and a provenance tag) exactly once per shape under concurrent
+// submission.  The class string partitions the key space so that
+// different analysis kinds (e.g. family IC-optimal vs raw-dag
+// heuristic) never share an entry.  Errors are not cached.
+func (c *Cache) GetOrCompute(g *dag.Dag, class string, compute func() ([]dag.NodeID, string, error)) (Result, error) {
+	start := time.Now()
+	shape, perm := Canonicalize(g)
+	h := fnvString(fnvMix(fnvOffset, shape.Hash()), class)
+	return c.getOrCompute(start, g, shape, perm, h, compute)
+}
+
+// getOrCompute is the hash-explicit core, split out so tests can force
+// hash collisions against the isomorphism guard.
+func (c *Cache) getOrCompute(start time.Time, g *dag.Dag, shape Shape, perm []dag.NodeID, h uint64, compute func() ([]dag.NodeID, string, error)) (Result, error) {
+	sh := c.shard(h)
+	sh.mu.Lock()
+	if el, ok := sh.entries[h]; ok {
+		it := el.Value.(*lruItem)
+		if it.entry.Shape.Equal(shape) {
+			sh.lru.MoveToFront(el)
+			e := it.entry
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			res := c.translate(g, perm, h, e)
+			c.warmNanos.Add(uint64(time.Since(start)))
+			return res, nil
+		}
+		// Same hash, different canonical edge set: a true FNV
+		// collision.  Never serve it; analyze without caching so the
+		// resident entry keeps its slot.
+		sh.mu.Unlock()
+		c.collisions.Add(1)
+		return c.computeUncached(g, compute)
+	}
+	if f, ok := sh.flights[h]; ok {
+		sh.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return Result{}, f.err
+		}
+		if !f.entry.Shape.Equal(shape) {
+			c.collisions.Add(1)
+			return c.computeUncached(g, compute)
+		}
+		c.shared.Add(1)
+		res := c.translate(g, perm, h, f.entry)
+		res.Hit = true
+		c.warmNanos.Add(uint64(time.Since(start)))
+		return res, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	sh.flights[h] = f
+	sh.mu.Unlock()
+
+	entry, order, err := c.runCompute(g, shape, perm, compute)
+	sh.mu.Lock()
+	delete(sh.flights, h)
+	if err == nil {
+		el := sh.lru.PushFront(&lruItem{hash: h, entry: entry})
+		sh.entries[h] = el
+		for sh.lru.Len() > c.capPerShard {
+			old := sh.lru.Back()
+			sh.lru.Remove(old)
+			delete(sh.entries, old.Value.(*lruItem).hash)
+			c.evictions.Add(1)
+		}
+	}
+	sh.mu.Unlock()
+	f.entry, f.err = entry, err
+	close(f.done)
+	if err != nil {
+		return Result{}, err
+	}
+	c.misses.Add(1)
+	res := Result{
+		Order:      order,
+		Profile:    entry.Profile,
+		Provenance: entry.Provenance,
+		Hash:       h,
+		Exact:      true,
+	}
+	c.coldNanos.Add(uint64(time.Since(start)))
+	return res, nil
+}
+
+func (c *Cache) runCompute(g *dag.Dag, shape Shape, perm []dag.NodeID, compute func() ([]dag.NodeID, string, error)) (*Entry, []dag.NodeID, error) {
+	c.analyses.Add(1)
+	order, prov, err := compute()
+	if err != nil {
+		return nil, nil, err
+	}
+	profile, err := sched.Profile(g, order)
+	if err != nil {
+		return nil, nil, fmt.Errorf("schedcache: computed order is not a legal schedule: %w", err)
+	}
+	canon := make([]dag.NodeID, len(order))
+	for i, v := range order {
+		canon[i] = perm[v]
+	}
+	return &Entry{
+		Shape:      shape,
+		Exact:      ExactHash(g),
+		Order:      canon,
+		Profile:    profile,
+		Provenance: prov,
+	}, order, nil
+}
+
+func (c *Cache) computeUncached(g *dag.Dag, compute func() ([]dag.NodeID, string, error)) (Result, error) {
+	c.analyses.Add(1)
+	order, prov, err := compute()
+	if err != nil {
+		return Result{}, err
+	}
+	profile, err := sched.Profile(g, order)
+	if err != nil {
+		return Result{}, fmt.Errorf("schedcache: computed order is not a legal schedule: %w", err)
+	}
+	return Result{Order: order, Profile: profile, Provenance: prov, Exact: true}, nil
+}
+
+// translate maps an entry's canonical order into g's numbering:
+// order_g[i] = inv[order_canon[i]] where inv inverts perm.  When the
+// entry was computed on this very dag the round trip is the identity,
+// which the Exact flag certifies via the labeled fingerprint.
+func (c *Cache) translate(g *dag.Dag, perm []dag.NodeID, h uint64, e *Entry) Result {
+	inv := make([]dag.NodeID, len(perm))
+	for v, cid := range perm {
+		inv[cid] = dag.NodeID(v)
+	}
+	order := make([]dag.NodeID, len(e.Order))
+	for i, cv := range e.Order {
+		order[i] = inv[cv]
+	}
+	return Result{
+		Order:      order,
+		Profile:    e.Profile,
+		Provenance: e.Provenance,
+		Hash:       h,
+		Hit:        true,
+		Exact:      e.Exact == ExactHash(g),
+	}
+}

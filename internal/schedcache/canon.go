@@ -1,0 +1,141 @@
+// Package schedcache implements a schedule cache keyed by canonical dag
+// hash, plus a periodic steady-state replay policy for recurring
+// instances of one shape.
+//
+// Production traffic is repetitive: millions of users submit instances
+// of the same dag families at different sizes, yet each job would
+// otherwise pay full analysis (frontier oracle or heuristic ordering)
+// before its first grant.  The cache pays analysis once per *shape*:
+// dags are canonicalized by the same topological relabeling the
+// frontier oracle uses (internal/opt), hashed with FNV-1a, and the
+// resulting {static IC order, provenance, MaxE profile} entry is
+// shared by every isomorphic submission.  A collision-checked
+// isomorphism guard (relabel both, compare edge sets) ensures a hash
+// collision can never serve a wrong schedule.
+//
+// The replay policy (Replay) serves grants for a cached order at
+// memcpy speed: grants are index translations through a precomputed
+// rank table — no per-instance sched.State search and no sort on the
+// offer path — and the server journals only a cursor into the order,
+// so crash recovery of a replayed job stays bit-identical.
+package schedcache
+
+import (
+	"sort"
+
+	"icsched/internal/dag"
+)
+
+// Shape is the canonical form of a dag: nodes relabeled by their
+// position in the deterministic topological order (dag.TopoOrder uses
+// Kahn's algorithm popping the smallest node id first — the same
+// relabeling the frontier oracle applies), arcs listed in sorted
+// canonical numbering.  Two dags with equal Shapes are isomorphic; the
+// converse direction is the usual canonical-form approximation (a
+// relabeling that permutes ids inconsistently with the topological
+// order can change the Shape), which is exactly what is needed here:
+// recurring instances built by the deterministic family constructors
+// canonicalize identically.
+type Shape struct {
+	Nodes int
+	Arcs  []dag.Arc
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h uint64, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Canonicalize computes the canonical form of g and the relabeling
+// permutation: perm[v] is the canonical id of original node v.  The
+// canonical arc list is produced already sorted by (From, To) without
+// a global sort: canonical ids are visited in increasing order and
+// each (small) child list is sorted locally.
+func Canonicalize(g *dag.Dag) (Shape, []dag.NodeID) {
+	n := g.NumNodes()
+	perm := make([]dag.NodeID, n)
+	inv := g.TopoOrder() // inv[canonical] = original
+	for i, v := range inv {
+		perm[v] = dag.NodeID(i)
+	}
+	arcs := make([]dag.Arc, 0, g.NumArcs())
+	var buf []dag.NodeID
+	for c := 0; c < n; c++ {
+		children := g.Children(inv[c])
+		if len(children) == 0 {
+			continue
+		}
+		buf = buf[:0]
+		for _, w := range children {
+			buf = append(buf, perm[w])
+		}
+		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+		for _, w := range buf {
+			arcs = append(arcs, dag.Arc{From: dag.NodeID(c), To: w})
+		}
+	}
+	return Shape{Nodes: n, Arcs: arcs}, perm
+}
+
+// Hash returns the shape-invariant FNV-1a hash of the canonical form.
+func (s Shape) Hash() uint64 {
+	h := uint64(fnvOffset)
+	h = fnvMix(h, uint64(s.Nodes))
+	for _, a := range s.Arcs {
+		h = fnvMix(h, uint64(uint32(a.From)))
+		h = fnvMix(h, uint64(uint32(a.To)))
+	}
+	return h
+}
+
+// Equal is the isomorphism guard: both dags have been relabeled to
+// canonical form, so comparing the edge sets decides equality exactly.
+// It is checked on every cache hit, making a hash collision observable
+// (and countable) instead of dangerous.
+func (s Shape) Equal(t Shape) bool {
+	if s.Nodes != t.Nodes || len(s.Arcs) != len(t.Arcs) {
+		return false
+	}
+	for i, a := range s.Arcs {
+		if a != t.Arcs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExactHash fingerprints the labeled dag (original numbering, no
+// relabeling).  Entries remember the fingerprint of the dag that was
+// analyzed; a hit whose submission matches it bit-for-bit can reuse
+// the cached order verbatim — the translation through the canonical
+// numbering is the identity — which is what makes cursor-journaled
+// replay safe to re-derive after a crash.
+func ExactHash(g *dag.Dag) uint64 {
+	h := uint64(fnvOffset)
+	h = fnvMix(h, uint64(g.NumNodes()))
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		for _, w := range g.Children(dag.NodeID(u)) {
+			h = fnvMix(h, uint64(uint32(u)))
+			h = fnvMix(h, uint64(uint32(w)))
+		}
+	}
+	return h
+}

@@ -1,0 +1,165 @@
+package schedcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"icsched/internal/dag"
+	"icsched/internal/heur"
+)
+
+// relabelCanonical rebuilds g with every node renamed to its canonical
+// id.  The result is isomorphic to g and — because canonical ids are a
+// topological numbering and Kahn-smallest-first on a forward-arc dag
+// is the identity — canonicalizes to the same Shape.
+func relabelCanonical(g *dag.Dag, perm []dag.NodeID) *dag.Dag {
+	b := dag.NewBuilder(g.NumNodes())
+	for _, a := range g.Arcs() {
+		b.AddArc(perm[a.From], perm[a.To])
+	}
+	return b.MustBuild()
+}
+
+func TestCanonicalizeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		g := dag.Random(rng, 2+rng.Intn(30), 0.25)
+		s1, p1 := Canonicalize(g)
+		s2, p2 := Canonicalize(g)
+		if !s1.Equal(s2) || s1.Hash() != s2.Hash() {
+			t.Fatalf("canonicalize not deterministic on %v", g)
+		}
+		for v := range p1 {
+			if p1[v] != p2[v] {
+				t.Fatalf("perm not deterministic at %d", v)
+			}
+		}
+	}
+}
+
+func TestCanonicalizePermIsTopological(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 50; i++ {
+		g := dag.RandomConnected(rng, 2+rng.Intn(30), 0.3)
+		shape, perm := Canonicalize(g)
+		if shape.Nodes != g.NumNodes() || len(shape.Arcs) != g.NumArcs() {
+			t.Fatalf("shape size mismatch: %+v vs n=%d e=%d", shape, g.NumNodes(), g.NumArcs())
+		}
+		for _, a := range g.Arcs() {
+			if perm[a.From] >= perm[a.To] {
+				t.Fatalf("perm not topological: arc %v -> perm %d>=%d", a, perm[a.From], perm[a.To])
+			}
+		}
+		for i := 1; i < len(shape.Arcs); i++ {
+			p, q := shape.Arcs[i-1], shape.Arcs[i]
+			if p.From > q.From || (p.From == q.From && p.To >= q.To) {
+				t.Fatalf("canonical arcs not strictly sorted: %v then %v", p, q)
+			}
+		}
+	}
+}
+
+func TestCanonicalizeIsomorphicTwin(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		g := dag.RandomLayered(rng, []int{1 + rng.Intn(4), 1 + rng.Intn(4), 1 + rng.Intn(4)}, 3)
+		s, perm := Canonicalize(g)
+		twin := relabelCanonical(g, perm)
+		st, permT := Canonicalize(twin)
+		if !s.Equal(st) || s.Hash() != st.Hash() {
+			t.Fatalf("canonical relabeling changed the shape")
+		}
+		for v, c := range permT {
+			if int(c) != v {
+				t.Fatalf("twin perm not identity at %d: %d", v, c)
+			}
+		}
+	}
+}
+
+func TestCanonicalizeDistinguishesEdges(t *testing.T) {
+	// Same node count, different edge sets — the deliberate near-miss.
+	a := dag.NewBuilder(4)
+	a.AddArc(0, 1)
+	a.AddArc(1, 2)
+	a.AddArc(2, 3)
+	b := dag.NewBuilder(4)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	ga, gb := a.MustBuild(), b.MustBuild()
+	sa, _ := Canonicalize(ga)
+	sb, _ := Canonicalize(gb)
+	if sa.Equal(sb) {
+		t.Fatalf("guard equated dags with different edge sets")
+	}
+	if sa.Hash() == sb.Hash() {
+		t.Fatalf("hash collision on trivial near-miss")
+	}
+}
+
+func TestExactHashLabeled(t *testing.T) {
+	// Two isomorphic dags with different labelings share a Shape but
+	// not an ExactHash.
+	a := dag.NewBuilder(3)
+	a.AddArc(0, 1)
+	a.AddArc(1, 2)
+	b := dag.NewBuilder(3)
+	b.AddArc(0, 2)
+	b.AddArc(2, 1)
+	ga, gb := a.MustBuild(), b.MustBuild()
+	sa, _ := Canonicalize(ga)
+	sb, _ := Canonicalize(gb)
+	if !sa.Equal(sb) {
+		t.Fatalf("chains of 3 should share a canonical shape")
+	}
+	if ExactHash(ga) == ExactHash(gb) {
+		t.Fatalf("exact hash should distinguish labelings")
+	}
+	if ExactHash(ga) != ExactHash(ga) {
+		t.Fatalf("exact hash not deterministic")
+	}
+}
+
+func TestReplayPolicyRealizesOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 30; i++ {
+		g := dag.RandomConnected(rng, 2+rng.Intn(24), 0.3)
+		want := g.TopoOrder()
+		p := Replay("REPLAY", want)
+		got, err := heur.RunOrder(g, p)
+		if err != nil {
+			t.Fatalf("replay stalled: %v", err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("replay diverged at %d: got %d want %d", j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestReplaySeekCursor(t *testing.T) {
+	g := dag.NewBuilder(4)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	g.AddArc(2, 3)
+	chain := g.MustBuild()
+	order := chain.TopoOrder()
+	inst := Replay("REPLAY", order).Start(chain).(*replayInstance)
+	inst.SeekCursor(2)
+	if inst.Cursor() != 2 {
+		t.Fatalf("cursor = %d", inst.Cursor())
+	}
+	// Position 2 not offered yet: strict discipline declines.
+	if _, ok := inst.Next(); ok {
+		t.Fatalf("granted an unoffered position")
+	}
+	inst.Offer([]dag.NodeID{order[2]})
+	v, ok := inst.Next()
+	if !ok || v != order[2] {
+		t.Fatalf("got %d,%v want %d", v, ok, order[2])
+	}
+	if inst.Cursor() != 3 {
+		t.Fatalf("cursor after grant = %d", inst.Cursor())
+	}
+}

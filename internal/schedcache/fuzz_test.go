@@ -1,0 +1,92 @@
+package schedcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"icsched/internal/dag"
+)
+
+// fuzzDag derives a random dag from a seed the same way the difftest
+// fuzz harness does: the seed picks a shape class, a size, and a
+// density.
+func fuzzDag(seed int64) *dag.Dag {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(24)
+	p := 0.05 + 0.5*rng.Float64()
+	switch rng.Intn(4) {
+	case 0:
+		return dag.Random(rng, n, p)
+	case 1:
+		return dag.RandomConnected(rng, n, p)
+	case 2:
+		layers := make([]int, 1+rng.Intn(4))
+		for i := range layers {
+			layers[i] = 1 + rng.Intn(5)
+		}
+		return dag.RandomLayered(rng, layers, 1+rng.Intn(3))
+	default:
+		return dag.RandomSeriesParallel(rng, 2+rng.Intn(20))
+	}
+}
+
+// FuzzCanonicalHash asserts the defining property of the cache key:
+// hash equality ⇔ isomorphism-guard equality.  The forward direction
+// (equal shapes hash equally) is determinism; the backward direction
+// (equal hashes imply equal shapes) would only break on a genuine FNV
+// collision, which the guard exists to catch — finding one here is a
+// reportable fuzz failure, not silent corruption.
+func FuzzCanonicalHash(f *testing.F) {
+	// Seed corpus: the PR-3 difftest fuzz shapes, paired.
+	pr3 := []int64{0, 1, 2, 42, -7, 1 << 40}
+	for _, a := range pr3 {
+		for _, b := range pr3 {
+			f.Add(a, b)
+		}
+	}
+	f.Fuzz(func(t *testing.T, seedA, seedB int64) {
+		ga, gb := fuzzDag(seedA), fuzzDag(seedB)
+		sa, pa := Canonicalize(ga)
+		sb, pb := Canonicalize(gb)
+		if (sa.Hash() == sb.Hash()) != sa.Equal(sb) {
+			t.Fatalf("hash/guard disagree: seeds (%d,%d), hashes (%x,%x), guard %v",
+				seedA, seedB, sa.Hash(), sb.Hash(), sa.Equal(sb))
+		}
+		// Re-canonicalizing is stable.
+		sa2, _ := Canonicalize(ga)
+		if !sa.Equal(sa2) || sa.Hash() != sa2.Hash() {
+			t.Fatalf("canonicalization unstable for seed %d", seedA)
+		}
+		// A canonical relabeling preserves the shape and the hash.
+		ta := relabelCanonical(ga, pa)
+		sta, _ := Canonicalize(ta)
+		if !sa.Equal(sta) || sa.Hash() != sta.Hash() {
+			t.Fatalf("relabeled twin changed shape for seed %d", seedA)
+		}
+		// perm must be a topological permutation.
+		seen := make([]bool, ga.NumNodes())
+		for _, c := range pa {
+			if seen[c] {
+				t.Fatalf("perm not a permutation for seed %d", seedA)
+			}
+			seen[c] = true
+		}
+		for _, a := range ga.Arcs() {
+			if pa[a.From] >= pa[a.To] {
+				t.Fatalf("perm not topological for seed %d", seedA)
+			}
+		}
+		_ = pb
+		// Perturbing the edge set (same node count) must flip the
+		// guard, and with it the hash.
+		if len(sa.Arcs) > 0 {
+			near := Shape{Nodes: sa.Nodes, Arcs: sa.Arcs[:len(sa.Arcs)-1]}
+			if near.Equal(sa) {
+				t.Fatalf("guard accepted a dropped edge for seed %d", seedA)
+			}
+			if near.Hash() == sa.Hash() {
+				t.Fatalf("near-miss hash collision for seed %d", seedA)
+			}
+		}
+	})
+}

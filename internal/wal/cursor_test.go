@@ -1,0 +1,194 @@
+package wal
+
+import (
+	"strings"
+	"testing"
+)
+
+func seqd(recs []Record) []Record {
+	for i := range recs {
+		recs[i].Seq = uint64(i + 1)
+	}
+	return recs
+}
+
+func ident(n int) []int64 {
+	order := make([]int64, n)
+	for i := range order {
+		order[i] = int64(i)
+	}
+	return order
+}
+
+func TestReplayCursorExpandsPrefix(t *testing.T) {
+	order := []int64{3, 0, 1, 2}
+	recs := seqd([]Record{
+		{Epoch: 1, Kind: KindEpoch, Task: -1},
+		{Epoch: 1, Kind: KindCursor, Task: 2, Attempt: 2}, // grants 3, 0
+		{Epoch: 1, Kind: KindDone, Task: 3},
+		{Epoch: 1, Kind: KindCursor, Task: 3, Attempt: 1}, // grants 1
+		{Epoch: 1, Kind: KindDone, Task: 0},
+	})
+	st, err := ReplayOrdered(nil, recs, 4, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cursor != 3 {
+		t.Fatalf("cursor = %d", st.Cursor)
+	}
+	if st.NumExecuted() != 2 || !st.IsExecuted(3) || !st.IsExecuted(0) {
+		t.Fatalf("executed wrong: %+v", st)
+	}
+	for v, want := range map[int64]uint32{3: 1, 0: 1, 1: 1, 2: 0} {
+		if st.Attempts[v] != want {
+			t.Fatalf("attempts[%d] = %d, want %d", v, st.Attempts[v], want)
+		}
+	}
+	if len(st.InFlight) != 1 || st.InFlight[0] != 1 {
+		t.Fatalf("in flight: %v", st.InFlight)
+	}
+}
+
+func TestReplayCursorValidation(t *testing.T) {
+	order := ident(4)
+	cases := []struct {
+		name string
+		recs []Record
+		want string
+	}{
+		{
+			name: "no order",
+			recs: []Record{{Epoch: 1, Kind: KindEpoch, Task: -1}, {Epoch: 1, Kind: KindCursor, Task: 1, Attempt: 1}},
+			want: "no replay order",
+		},
+		{
+			name: "regress",
+			recs: []Record{
+				{Epoch: 1, Kind: KindEpoch, Task: -1},
+				{Epoch: 1, Kind: KindCursor, Task: 2, Attempt: 2},
+				{Epoch: 1, Kind: KindCursor, Task: 2, Attempt: 0},
+			},
+			want: "does not advance",
+		},
+		{
+			name: "beyond nodes",
+			recs: []Record{{Epoch: 1, Kind: KindEpoch, Task: -1}, {Epoch: 1, Kind: KindCursor, Task: 5, Attempt: 5}},
+			want: "does not advance",
+		},
+		{
+			name: "delta mismatch",
+			recs: []Record{{Epoch: 1, Kind: KindEpoch, Task: -1}, {Epoch: 1, Kind: KindCursor, Task: 2, Attempt: 1}},
+			want: "record claims",
+		},
+		{
+			name: "cursor re-grant",
+			recs: []Record{
+				{Epoch: 1, Kind: KindEpoch, Task: -1},
+				{Epoch: 1, Kind: KindGrant, Task: 0, Attempt: 1},
+				{Epoch: 1, Kind: KindCursor, Task: 1, Attempt: 1},
+			},
+			want: "re-grant",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var order64 []int64
+			if tc.name != "no order" {
+				order64 = order
+			}
+			_, err := ReplayOrdered(nil, seqd(tc.recs), 4, order64)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReplayCursorDoneWithoutExplicitGrant(t *testing.T) {
+	// A task granted via cursor may complete with only the cursor
+	// record preceding it; without one, Done is still rejected.
+	order := ident(3)
+	good := seqd([]Record{
+		{Epoch: 1, Kind: KindEpoch, Task: -1},
+		{Epoch: 1, Kind: KindCursor, Task: 1, Attempt: 1},
+		{Epoch: 1, Kind: KindDone, Task: 0},
+	})
+	if _, err := ReplayOrdered(nil, good, 3, order); err != nil {
+		t.Fatal(err)
+	}
+	badRecs := seqd([]Record{
+		{Epoch: 1, Kind: KindEpoch, Task: -1},
+		{Epoch: 1, Kind: KindDone, Task: 0},
+	})
+	if _, err := ReplayOrdered(nil, badRecs, 3, order); err == nil || !strings.Contains(err.Error(), "never granted") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReplayCursorEpochRequeuesInFlight(t *testing.T) {
+	order := []int64{2, 1, 0}
+	recs := seqd([]Record{
+		{Epoch: 1, Kind: KindEpoch, Task: -1},
+		{Epoch: 1, Kind: KindCursor, Task: 2, Attempt: 2}, // grants 2, 1
+		{Epoch: 1, Kind: KindDone, Task: 2},
+		{Epoch: 2, Kind: KindEpoch, Task: -1}, // crash: 1 still leased
+		{Epoch: 2, Kind: KindGrant, Task: 1, Attempt: 2},
+		{Epoch: 2, Kind: KindDone, Task: 1},
+	})
+	st, err := ReplayOrdered(nil, recs, 3, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 2 || st.Cursor != 2 || st.NumExecuted() != 2 {
+		t.Fatalf("state: %+v", st)
+	}
+	if st.Reissues != 1 {
+		t.Fatalf("reissues = %d", st.Reissues)
+	}
+}
+
+func TestSnapshotCursorRoundTrip(t *testing.T) {
+	snap := Snapshot{
+		Seq: 9, Epoch: 3, Nodes: 5,
+		Executed: []uint64{0b00101},
+		Attempts: []uint32{1, 1, 1, 0, 0},
+		InFlight: []int64{1},
+		Cursor:   3,
+	}
+	p := snap.encode()
+	got, err := decodeSnapshot(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cursor != 3 {
+		t.Fatalf("cursor = %d", got.Cursor)
+	}
+	// Fold after a snapshot: later cursor records advance from the
+	// snapshot's cursor.
+	recs := seqd([]Record{
+		{Epoch: 3, Kind: KindCursor, Task: 5, Attempt: 2},
+	})
+	recs[0].Seq = 10
+	st, err := ReplayOrdered(got, recs, 5, ident(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cursor != 5 || st.Attempts[3] != 1 || st.Attempts[4] != 1 {
+		t.Fatalf("state: %+v", st)
+	}
+	// A stale cursor (≤ snapshot's) is rejected.
+	stale := []Record{{Seq: 10, Epoch: 3, Kind: KindCursor, Task: 3, Attempt: 0}}
+	if _, err := ReplayOrdered(got, stale, 5, ident(5)); err == nil {
+		t.Fatalf("stale cursor accepted")
+	}
+}
+
+func TestReplayPlainRejectsCursorRecords(t *testing.T) {
+	recs := seqd([]Record{
+		{Epoch: 1, Kind: KindEpoch, Task: -1},
+		{Epoch: 1, Kind: KindCursor, Task: 1, Attempt: 1},
+	})
+	if _, err := Replay(nil, recs, 3); err == nil {
+		t.Fatalf("Replay accepted a cursor record without an order")
+	}
+}

@@ -38,6 +38,11 @@ type Snapshot struct {
 	Stalls, Reissues, Failed uint64
 	// Drained records that a graceful shutdown completed.
 	Drained bool
+	// Cursor is the replay cursor for schedule-cached jobs: the first
+	// Cursor entries of the job's static order have received their
+	// first-time grants (see KindCursor).  Zero for jobs that journal
+	// per-task grants.
+	Cursor int64
 }
 
 // NumExecuted returns the popcount of the executed bitset.
@@ -93,6 +98,7 @@ func (s *Snapshot) encode() []byte {
 	list(s.Quarantined)
 	list(s.Returned)
 	list(s.InFlight)
+	u64(uint64(s.Cursor))
 	return buf
 }
 
@@ -185,6 +191,14 @@ func decodeSnapshot(p []byte) (*Snapshot, error) {
 	}
 	if s.InFlight, ok = list(); !ok {
 		return fail()
+	}
+	cursor, ok := u64()
+	if !ok {
+		return fail()
+	}
+	s.Cursor = int64(cursor)
+	if s.Cursor < 0 || int(s.Cursor) > s.Nodes {
+		return nil, fmt.Errorf("wal: snapshot cursor %d out of range for %d nodes", s.Cursor, s.Nodes)
 	}
 	if off != len(p) {
 		return nil, fmt.Errorf("wal: %d trailing snapshot bytes", len(p)-off)
@@ -289,7 +303,20 @@ func contains(list []int64, v int64) bool {
 // out of range, grants of executed tasks, completions of never-granted
 // tasks, non-consecutive attempt counts — and fails on the first
 // violation, so replaying a journal is also checking it.
+//
+// Journals written by a schedule-cache replay job contain KindCursor
+// records, which can only be folded with the job's static order in
+// hand; use ReplayOrdered for those.  Replay rejects them.
 func Replay(snap *Snapshot, recs []Record, nodes int) (*Snapshot, error) {
+	return ReplayOrdered(snap, recs, nodes, nil)
+}
+
+// ReplayOrdered is Replay for journals that may carry KindCursor
+// records: order is the job's static allocation order (len == nodes),
+// and each cursor record expands to first-time grants of
+// order[oldCursor:newCursor] under the same legality checks as
+// explicit KindGrant records.
+func ReplayOrdered(snap *Snapshot, recs []Record, nodes int, order []int64) (*Snapshot, error) {
 	st := &Snapshot{Nodes: nodes, Epoch: 0}
 	if snap != nil {
 		if snap.Nodes != nodes {
@@ -304,6 +331,10 @@ func Replay(snap *Snapshot, recs []Record, nodes int) (*Snapshot, error) {
 		st.InFlight = append([]int64(nil), snap.InFlight...)
 		st.Stalls, st.Reissues, st.Failed = snap.Stalls, snap.Reissues, snap.Failed
 		st.Drained = snap.Drained
+		st.Cursor = snap.Cursor
+	}
+	if order != nil && len(order) != nodes {
+		return nil, fmt.Errorf("wal: replay order has %d entries for %d nodes", len(order), nodes)
 	}
 	if st.Executed == nil {
 		st.Executed = make([]uint64, (nodes+63)/64)
@@ -335,6 +366,38 @@ func Replay(snap *Snapshot, recs []Record, nodes int) (*Snapshot, error) {
 			continue
 		case KindDrain:
 			st.Drained = true
+			continue
+		case KindCursor:
+			// Task is the new cursor, not a node id, and may equal
+			// nodes (all first-time grants issued) — handled before the
+			// task range check below.
+			if order == nil {
+				return nil, bad("cursor record but no replay order supplied")
+			}
+			if r.Task <= st.Cursor || r.Task > int64(nodes) {
+				return nil, bad("cursor %d does not advance from %d (nodes %d)", r.Task, st.Cursor, nodes)
+			}
+			if int64(r.Attempt) != r.Task-st.Cursor {
+				return nil, bad("cursor %d covers %d grants, record claims %d", r.Task, r.Task-st.Cursor, r.Attempt)
+			}
+			for c := st.Cursor; c < r.Task; c++ {
+				v := order[c]
+				if v < 0 || int(v) >= nodes {
+					return nil, bad("order position %d holds task %d out of range", c, v)
+				}
+				if st.Executed[v>>6]&(1<<uint(v&63)) != 0 {
+					return nil, bad("cursor grant of executed task %d", v)
+				}
+				if st.Attempts[v] != 0 {
+					return nil, bad("cursor re-grant of task %d (attempts %d)", v, st.Attempts[v])
+				}
+				if contains(st.InFlight, v) {
+					return nil, bad("task %d granted while in flight", v)
+				}
+				st.Attempts[v] = 1
+				st.InFlight = append(st.InFlight, v)
+			}
+			st.Cursor = r.Task
 			continue
 		}
 		v := r.Task
@@ -414,4 +477,10 @@ func Replay(snap *Snapshot, recs []Record, nodes int) (*Snapshot, error) {
 // yielding the state a restarted server resumes from.
 func (r *Recovered) Fold(nodes int) (*Snapshot, error) {
 	return Replay(r.Snap, r.Records, nodes)
+}
+
+// FoldOrdered is Fold for journals that may carry KindCursor records;
+// order is the job's static allocation order (see ReplayOrdered).
+func (r *Recovered) FoldOrdered(nodes int, order []int64) (*Snapshot, error) {
+	return ReplayOrdered(r.Snap, r.Records, nodes, order)
 }

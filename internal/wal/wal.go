@@ -69,6 +69,14 @@ const (
 	KindQuarantine
 	// KindDrain records the start of a graceful shutdown.  Task is -1.
 	KindDrain
+	// KindCursor records a batch of first-time grants for a replayed
+	// (schedule-cached) job as a single cursor advance: Task is the new
+	// cursor — the granted prefix of the job's static order is
+	// order[0:Task] afterwards — and Attempt is how many grants the
+	// record covers (Task minus the previous cursor).  Folding a cursor
+	// record needs the order (ReplayOrdered); re-grants after expiry or
+	// hand-back still use explicit KindGrant records.
+	KindCursor
 
 	kindEnd
 )
@@ -90,6 +98,8 @@ func (k Kind) String() string {
 		return "quarantine"
 	case KindDrain:
 		return "drain"
+	case KindCursor:
+		return "cursor"
 	}
 	return fmt.Sprintf("wal.Kind(%d)", int(k))
 }
