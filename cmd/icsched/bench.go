@@ -1,9 +1,10 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
+
 	"fmt"
+	"icsched/internal/benchjson"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -19,16 +20,7 @@ import (
 // writeJSON marshals doc with indentation to the given destination
 // ("-" for stdout).
 func writeJSON(dest string, doc any) error {
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if dest == "-" {
-		_, err = os.Stdout.Write(data)
-		return err
-	}
-	return os.WriteFile(dest, data, 0o644)
+	return benchjson.Write(dest, doc)
 }
 
 // startProfiles turns on the requested pprof profiles and returns the

@@ -25,6 +25,8 @@ func cmdChaos(args []string) error {
 	batch := fs.Int("batch", 0, "use the batched protocol with this per-grant cap (0 = legacy protocol)")
 	kills := fs.Int("kills", 0, "additionally run the server-kill lane: SIGKILL/journal-restart the server this many times mid-run on a 32×32 wavefront")
 	relaxedShards := fs.Int("relaxed", 0, "run the server-kill lane through the lock-free k-relaxed core with this shard count; each kill is armed to land between shard-pop and journal-append (0 = exact locked path)")
+	shardKills := fs.Int("shardkill", 0, "additionally run the sharded-coordinator lane: kill/recover individual shards this many times mid-run on a 32×32 wavefront cut across -shards servers")
+	shardCount := fs.Int("shards", 4, "shard count for the -shardkill lane")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +62,15 @@ func cmdChaos(args []string) error {
 			fmt.Printf("grant path: relaxed core, %d shards; kills armed between shard-pop and journal-append\n", *relaxedShards)
 		}
 		rep, err := chaos.ServerKill(cfg, 32, *kills)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+	}
+	if *shardKills > 0 {
+		fmt.Printf("shard-kill lane: %d shard kill/recover cycles on a 32x32 wavefront across %d shards\n",
+			*shardKills, *shardCount)
+		rep, err := chaos.ShardKill(cfg, 32, *shardCount, *shardKills)
 		if err != nil {
 			return err
 		}

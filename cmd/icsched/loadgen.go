@@ -2,18 +2,17 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
-	"os"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"icsched/internal/benchjson"
 	"icsched/internal/butterfly"
 	"icsched/internal/dag"
 	"icsched/internal/exec"
@@ -313,6 +312,7 @@ func cmdLoadgen(args []string) error {
 	stream := fs.Bool("stream", false, "Poisson job-arrival stream mode through the multi-tenant job service")
 	relaxedMode := fs.Bool("relaxed", false, "relaxation sweep mode: in-process quality/throughput frontier of the lock-free k-relaxed core vs the locked path, written to BENCH_relaxed.json")
 	zipfMode := fs.Bool("zipf", false, "schedule-cache mode: Zipf-distributed raw-payload job mix through the cached job service, written to BENCH_cache.json")
+	shardMode := fs.Bool("shards", false, "sharded-coordinator mode: journaled single server vs K-shard coordinator on one large wavefront, written to BENCH_shard.json")
 	zipfJobs := fs.Int("zipfjobs", 0, "zipf mode: total jobs (default 240; smoke 80)")
 	minHitRate := fs.Float64("minhitrate", 0, "zipf mode: fail if cache hit rate below this (0 = off)")
 	minAnalysisSpeedup := fs.Float64("minanalysisspeedup", 0, "zipf mode: fail if warm/cold analysis speedup below this (0 = off)")
@@ -344,6 +344,24 @@ func cmdLoadgen(args []string) error {
 		// Write whatever was measured even on failure, for CI diagnosis.
 		if werr := writeStream(doc, *out); werr != nil && err == nil {
 			err = werr
+		}
+		return err
+	}
+	if *shardMode {
+		if *out == "" {
+			*out = "BENCH_shard.json"
+		}
+		doc, err := runShardBench(shardBenchConfig{
+			clients:    *clients,
+			smoke:      *smoke,
+			minSpeedup: *minSpeedup,
+		})
+		// Write whatever was measured even when the speedup floor failed,
+		// so CI can upload the artifact for diagnosis.
+		if len(doc.Results) > 0 {
+			if werr := writeShard(doc, *out); werr != nil && err == nil {
+				err = werr
+			}
 		}
 		return err
 	}
@@ -431,17 +449,7 @@ func cmdLoadgen(args []string) error {
 }
 
 func writeLoadgen(doc loadgenFile, out string) error {
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if out == "-" {
-		_, err = os.Stdout.Write(data)
-	} else {
-		err = os.WriteFile(out, data, 0o644)
-	}
-	if err != nil {
+	if err := benchjson.Write(out, doc, "clients", "gomaxprocs", "results"); err != nil {
 		return err
 	}
 	fmt.Printf("%-10s %6s %-8s %6s %10s %12s %10s %10s %12s\n",
@@ -458,17 +466,8 @@ func writeLoadgen(doc loadgenFile, out string) error {
 }
 
 func writeRelaxed(doc relaxedFile, out string) error {
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if out == "-" {
-		_, err = os.Stdout.Write(data)
-	} else {
-		err = os.WriteFile(out, data, 0o644)
-	}
-	if err != nil {
+	if err := benchjson.Write(out, doc, "gomaxprocs", "note", "speedup",
+		"lockedTasksPerSec", "relaxedTasksPerSec", "results"); err != nil {
 		return err
 	}
 	fmt.Printf("%-10s %6s %8s %8s %6s %10s %12s %10s %10s\n",

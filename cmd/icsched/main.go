@@ -96,12 +96,14 @@ commands:
   count <family> [size]       count legal vs IC-optimal schedules (exact oracle)
   batch <family> [size] [w]   plan batched allocation ([20]-style), greedy vs exact
   figures [dir]               write every paper figure as a DOT file (default ./figures)
-  serve [-pprof] [-wal DIR] <family> [size] [addr] run the HTTP task server (default :8080)
-  chaos [-trace FILE] [-kills N] [seed]  fault-injection proof: all workloads under chaos, bit-checked
+  serve [-pprof] [-wal DIR] [-shards K] <family> [size] [addr] run the HTTP task server (default :8080);
+                              -shards K cuts the dag across K shard servers behind one coordinator
+  chaos [-trace FILE] [-kills N] [-shardkill N -shards K] [seed]  fault-injection proof: all workloads under chaos, bit-checked
   difftest [-seed S] [-n N]   differential test: exec vs icsim vs icserver + theorem properties
   bench [flags] [family...]   run families through the executor, write BENCH_*.json
   loadgen [flags]             HTTP throughput benchmark: single vs batched protocol, write BENCH_throughput.json
-                              (-stream BENCH_stream.json, -relaxed BENCH_relaxed.json, -zipf schedule-cache BENCH_cache.json)
+                              (-stream BENCH_stream.json, -relaxed BENCH_relaxed.json, -zipf schedule-cache BENCH_cache.json,
+                               -shards sharded-coordinator BENCH_shard.json)
   experiments                 regenerate the EXPERIMENTS.md tables`)
 }
 

@@ -31,6 +31,7 @@ func cmdServe(args []string) error {
 	withPprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	walDir := fs.String("wal", "", "crash-safe mode: journal every state change to this directory and resume from it on restart")
 	relaxedShards := fs.Int("relaxed", 0, "grant through the lock-free k-relaxed core with this shard count (0 = exact locked path; 1 is bit-identical to it)")
+	numShards := fs.Int("shards", 0, "cut the dag into this many shard servers behind one coordinator (0/1 = single server); workers address shard i under /shard/<i>/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,6 +50,9 @@ func cmdServe(args []string) error {
 	}
 	lease := time.Minute
 	order := sched.Complete(g, nonsinks)
+	if *numShards > 1 {
+		return serveSharded(g, order, f.name, size, addr, *numShards, *walDir, *relaxedShards, *withPprof, lease)
+	}
 	opts := []icserver.Option{icserver.WithLease(lease)}
 	if *relaxedShards > 0 {
 		opts = append(opts, icserver.WithRelaxed(*relaxedShards))

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"icsched/internal/benchjson"
 	"icsched/internal/butterfly"
 	"icsched/internal/dag"
 	"icsched/internal/jobs"
@@ -447,17 +448,8 @@ func runStream(cfg streamConfig) (streamFile, error) {
 
 // writeStream writes BENCH_stream.json plus a stdout summary table.
 func writeStream(doc streamFile, out string) error {
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if out == "-" {
-		_, err = os.Stdout.Write(data)
-	} else {
-		err = os.WriteFile(out, data, 0o644)
-	}
-	if err != nil {
+	if err := benchjson.Write(out, doc, "tenants", "jobs", "jobsPerSec",
+		"fairnessRatio", "perTenant"); err != nil {
 		return err
 	}
 	fmt.Printf("%-12s %6s %9s %9s %12s %12s\n",

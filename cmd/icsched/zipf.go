@@ -5,11 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
 	"sort"
 	"sync"
 	"time"
 
+	"icsched/internal/benchjson"
 	"icsched/internal/butterfly"
 	"icsched/internal/dag"
 	"icsched/internal/dagio"
@@ -321,17 +321,7 @@ func grantPathBench(smoke bool) zipfGrantPath {
 
 // writeZipf writes BENCH_cache.json and prints the human summary.
 func writeZipf(doc zipfFile, out string) error {
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if out == "-" {
-		_, err = os.Stdout.Write(data)
-	} else {
-		err = os.WriteFile(out, data, 0o644)
-	}
-	if err != nil {
+	if err := benchjson.Write(out, doc, "jobs", "hitRate", "catalog", "grantPath"); err != nil {
 		return err
 	}
 	fmt.Printf("zipf: %d jobs over %d shapes (s=%.1f): hit rate %.3f (%d hits, %d shared, %d misses), %d replay jobs\n",

@@ -1,0 +1,76 @@
+package benchjson
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type doc struct {
+	Clients int       `json:"clients"`
+	Note    *string   `json:"note"`
+	Results []float64 `json:"results"`
+}
+
+func TestMarshalValidates(t *testing.T) {
+	note := "n"
+	d := doc{Clients: 4, Note: &note, Results: []float64{1}}
+	data, err := Marshal(d, "clients", "note", "results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Fatal("missing trailing newline")
+	}
+	if !strings.Contains(string(data), "  \"clients\": 4") {
+		t.Fatalf("not two-space indented:\n%s", data)
+	}
+	if _, err := Marshal(d, "clients", "speedup"); err == nil {
+		t.Fatal("missing required key accepted")
+	}
+	if _, err := Marshal(doc{Clients: 1}, "note"); err == nil {
+		t.Fatal("null required key accepted")
+	}
+}
+
+func TestValidateRejectsNonObjects(t *testing.T) {
+	for _, bad := range []string{`[1,2]`, `"s"`, `{} {}`, `{bad`} {
+		if err := Validate([]byte(bad)); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+	if err := Validate([]byte(`{"a": 1}`)); err != nil {
+		t.Fatalf("plain object rejected: %v", err)
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := Write(path, doc{Clients: 2, Results: []float64{3, 4}}, "clients", "results"); err != nil {
+		t.Fatal(err)
+	}
+	top, err := Load(path, "clients", "results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(top["clients"]) != "2" {
+		t.Fatalf("clients = %s", top["clients"])
+	}
+	if _, err := Load(path, "absent"); err == nil {
+		t.Fatal("Load with unmet requirement succeeded")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("Load of missing file succeeded")
+	}
+}
+
+func TestWriteFailsBeforeTouchingDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_y.json")
+	if err := Write(path, doc{}, "speedup"); err == nil {
+		t.Fatal("invalid doc written")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("invalid doc landed on disk")
+	}
+}

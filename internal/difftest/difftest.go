@@ -158,6 +158,7 @@ type Report struct {
 	Linearity    int // Theorem 2.1 on ▷-linear compositions
 	Relaxed      int // k-relaxed core vs exact scheduler (see relaxed.go)
 	Cache        int // schedule cache: warm/cold bit-identity, iso-twin hit, near-miss miss (see cache.go)
+	Shard        int // sharded coordinator recombination bit-identity (see shard.go)
 	Failures     []Failure
 }
 
@@ -180,8 +181,8 @@ func (r Report) String() string {
 			b.WriteString(")")
 		}
 	}
-	fmt.Fprintf(&b, "\nproperties: oracle %d, duality %d, prio-duality %d, monotonicity %d, linearity %d, relaxed %d, cache %d",
-		r.Oracle, r.Duality, r.PrioDuality, r.Monotonicity, r.Linearity, r.Relaxed, r.Cache)
+	fmt.Fprintf(&b, "\nproperties: oracle %d, duality %d, prio-duality %d, monotonicity %d, linearity %d, relaxed %d, cache %d, shard %d",
+		r.Oracle, r.Duality, r.PrioDuality, r.Monotonicity, r.Linearity, r.Relaxed, r.Cache, r.Shard)
 	fmt.Fprintf(&b, "\nfailures: %d", len(r.Failures))
 	for _, f := range r.Failures {
 		fmt.Fprintf(&b, "\n  instance %d (%s, %d nodes): %s", f.Index, f.Shape, f.Nodes, f.Err)
@@ -295,6 +296,13 @@ func checkInstance(rng *rand.Rand, inst instance, cfg Config, rep *Report, scr *
 		return fmt.Errorf("cache: %w", err)
 	}
 	rep.Cache++
+
+	// Sharded lane: the partitioned coordinator's recombined run must be
+	// bit-identical to the single-server run (Theorem 2.1 composition).
+	if err := checkShard(g, order, want, ref, rng); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	rep.Shard++
 
 	// Theory properties.
 	if lat != nil {

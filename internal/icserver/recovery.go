@@ -212,24 +212,32 @@ func (s *Server) restoreFold(fold *wal.Snapshot) error {
 		// task — never granted, handed back, or fenced in flight — goes
 		// back into the core and competes by rank again.  This also
 		// absorbs pops the dead incarnation never journaled: they are
-		// plain eligible tasks here.
+		// plain eligible tasks here.  offerLocked applies the
+		// external-dependency gate, so cross-shard tasks wait for the
+		// coordinator to re-deliver their credits.
 		s.returned = nil
+		var elig []dag.NodeID
 		for _, v := range s.st.Eligible() {
 			if !s.quarantined[v] {
-				s.relax.Push(v)
+				elig = append(elig, v)
 			}
 		}
+		s.offerLocked(elig)
 		return nil
 	}
 	// The policy pool gets exactly the never-granted ELIGIBLE tasks: the
 	// granted-but-unfinished ones live in the requeue (as on the live
-	// server, where the policy emitted them already).
+	// server, where the policy emitted them already).  Requeued tasks
+	// bypass the external-dependency gate on purpose: a task that was
+	// ever granted had every external parent completed (and those
+	// completions are durable on their own shards), so re-granting it
+	// before the coordinator re-credits is safe.
 	var offer []dag.NodeID
 	for _, v := range s.st.Eligible() {
 		if !queued[v] && !s.quarantined[v] {
 			offer = append(offer, v)
 		}
 	}
-	s.inst.Offer(offer)
+	s.offerLocked(offer)
 	return nil
 }

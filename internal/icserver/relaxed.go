@@ -165,7 +165,7 @@ func (s *Server) relaxedEmptyStateLocked() AllocState {
 		s.recordRunEndLocked()
 		return AllocFinished
 	}
-	if len(s.leases) == 0 && len(s.quarantined) > 0 &&
+	if len(s.leases) == 0 && len(s.quarantined) > 0 && len(s.extHeld) == 0 &&
 		s.relaxPending.Load() == 0 && s.relax.Empty() {
 		s.degraded = true
 		s.recordRunEndLocked()
@@ -175,8 +175,10 @@ func (s *Server) relaxedEmptyStateLocked() AllocState {
 }
 
 // offerLocked routes newly allocatable tasks to whichever grant engine is
-// active (caller holds s.mu).
+// active, holding back tasks with outstanding cross-shard credits
+// (caller holds s.mu).
 func (s *Server) offerLocked(packet []dag.NodeID) {
+	packet = s.extFilterLocked(packet)
 	if s.relax != nil {
 		s.relax.PushAll(packet)
 		return

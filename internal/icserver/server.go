@@ -159,6 +159,22 @@ type Server struct {
 	cursorDirty bool  // first-time grants since the last cursor record
 	lastCursor  int64 // cursor as of the last journaled cursor record
 
+	// External-dependency gate (nil extNeed = unsharded server).  See
+	// extdeps.go: a task with outstanding cross-shard credits is held
+	// back in extHeld when the scheduler offers it, and released by
+	// Credit; extCredited makes credit delivery idempotent per
+	// (task, source) pair.
+	extNeed     map[dag.NodeID]int
+	extHeld     map[dag.NodeID]bool
+	extCredited map[dag.NodeID]map[int64]bool
+
+	// completionHook, when set, observes every first-time completion
+	// (after it is journaled) — the composition point the sharded
+	// coordinator (internal/shard) uses to turn completions into
+	// cross-shard eligibility credits.  Called under s.mu: it must not
+	// call back into this server.
+	completionHook func(dag.NodeID)
+
 	reg        *obs.Registry // always non-nil; serves GET /metrics
 	trace      *obs.Trace    // optional task-trace recorder
 	traceEnded bool          // run-end recorded
@@ -291,6 +307,15 @@ func WithClock(now func() time.Time) Option {
 // with exec and icsim), with the client's X-IC-Client name as the actor.
 func WithTrace(tr *obs.Trace) Option {
 	return func(s *Server) { s.trace = tr }
+}
+
+// WithCompletionHook observes every first-time completion, after the
+// completion is journaled and the newly-eligible packet offered.  The
+// hook runs under the scheduler lock and MUST NOT call back into the
+// server; keep it to an enqueue (the sharded coordinator forwards the
+// completion to other shards from its own goroutine).
+func WithCompletionHook(h func(dag.NodeID)) Option {
+	return func(s *Server) { s.completionHook = h }
 }
 
 // newCore builds the server skeleton shared by New and Recover: struct,
@@ -939,9 +964,11 @@ func (s *Server) allocateOneLocked(now time.Time, actor string) (dag.NodeID, All
 	}
 	v, ok := s.inst.Next()
 	if !ok {
-		if len(s.leases) == 0 && len(s.quarantined) > 0 {
+		if len(s.leases) == 0 && len(s.quarantined) > 0 && len(s.extHeld) == 0 {
 			// Nothing in flight and nothing allocatable: every remaining
 			// task is quarantined or blocked behind one.  Terminal.
+			// (A task held behind a cross-shard credit is progress another
+			// shard will unlock, so it suppresses the degraded verdict.)
 			s.degraded = true
 			s.recordRunEndLocked()
 			return 0, AllocFinished
@@ -1044,6 +1071,9 @@ func (s *Server) completeLocked(v dag.NodeID, actor string) (int, error) {
 	s.walAppendLocked(wal.KindDone, v, 0)
 	s.offerLocked(packet)
 	s.m.completions.Inc()
+	if s.completionHook != nil {
+		s.completionHook(v)
+	}
 	if s.trace != nil {
 		s.trace.Record(obs.Event{Phase: obs.PhaseDone, Task: int(v), Name: s.g.Name(v),
 			Actor: actor, Attempt: s.attempts[v], Eligible: s.st.NumEligible()})
@@ -1342,6 +1372,19 @@ func (s *Server) Status() Status {
 // Epoch returns this incarnation's fencing token (1 for a fresh run,
 // bumped once per Recover).
 func (s *Server) Epoch() uint64 { return s.epoch }
+
+// Completed reports whether task v has been completed (first-time done,
+// surviving recovery).  Out-of-range tasks report false.  The sharded
+// coordinator uses this to reconcile cross-shard credits after a
+// restart.
+func (s *Server) Completed(v dag.NodeID) bool {
+	if int(v) < 0 || int(v) >= s.g.NumNodes() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done[v]
+}
 
 // Finished reports whether the execution is terminal: every task
 // completed, or no further progress is possible (the remaining tasks are

@@ -39,6 +39,7 @@ import (
 	"icsched/internal/obs"
 	"icsched/internal/relaxed"
 	"icsched/internal/schedcache"
+	"icsched/internal/shard"
 	"icsched/internal/wal"
 
 	"encoding/json"
@@ -64,6 +65,11 @@ type Spec struct {
 	// The choice is journaled with the spec, so a recovered job keeps its
 	// grant path.
 	Relaxed int `json:"relaxed,omitempty"`
+	// Shards > 1 cuts the job's dag into that many schedule-guided
+	// components executed by embedded shard servers with cross-shard arc
+	// forwarding (see internal/shard); 0/1 keeps the single-server core.
+	// Journaled with the spec, so a recovered job is re-cut identically.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Job states, as reported in JobStatus.
@@ -88,7 +94,7 @@ type Job struct {
 	cacheHit bool // analysis served from the schedule cache
 	replay   bool // steady-state replay: cursor-journaled cached order
 
-	srv *icserver.Server // non-nil only while active
+	srv taskCore // non-nil only while active
 
 	submittedAt time.Time
 	activatedAt time.Time
@@ -277,7 +283,7 @@ func Recover(dir string, cfg Config) (*Server, error) {
 				id: ev.Job,
 				spec: Spec{Tenant: ev.Tenant, Weight: ev.Weight,
 					Family: ev.Family, Size: ev.Size, Dag: ev.Dag,
-					Relaxed: ev.Relaxed},
+					Relaxed: ev.Relaxed, Shards: ev.Shards},
 				state:       StateQueued,
 				submittedAt: time.Unix(0, ev.At),
 			}
@@ -356,8 +362,13 @@ func Recover(dir string, cfg Config) (*Server, error) {
 }
 
 // jobCore builds the per-job task server: memory-only under New,
-// journal-backed (fresh or replayed) under Recover.
-func (s *Server) jobCore(j *Job) (*icserver.Server, error) {
+// journal-backed (fresh or replayed) under Recover.  Jobs with
+// Spec.Shards > 1 get the sharded coordinator core instead of a single
+// server.
+func (s *Server) jobCore(j *Job) (taskCore, error) {
+	if j.spec.Shards > 1 {
+		return newShardedCore(j, j.spec.Shards, s.dir, s.cfg)
+	}
 	var policy heur.Policy
 	if j.replay {
 		policy = schedcache.Replay("IC-CACHED", j.order)
@@ -446,8 +457,9 @@ func (s *Server) analyzeCached(j *Job) error {
 	// the cached order is byte-for-byte what analyzeJob(g) re-derives, so
 	// a recovered incarnation folds the cursor journal against the very
 	// same order.  Relaxed jobs grant out of order and keep per-task
-	// records.
-	j.replay = j.spec.Relaxed == 0 && res.Exact
+	// records; sharded jobs journal per shard, which one job-level cursor
+	// cannot describe.
+	j.replay = j.spec.Relaxed == 0 && j.spec.Shards <= 1 && res.Exact
 	return nil
 }
 
@@ -553,6 +565,9 @@ func (s *Server) Submit(sp Spec) (JobStatus, error) {
 	if sp.Relaxed < 0 || sp.Relaxed > relaxed.MaxShards {
 		return JobStatus{}, fmt.Errorf("jobs: relaxed shard count %d outside [0, %d]", sp.Relaxed, relaxed.MaxShards)
 	}
+	if sp.Shards < 0 || sp.Shards > shard.MaxShards {
+		return JobStatus{}, fmt.Errorf("jobs: shard count %d outside [0, %d]", sp.Shards, shard.MaxShards)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.killed {
@@ -574,7 +589,8 @@ func (s *Server) Submit(sp Spec) (JobStatus, error) {
 	}
 	if err := s.man.append(manifestEvent{Event: "submit", At: j.submittedAt.UnixNano(),
 		Job: j.id, Tenant: sp.Tenant, Weight: sp.Weight,
-		Family: sp.Family, Size: sp.Size, Dag: sp.Dag, Relaxed: sp.Relaxed}); err != nil {
+		Family: sp.Family, Size: sp.Size, Dag: sp.Dag, Relaxed: sp.Relaxed,
+		Shards: sp.Shards}); err != nil {
 		return JobStatus{}, err
 	}
 	select {
@@ -775,9 +791,10 @@ type JobStatus struct {
 	Epoch       uint64 `json:"epoch,omitempty"`
 	// CacheHit: analysis came from the schedule cache.  Replay: the job
 	// executes in steady-state replay mode (cursor-journaled cached
-	// order).
+	// order).  Shards: the job runs cut across this many shard servers.
 	CacheHit bool `json:"cacheHit,omitempty"`
 	Replay   bool `json:"replay,omitempty"`
+	Shards   int  `json:"shards,omitempty"`
 
 	SubmittedMillis int64   `json:"submittedMillis"`
 	FinishedMillis  int64   `json:"finishedMillis,omitempty"`
@@ -789,7 +806,7 @@ func (s *Server) jobStatusLocked(j *Job) JobStatus {
 	st := JobStatus{
 		Job: j.id, Tenant: j.spec.Tenant, State: j.state,
 		Family: j.spec.Family, Size: j.spec.Size,
-		CacheHit: j.cacheHit, Replay: j.replay,
+		CacheHit: j.cacheHit, Replay: j.replay, Shards: j.spec.Shards,
 		SubmittedMillis: j.submittedAt.UnixMilli(),
 		Error:           j.errMsg,
 	}

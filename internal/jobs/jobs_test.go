@@ -328,6 +328,80 @@ func TestRelaxedJob(t *testing.T) {
 	dh2.checkValues(map[string]Spec{id: sp})
 }
 
+// TestShardedJob runs jobs cut across embedded shard servers (Spec.
+// Shards > 1) next to single-server jobs and checks bit-identical
+// values, that the shard count is validated and disables steady-state
+// replay, and that the cut survives manifest recovery.
+func TestShardedJob(t *testing.T) {
+	s := New(Config{})
+	h := newHarness(t, s)
+	specs := map[string]Spec{}
+	for _, sp := range []Spec{
+		{Tenant: "a", Family: "wavefront", Size: 8, Shards: 3},
+		{Tenant: "a", Family: "wavefront", Size: 8},
+		{Tenant: "b", Family: "prefix", Size: 16, Shards: 2},
+		{Tenant: "b", Dag: rawDag(6, [][2]int{{0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 5}}), Shards: 2},
+	} {
+		specs[h.submit(sp)] = sp
+	}
+	h.drain(4)
+	h.checkValues(specs)
+	for id, sp := range specs {
+		st, _ := s.JobByID(id)
+		if st.State != StateFinished || st.Completed != st.Nodes {
+			t.Fatalf("job %s: %+v", id, st)
+		}
+		if st.Shards != sp.Shards {
+			t.Errorf("job %s shards = %d, want %d", id, st.Shards, sp.Shards)
+		}
+		if sp.Shards > 1 && st.Replay {
+			t.Errorf("sharded job %s armed replay", id)
+		}
+	}
+	for _, bad := range []int{-1, 1000} {
+		if _, err := s.Submit(Spec{Tenant: "a", Family: "prefix", Size: 8, Shards: bad}); err == nil {
+			t.Errorf("shards=%d accepted, want error", bad)
+		}
+	}
+	if err := closeServer(s); err != nil {
+		t.Fatal(err)
+	}
+
+	// Durable: a mid-flight sharded job is re-cut identically across
+	// recovery (the spec travels through the manifest) and the shard
+	// journals resume it.
+	dir := t.TempDir()
+	cfg := Config{Wal: wal.Options{SyncEvery: 1}}
+	ds, err := Recover(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dh := newHarness(t, ds)
+	sp := Spec{Tenant: "a", Family: "wavefront", Size: 8, Shards: 3}
+	id := dh.submit(sp)
+	waitState(t, ds, id, StateActive)
+	ds.Kill()
+	ds2, err := Recover(dir, cfg)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer closeServer(ds2)
+	ds2.mu.Lock()
+	j := ds2.jobs[id]
+	gotShards, srv := j.spec.Shards, j.srv
+	ds2.mu.Unlock()
+	if gotShards != 3 {
+		t.Fatalf("recovered spec shards = %d, want 3", gotShards)
+	}
+	if _, ok := srv.(*shardedCore); !ok {
+		t.Fatalf("recovered job core is %T, want *shardedCore", srv)
+	}
+	dh2 := newHarness(t, ds2)
+	dh2.track(id, sp)
+	dh2.drain(4)
+	dh2.checkValues(map[string]Spec{id: sp})
+}
+
 // TestWeightedFairShare pins the stride policy: with wide-open dags
 // (every task eligible at once) a weight-2 tenant receives twice the
 // grant rate of a weight-1 tenant while both have work.

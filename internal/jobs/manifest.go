@@ -31,6 +31,7 @@ type manifestEvent struct {
 	Size    int             `json:"size,omitempty"`
 	Dag     json.RawMessage `json:"dag,omitempty"`
 	Relaxed int             `json:"relaxed,omitempty"`
+	Shards  int             `json:"shards,omitempty"`
 	// Activate events record whether the job runs in steady-state replay
 	// mode (cursor-journaled cached order): the decision depends on cache
 	// state at activation, so recovery must read it back rather than

@@ -1,0 +1,309 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"icsched/internal/dag"
+	"icsched/internal/mesh"
+)
+
+// checkPartition verifies the structural invariants every partitioner
+// must uphold: full coverage, consistent global<->local maps, arcs
+// conserved between local dags and the cross set, forward-only cross
+// arcs, and needIn totals matching the cross set.
+func checkPartition(t *testing.T, g *dag.Dag, p *Partition) {
+	t.Helper()
+	n := g.NumNodes()
+	if p.NumNodes() != n {
+		t.Fatalf("partition covers %d nodes, dag has %d", p.NumNodes(), n)
+	}
+	if p.K < 1 || len(p.Locals) != p.K || len(p.Globals) != p.K {
+		t.Fatalf("inconsistent K=%d: %d locals, %d globals", p.K, len(p.Locals), len(p.Globals))
+	}
+	covered := 0
+	for i := 0; i < p.K; i++ {
+		if len(p.Globals[i]) == 0 {
+			t.Fatalf("shard %d is empty", i)
+		}
+		if p.Locals[i].NumNodes() != len(p.Globals[i]) {
+			t.Fatalf("shard %d dag has %d nodes, globals map has %d",
+				i, p.Locals[i].NumNodes(), len(p.Globals[i]))
+		}
+		covered += len(p.Globals[i])
+		for lv, gv := range p.Globals[i] {
+			if p.ShardOf[gv] != i || p.LocalOf[gv] != dag.NodeID(lv) {
+				t.Fatalf("node %d: ShardOf=%d LocalOf=%d, expected shard %d local %d",
+					gv, p.ShardOf[gv], p.LocalOf[gv], i, lv)
+			}
+			if got, want := p.Locals[i].Name(dag.NodeID(lv)), g.Name(gv); got != want {
+				t.Fatalf("shard %d local %d named %q, global name is %q", i, lv, got, want)
+			}
+		}
+	}
+	if covered != n {
+		t.Fatalf("shards cover %d nodes, dag has %d", covered, n)
+	}
+	intra := 0
+	for i := 0; i < p.K; i++ {
+		intra += len(p.Locals[i].Arcs())
+	}
+	if intra+len(p.Cross) != len(g.Arcs()) {
+		t.Fatalf("arcs not conserved: %d intra + %d cross != %d total",
+			intra, len(p.Cross), len(g.Arcs()))
+	}
+	needTotal := 0
+	for i := 0; i < p.K; i++ {
+		for _, c := range p.NeedIn(i) {
+			needTotal += c
+		}
+	}
+	if needTotal != len(p.Cross) {
+		t.Fatalf("needIn counts %d external parents, cross set has %d arcs", needTotal, len(p.Cross))
+	}
+	for _, a := range p.Cross {
+		if p.ShardOf[a.From] >= p.ShardOf[a.To] {
+			t.Fatalf("cross arc %d -> %d violates forward-only: shards %d -> %d",
+				a.From, a.To, p.ShardOf[a.From], p.ShardOf[a.To])
+		}
+	}
+}
+
+func TestByLevelsGrid(t *testing.T) {
+	g := mesh.Grid(8, 8)
+	p, err := ByLevels(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 4 {
+		t.Fatalf("K = %d, want 4", p.K)
+	}
+	if p.Method != "levels" {
+		t.Fatalf("Method = %q", p.Method)
+	}
+	checkPartition(t, g, p)
+	// Depth bands must respect depth monotonicity.
+	depths := g.Depths()
+	for _, a := range g.Arcs() {
+		if depths[a.From] < depths[a.To] && p.ShardOf[a.From] > p.ShardOf[a.To] {
+			t.Fatalf("band of deeper node is lower: %d(%d) -> %d(%d)",
+				a.From, p.ShardOf[a.From], a.To, p.ShardOf[a.To])
+		}
+	}
+}
+
+func TestByOrderGrid(t *testing.T) {
+	g := mesh.Grid(8, 8)
+	p, err := ByOrder(g, 4, g.TopoOrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 4 {
+		t.Fatalf("K = %d, want 4", p.K)
+	}
+	checkPartition(t, g, p)
+	// Contiguous chunks of a permutation must be balanced within one
+	// fair share.
+	for i := 0; i < p.K; i++ {
+		if sz := len(p.Globals[i]); sz < 8 || sz > 32 {
+			t.Fatalf("shard %d holds %d of 64 nodes — wildly unbalanced", i, sz)
+		}
+	}
+}
+
+func TestByBlocksComposition(t *testing.T) {
+	c, err := mesh.OutMeshAsWComposition(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Dag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ByBlocks(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Method != "blocks" {
+		t.Fatalf("Method = %q", p.Method)
+	}
+	checkPartition(t, g, p)
+	if p.K < 2 {
+		t.Fatalf("composition of 5 blocks collapsed to %d shards", p.K)
+	}
+}
+
+func TestSingleNodeDag(t *testing.T) {
+	g := dag.NewBuilder(1).MustBuild()
+	for _, k := range []int{1, 4, MaxShards} {
+		p, err := ByLevels(g, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if p.K != 1 {
+			t.Fatalf("k=%d: single-node dag split into %d shards", k, p.K)
+		}
+		if len(p.Cross) != 0 {
+			t.Fatalf("k=%d: single-node dag has %d cross arcs", k, len(p.Cross))
+		}
+		checkPartition(t, g, p)
+	}
+}
+
+// TestLinearChainAllCross cuts a ▷-linear chain into one node per
+// shard: every arc is a cross-shard arc and the partition must still
+// be legal.
+func TestLinearChainAllCross(t *testing.T) {
+	const n = 6
+	b := dag.NewBuilder(n)
+	for v := 0; v < n-1; v++ {
+		b.AddArc(dag.NodeID(v), dag.NodeID(v+1))
+	}
+	g := b.MustBuild()
+	p, err := ByOrder(g, n, g.TopoOrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != n {
+		t.Fatalf("K = %d, want %d", p.K, n)
+	}
+	if len(p.Cross) != n-1 {
+		t.Fatalf("chain of %d nodes has %d cross arcs, want %d", n, len(p.Cross), n-1)
+	}
+	checkPartition(t, g, p)
+}
+
+// TestKAboveComponents asks for more shards than the dag can fill; the
+// partitioners must clamp, never emit empty shards.
+func TestKAboveComponents(t *testing.T) {
+	const n = 3
+	b := dag.NewBuilder(n)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	g := b.MustBuild()
+	p, err := ByOrder(g, 10, g.TopoOrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != n {
+		t.Fatalf("K = %d, want clamp to %d", p.K, n)
+	}
+	checkPartition(t, g, p)
+	if p, err = ByLevels(g, 10); err != nil {
+		t.Fatal(err)
+	} else if p.K != n {
+		t.Fatalf("ByLevels K = %d, want clamp to %d", p.K, n)
+	}
+}
+
+func TestCheckKBounds(t *testing.T) {
+	g := mesh.Grid(2, 2)
+	if _, err := ByLevels(g, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := ByLevels(g, MaxShards+1); err == nil {
+		t.Fatalf("k=%d accepted", MaxShards+1)
+	}
+}
+
+func TestByOrderRejectsBadOrders(t *testing.T) {
+	g := mesh.Grid(3, 3)
+	short := g.TopoOrder()[:4]
+	if _, err := ByOrder(g, 2, short); err == nil {
+		t.Fatal("truncated order accepted")
+	}
+	dup := g.TopoOrder()
+	dup[1] = dup[0]
+	if _, err := ByOrder(g, 2, dup); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+	rev := g.TopoOrder()
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if _, err := ByOrder(g, 2, rev); err == nil {
+		t.Fatal("anti-topological order accepted")
+	}
+}
+
+// TestDeterminism re-runs every partitioner on identical inputs and
+// demands identical cuts — recovery rebuilds partitions from scratch
+// and the bus journal's global IDs must still line up.
+func TestDeterminism(t *testing.T) {
+	g := mesh.Grid(9, 7)
+	same := func(name string, f func() (*Partition, error)) {
+		a, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(a.ShardOf, b.ShardOf) || !reflect.DeepEqual(a.Cross, b.Cross) {
+			t.Fatalf("%s: two runs produced different cuts", name)
+		}
+	}
+	same("levels", func() (*Partition, error) { return ByLevels(g, 4) })
+	same("order", func() (*Partition, error) { return ByOrder(g, 4, g.TopoOrder()) })
+	c, err := mesh.OutMeshAsWComposition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same("blocks", func() (*Partition, error) { return ByBlocks(c, 3) })
+}
+
+func TestLocalOrdersRestriction(t *testing.T) {
+	g := mesh.Grid(5, 5)
+	order := g.TopoOrder()
+	p, err := ByOrder(g, 3, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := p.LocalOrders(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lo) != p.K {
+		t.Fatalf("%d local orders for %d shards", len(lo), p.K)
+	}
+	// Re-interleaving the restrictions by walking the global order must
+	// reproduce it exactly.
+	next := make([]int, p.K)
+	for _, v := range order {
+		s := p.ShardOf[v]
+		if lo[s][next[s]] != p.LocalOf[v] {
+			t.Fatalf("restriction of shard %d out of order at global node %d", s, v)
+		}
+		next[s]++
+	}
+	for i, n := range next {
+		if n != len(lo[i]) {
+			t.Fatalf("shard %d restriction has %d nodes, consumed %d", i, len(lo[i]), n)
+		}
+	}
+	if _, err := p.LocalOrders(order[:3]); err == nil {
+		t.Fatal("truncated global order accepted")
+	}
+}
+
+func TestPerShardStats(t *testing.T) {
+	g := mesh.Grid(6, 6)
+	p, err := ByOrder(g, 3, g.TopoOrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.PerShard()
+	nodes, in, out := 0, 0, 0
+	for _, s := range st {
+		nodes += s.Nodes
+		in += s.CrossIn
+		out += s.CrossOut
+	}
+	if nodes != g.NumNodes() {
+		t.Fatalf("per-shard nodes sum to %d, dag has %d", nodes, g.NumNodes())
+	}
+	if in != len(p.Cross) || out != len(p.Cross) {
+		t.Fatalf("cross in/out sums %d/%d, cross set has %d", in, out, len(p.Cross))
+	}
+}
